@@ -1,0 +1,36 @@
+// Command benchgen emits the synthetic benchmark programs of the suite as
+// mini-IR source files, one per benchmark, so they can be inspected or fed
+// to cmd/tracer.
+//
+// Usage:
+//
+//	benchgen [-dir out] [-name tsp]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tracer/internal/bench"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "output directory")
+	name := flag.String("name", "", "emit only the named benchmark")
+	flag.Parse()
+
+	for _, cfg := range bench.Suite() {
+		if *name != "" && cfg.Name != *name {
+			continue
+		}
+		src := bench.Generate(cfg)
+		path := filepath.Join(*dir, cfg.Name+".tir")
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(src))
+	}
+}

@@ -1,0 +1,108 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation (§6) on the synthetic benchmark suite.
+//
+// Usage:
+//
+//	paperbench [-k 5] [-timeout 2s] [-iters 200] [-only table1,fig12,...]
+//
+// Without -only it runs everything, in the paper's order. Results that share
+// the same (benchmark, client, k) run are computed once and cached.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tracer/internal/bench"
+)
+
+func main() {
+	k := flag.Int("k", 5, "beam width k of the backward meta-analysis")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-query wall-clock budget")
+	iters := flag.Int("iters", 200, "per-query CEGAR iteration cap")
+	workers := flag.Int("workers", 1, "concurrent query resolutions (0/1 = sequential)")
+	only := flag.String("only", "", "comma-separated subset: table1,fig12,fig13,table2,table3,table4,fig14")
+	flag.Parse()
+
+	opts := bench.RunOptions{K: *k, MaxIters: *iters, Timeout: *timeout, Workers: *workers}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(s)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	type experiment struct {
+		name string
+		run  func() (string, error)
+	}
+	experiments := []experiment{
+		{"table1", func() (string, error) {
+			rows, err := bench.Table1()
+			if err != nil {
+				return "", err
+			}
+			return bench.RenderTable1(rows), nil
+		}},
+		{"fig12", func() (string, error) {
+			rows, err := bench.Figure12(opts)
+			if err != nil {
+				return "", err
+			}
+			return bench.RenderFigure12(rows), nil
+		}},
+		{"fig13", func() (string, error) {
+			rows, err := bench.Figure13(opts)
+			if err != nil {
+				return "", err
+			}
+			return bench.RenderFigure13(rows), nil
+		}},
+		{"table2", func() (string, error) {
+			rows, err := bench.Table2(opts)
+			if err != nil {
+				return "", err
+			}
+			return bench.RenderTable2(rows), nil
+		}},
+		{"table3", func() (string, error) {
+			rows, err := bench.Table3(opts)
+			if err != nil {
+				return "", err
+			}
+			return bench.RenderTable3(rows), nil
+		}},
+		{"table4", func() (string, error) {
+			rows, err := bench.Table4(opts)
+			if err != nil {
+				return "", err
+			}
+			return bench.RenderTable4(rows), nil
+		}},
+		{"fig14", func() (string, error) {
+			rows, err := bench.Figure14(opts)
+			if err != nil {
+				return "", err
+			}
+			return bench.RenderFigure14(rows), nil
+		}},
+	}
+
+	for _, e := range experiments {
+		if !sel(e.name) {
+			continue
+		}
+		start := time.Now()
+		out, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s regenerated in %v with k=%d, timeout=%v]\n\n", e.name, time.Since(start).Round(time.Millisecond), *k, *timeout)
+	}
+}

@@ -1,0 +1,194 @@
+// Command tracer runs the optimum-abstraction search on a mini-IR program.
+//
+// It answers the program's explicit queries ("query name local(v)" and
+// "query name state(v: s1 s2 ...)") and, with -auto, also the pervasively
+// generated queries of the paper's evaluation (§6): a type-state query per
+// call site and a thread-escape query per field access.
+//
+// Usage:
+//
+//	tracer [-k 5] [-timeout 5s] [-auto] [-property file] program.tir
+//
+// The -property flag selects the automaton for explicit type-state queries:
+// "file" (open/close protocol) or "stress" (the paper's fictitious
+// evaluation property).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"tracer/internal/core"
+	"tracer/internal/driver"
+	"tracer/internal/explain"
+	"tracer/internal/typestate"
+)
+
+func main() {
+	k := flag.Int("k", 5, "beam width k of the backward meta-analysis")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-query wall-clock budget")
+	auto := flag.Bool("auto", false, "also answer pervasively generated queries (§6)")
+	engine := flag.String("engine", "inline", "forward engine: inline (context-sensitive inlining) or rhs (summary-based tabulation; supports recursion)")
+	explainFlag := flag.Bool("explain", false, "narrate each CEGAR iteration (trace with α/ψ annotations, as in Figs 1 and 6)")
+	property := flag.String("property", "file", "automaton for explicit type-state queries: file|stress")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracer [flags] program.tir")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	opts := core.Options{MaxIters: 1000, Timeout: *timeout}
+
+	var prop *typestate.Property
+	switch *property {
+	case "file":
+		prop = typestate.FileProperty()
+	case "stress":
+		prop = typestate.StressProperty(nil)
+	default:
+		fail(fmt.Errorf("unknown -property %q", *property))
+	}
+
+	if *engine == "rhs" {
+		runRHS(string(src), prop, *k, opts)
+		return
+	}
+	prog, err := driver.Load(string(src))
+	if err != nil {
+		fail(err)
+	}
+
+	report := func(name string, job core.Problem, paramName func(i int) string) {
+		start := time.Now()
+		res, err := core.Solve(job, opts)
+		if err != nil {
+			fail(err)
+		}
+		switch res.Status {
+		case core.Proved:
+			names := make([]string, 0, res.Abstraction.Len())
+			for _, i := range res.Abstraction.Elems() {
+				names = append(names, paramName(i))
+			}
+			fmt.Printf("%-40s PROVED    cheapest abstraction (|p|=%d): %v  [%d iterations, %v]\n",
+				name, res.Abstraction.Len(), names, res.Iterations, time.Since(start).Round(time.Millisecond))
+		case core.Impossible:
+			fmt.Printf("%-40s IMPOSSIBLE  no abstraction in the family proves it  [%d iterations, %v]\n",
+				name, res.Iterations, time.Since(start).Round(time.Millisecond))
+		default:
+			fmt.Printf("%-40s UNRESOLVED  budget exhausted after %d iterations\n", name, res.Iterations)
+		}
+	}
+
+	// Explicit queries.
+	tsJobs, err := prog.ExplicitTypestateJobs(prop, *k)
+	if err != nil {
+		fail(err)
+	}
+	for _, name := range sortedKeys(tsJobs) {
+		job := tsJobs[name]
+		if *explainFlag {
+			fmt.Printf("=== query %s ===\n", name)
+			if _, err := explain.ForTypestate(job, os.Stdout).Solve(opts); err != nil {
+				fail(err)
+			}
+			fmt.Println()
+			continue
+		}
+		report("query "+name, job, job.ParamName)
+	}
+	escJobs := prog.ExplicitEscapeJobs(*k)
+	for _, name := range sortedKeys(escJobs) {
+		job := escJobs[name]
+		if *explainFlag {
+			fmt.Printf("=== query %s ===\n", name)
+			if _, err := explain.ForEscape(job, os.Stdout).Solve(opts); err != nil {
+				fail(err)
+			}
+			fmt.Println()
+			continue
+		}
+		report("query "+name, job, job.ParamName)
+	}
+
+	if *auto {
+		stats := prog.ComputeStats(string(src))
+		fmt.Printf("\nGenerated queries (N_ts=%d variables, N_esc=%d sites):\n", stats.TypestateParams, stats.EscapeParams)
+		for _, q := range prog.TypestateQueries() {
+			job := prog.TypestateJob(q, *k)
+			report(q.ID, job, job.ParamName)
+		}
+		for _, q := range prog.EscapeQueries() {
+			job := prog.EscapeJob(q, *k)
+			report(q.ID, job, job.ParamName)
+		}
+	}
+}
+
+// runRHS answers the program's explicit queries with the summary-based
+// tabulation backend, which also handles recursive call graphs.
+func runRHS(src string, prop *typestate.Property, k int, opts core.Options) {
+	p, err := driver.LoadRHS(src)
+	if err != nil {
+		fail(err)
+	}
+	jobs, err := p.ExplicitJobs(prop, k)
+	if err != nil {
+		fail(err)
+	}
+	names := make([]string, 0, len(jobs))
+	for name := range jobs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		job := jobs[name]
+		start := time.Now()
+		res, err := core.Solve(job, opts)
+		if err != nil {
+			fail(err)
+		}
+		paramName := func(i int) string { return fmt.Sprintf("p%d", i) }
+		switch j := job.(type) {
+		case *driver.RHSEscapeJob:
+			paramName = j.ParamName
+		case *driver.RHSTypestateJob:
+			paramName = j.ParamName
+		}
+		switch res.Status {
+		case core.Proved:
+			var params []string
+			for _, i := range res.Abstraction.Elems() {
+				params = append(params, paramName(i))
+			}
+			fmt.Printf("%-40s PROVED    cheapest abstraction (|p|=%d): %v  [%d iterations, %v]\n",
+				"query "+name, res.Abstraction.Len(), params, res.Iterations, time.Since(start).Round(time.Millisecond))
+		case core.Impossible:
+			fmt.Printf("%-40s IMPOSSIBLE  no abstraction in the family proves it  [%d iterations, %v]\n",
+				"query "+name, res.Iterations, time.Since(start).Round(time.Millisecond))
+		default:
+			fmt.Printf("%-40s UNRESOLVED  budget exhausted after %d iterations\n", "query "+name, res.Iterations)
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]*V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracer:", err)
+	os.Exit(1)
+}

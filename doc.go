@@ -1,0 +1,20 @@
+// Package tracer is a from-scratch Go reproduction of
+//
+//	Xin Zhang, Mayur Naik, Hongseok Yang.
+//	Finding Optimum Abstractions in Parametric Dataflow Analysis.
+//	PLDI 2013.
+//
+// The implementation lives under internal/: the TRACER algorithm
+// (internal/core), the backward meta-analysis framework (internal/meta,
+// internal/formula), the two client analyses (internal/typestate,
+// internal/escape), the parametric dataflow framework (internal/dataflow,
+// internal/lang), the mini-IR front end with 0-CFA points-to
+// (internal/ir, internal/pointsto, internal/driver), the minimum-cost SAT
+// solver for abstraction selection (internal/minsat), and the benchmark
+// suite and experiment harness (internal/bench).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// bench_test.go in this directory regenerates every table and figure of
+// the paper's evaluation as testing.B benchmarks.
+package tracer

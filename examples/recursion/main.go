@@ -1,0 +1,108 @@
+// Recursion example: the summary-based RHS tabulation backend.
+//
+// The paper implements its forward analyses "as an instance of the RHS
+// tabulation framework" (§6). This repository offers two interprocedural
+// backends: context-sensitive inlining (fast, acyclic call graphs only) and
+// a summary-based tabulation solver that handles recursion by computing
+// procedure summaries as fixpoints. Both feed the same backward
+// meta-analysis — counterexample traces are flat sequences of atomic
+// commands either way, with callee traces spliced at call sites.
+//
+// The program below builds a linked list through recursion. The inlining
+// pipeline rejects it; the tabulation pipeline resolves all three queries.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tracer/internal/core"
+	"tracer/internal/driver"
+	"tracer/internal/typestate"
+)
+
+const src = `
+global registry
+
+class Node {
+  field next
+  method grow(this, n) {
+    var child, out
+    out = this
+    if * {
+      child = new Node @ hChild
+      this.next = child
+      out = child.grow(n)
+    }
+    return out
+  }
+  method publish(this) {
+    if * {
+      registry = this
+    }
+  }
+}
+
+class File {
+  native method open(this)
+  native method close(this)
+}
+
+class Main {
+  method main(this) {
+    var root, tail, f, priv
+    root = new Node @ hRoot
+    tail = root.grow(root)
+    root.publish()
+
+    f = new File @ hFile
+    f.open()
+    f.close()
+
+    priv = new Node @ hPriv
+
+    query qFile state(f: closed)
+    query qRoot local(root)
+    query qPriv local(priv)
+  }
+}
+`
+
+func main() {
+	// The inlining pipeline cannot handle the recursive call graph:
+	if _, err := driver.Load(src); err != nil {
+		fmt.Printf("inlining pipeline: %v\n", err)
+	}
+
+	p, err := driver.LoadRHS(src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tabulation pipeline: %d methods lowered, %d supergraph atoms\n\n",
+		len(p.SP.G.Methods), p.SP.G.Atoms())
+
+	jobs, err := p.ExplicitJobs(typestate.FileProperty(), 5)
+	if err != nil {
+		panic(err)
+	}
+	names := make([]string, 0, len(jobs))
+	for name := range jobs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		res, err := core.Solve(jobs[name], core.Options{Timeout: 10 * time.Second})
+		if err != nil {
+			panic(err)
+		}
+		switch res.Status {
+		case core.Proved:
+			fmt.Printf("%-14s PROVED in %d iterations (|p| = %d)\n", name, res.Iterations, res.Abstraction.Len())
+		case core.Impossible:
+			fmt.Printf("%-14s IMPOSSIBLE in %d iterations\n", name, res.Iterations)
+		default:
+			fmt.Printf("%-14s UNRESOLVED after %d iterations\n", name, res.Iterations)
+		}
+	}
+}

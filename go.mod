@@ -1,0 +1,3 @@
+module tracer
+
+go 1.22

@@ -1,0 +1,319 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config sizes one synthetic benchmark. The knobs mirror the structural
+// properties that drive the paper's results: call depth (cheapest type-state
+// abstractions grow with it), alias-chain length (how many variables a proof
+// must track), leak rate (how many escape queries are impossible), and the
+// box/global-read rates (patterns whose queries no abstraction can prove,
+// because must-alias information dies at heap loads and global reads).
+type Config struct {
+	Name string
+	Desc string
+	Seed uint64
+
+	AppClasses int
+	Services   int // service methods forming an acyclic call DAG
+	CallDepth  int // DAG layers
+	ChainLen   int // alias-chain length inside a service
+	Globals    int
+
+	LeakPct       int // chance a service leaks an object to a global
+	LoopPct       int // chance of a nondeterministic loop
+	BoxPct        int // chance of a LibBox round trip (unprovable type-state)
+	GlobalReadPct int // chance of reading a global (unprovable both clients)
+	ExtraAllocPct int // chance of a second allocation in a service
+}
+
+// generator accumulates the program text.
+type generator struct {
+	cfg Config
+	r   *rng
+	b   strings.Builder
+	// svcClass[k] is the index of the app class holding service k.
+	svcClass []int
+	// layer[k] is service k's DAG layer; calls go strictly downward.
+	layer []int
+	sites int
+}
+
+// Generate produces the benchmark's mini-IR source text.
+func Generate(cfg Config) string {
+	g := &generator{cfg: cfg, r: newRNG(cfg.Seed)}
+	g.emitHeader()
+	g.emitLibrary()
+	g.assignServices()
+	g.emitAppClasses()
+	g.emitMain()
+	return g.b.String()
+}
+
+func (g *generator) printf(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+}
+
+// site allocates a fresh allocation-site label.
+func (g *generator) site() string {
+	g.sites++
+	return fmt.Sprintf("h%d", g.sites)
+}
+
+func (g *generator) global() string {
+	return fmt.Sprintf("G%d", g.r.intn(g.cfg.Globals))
+}
+
+func (g *generator) emitHeader() {
+	g.printf("// %s — %s\n", g.cfg.Name, g.cfg.Desc)
+	g.printf("// Synthetic stand-in generated deterministically (seed %d).\n", g.cfg.Seed)
+	names := make([]string, g.cfg.Globals)
+	for i := range names {
+		names[i] = fmt.Sprintf("G%d", i)
+	}
+	g.printf("global %s\n\n", strings.Join(names, ", "))
+}
+
+// emitLibrary writes the fixed "JDK" stand-in: container classes that are
+// analyzed but generate no queries.
+func (g *generator) emitLibrary() {
+	g.printf(`class LibBox {
+  field boxval
+  method set(this, x) {
+    this.boxval = x
+  }
+  method get(this) {
+    var r
+    r = this.boxval
+    return r
+  }
+}
+
+class LibCell {
+  field cellval
+  method put(this, x) {
+    if * {
+      this.cellval = x
+    }
+  }
+  method take(this) {
+    var r
+    r = this.cellval
+    return r
+  }
+}
+
+`)
+}
+
+func (g *generator) assignServices() {
+	g.svcClass = make([]int, g.cfg.Services)
+	g.layer = make([]int, g.cfg.Services)
+	for k := 0; k < g.cfg.Services; k++ {
+		g.svcClass[k] = k % g.cfg.AppClasses
+		g.layer[k] = k * g.cfg.CallDepth / g.cfg.Services
+	}
+}
+
+// pure reports whether service k lies on a "clean spine": pure services
+// leak nothing, read no globals, and call only pure services, so escape
+// queries along the spine are provable — with cheapest abstractions whose
+// size grows with the spine depth (the long tail of Fig 14).
+func (g *generator) pure(k int) bool { return k%4 == 3 }
+
+// callees picks the services k may call: strictly deeper layers, at most
+// two, preferring nearby indices so the DAG stays narrow. Pure services
+// call only pure services.
+func (g *generator) callees(k int) []int {
+	var candidates []int
+	for j := k + 1; j < g.cfg.Services; j++ {
+		if g.layer[j] > g.layer[k] && (!g.pure(k) || g.pure(j)) {
+			candidates = append(candidates, j)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	n := 1
+	if len(candidates) > 1 && g.r.chance(45) {
+		n = 2
+	}
+	out := []int{candidates[g.r.intn(min(3, len(candidates)))]}
+	if n == 2 {
+		c := candidates[g.r.intn(len(candidates))]
+		if c != out[0] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (g *generator) emitAppClasses() {
+	byClass := make([][]int, g.cfg.AppClasses)
+	for k := 0; k < g.cfg.Services; k++ {
+		c := g.svcClass[k]
+		byClass[c] = append(byClass[c], k)
+	}
+	for c := 0; c < g.cfg.AppClasses; c++ {
+		g.printf("class C%d {\n", c)
+		if c == 0 {
+			// link is shared by every class: stores through it couple the
+			// escape abstractions of otherwise unrelated allocation sites.
+			g.printf("  field link\n")
+		}
+		// pfld is reserved for pure services, keeping the clean spine's
+		// field summaries untainted by impure stores.
+		g.printf("  field fld%d, pfld%d\n", c, c)
+		g.printf("  native method ping()\n")
+		g.printf("  native method poke()\n")
+		for _, k := range byClass[c] {
+			g.emitService(k)
+		}
+		g.printf("}\n\n")
+	}
+}
+
+// emitService writes one service method. Statement patterns are chosen by
+// the seeded RNG; every pattern is a workload the paper's clients care
+// about (alias chains, leaks, container round trips, global reads, loops).
+func (g *generator) emitService(k int) {
+	g.printf("  method svc%d(this, a0, a1) {\n", k)
+	chain := 1 + g.r.intn(g.cfg.ChainLen)
+	var vars []string
+	for i := 0; i <= chain; i++ {
+		vars = append(vars, fmt.Sprintf("t%d", i))
+	}
+	decls := append([]string{}, vars...)
+	decls = append(decls, "bx", "rr", "ww", "uu")
+	g.printf("    var %s\n", strings.Join(decls, ", "))
+
+	allocClass := g.r.intn(g.cfg.AppClasses)
+	pure := g.pure(k)
+	// An event on the parameter before anything else: queries on the
+	// parameter's sites in deeper frames must track the whole chain of
+	// argument-binding variables back to the allocation, so the cheapest
+	// abstraction grows with call depth (the avrora effect of Table 3).
+	g.printf("    a0.poke()\n")
+	g.printf("    t0 = new C%d @ %s\n", allocClass, g.site())
+	for i := 1; i <= chain; i++ {
+		g.printf("    t%d = t%d\n", i, i-1)
+	}
+	leakEarly := !pure && g.r.chance(g.cfg.LeakPct)
+	if leakEarly {
+		g.printf("    if * {\n      %s = t0\n    }\n", g.global())
+	}
+	// A type-state event on the chain end followed by a second event on the
+	// chain head: the second event's query is provable only if the whole
+	// alias chain is tracked (so the first event was a strong update).
+	g.printf("    t%d.ping()\n", chain)
+	g.printf("    t0.ping()\n")
+	// Field traffic on the fresh object: the escape client's bread and
+	// butter. Provable when the allocation site can be mapped to L; stores
+	// through the shared field `link` couple sites across services.
+	field := fmt.Sprintf("fld%d", allocClass)
+	if pure {
+		field = fmt.Sprintf("pfld%d", allocClass)
+	} else if g.r.chance(50) {
+		field = "link"
+	}
+	g.printf("    t0.%s = a0\n", field)
+	g.printf("    uu = t%d.%s\n", min(1, chain), field)
+	// A store through the loaded value: its escape query holds only if the
+	// base object's site AND every site the field's contents may come from
+	// are L-mapped, so cheapest abstractions grow with the argument chain
+	// (the long tail of Fig 14).
+	g.printf("    uu.fld%d = t%d\n", allocClass, min(1, chain))
+	if !pure && g.r.chance(g.cfg.ExtraAllocPct) {
+		g.printf("    ww = new C%d @ %s\n", g.r.intn(g.cfg.AppClasses), g.site())
+		g.printf("    ww.%s = t0\n", field)
+	}
+	if !pure && g.r.chance(g.cfg.BoxPct) {
+		// Round-trip through a container: the value read back has no
+		// must-alias information, so its type-state queries are impossible.
+		// The box carries its own payload so the poisoning stays on that
+		// payload's site rather than on the main chain's.
+		g.printf("    ww = new C%d @ %s\n", g.r.intn(g.cfg.AppClasses), g.site())
+		g.printf("    bx = new LibBox @ %s\n", g.site())
+		g.printf("    bx.set(ww)\n")
+		g.printf("    rr = bx.get()\n")
+		g.printf("    rr.ping()\n")
+	}
+	if !pure && g.r.chance(g.cfg.GlobalReadPct) {
+		// Objects read from globals are escaped and untracked: both
+		// clients' queries on them are impossible.
+		g.printf("    ww = %s\n", g.global())
+		g.printf("    ww.poke()\n")
+	}
+	if g.r.chance(g.cfg.LoopPct) {
+		g.printf("    loop {\n      t%d = t0\n      t0.fld%d = a1\n    }\n", min(1, chain), allocClass)
+	}
+	for _, j := range g.callees(k) {
+		rcv := fmt.Sprintf("rcv%d", j)
+		g.printf("    var %s\n", rcv)
+		g.printf("    %s = new C%d @ %s\n", rcv, g.svcClass[j], g.site())
+		arg0 := vars[g.r.intn(len(vars))]
+		arg1 := "a1"
+		if g.r.chance(50) {
+			arg1 = "a0"
+		}
+		if g.r.chance(50) {
+			g.printf("    rr = %s.svc%d(%s, %s)\n", rcv, j, arg0, arg1)
+			g.printf("    rr.poke()\n")
+		} else {
+			g.printf("    %s.svc%d(%s, %s)\n", rcv, j, arg0, arg1)
+		}
+	}
+	if !pure && !leakEarly && g.r.chance(g.cfg.LeakPct) {
+		g.printf("    if * {\n      %s = t%d\n    }\n", g.global(), g.r.intn(chain+1))
+	}
+	g.printf("    return t0\n")
+	g.printf("  }\n")
+}
+
+// emitMain writes the entry point: it allocates seed objects and invokes a
+// few layer-0 services.
+func (g *generator) emitMain() {
+	g.printf("class Main {\n")
+	g.printf("  method main(this) {\n")
+	var roots []int
+	for k := 0; k < g.cfg.Services; k++ {
+		if g.layer[k] == 0 {
+			roots = append(roots, k)
+		}
+	}
+	if len(roots) > 3 {
+		roots = roots[:3]
+	}
+	g.printf("    var x0, x1\n")
+	g.printf("    x0 = new C0 @ %s\n", g.site())
+	g.printf("    x1 = new C%d @ %s\n", g.cfg.AppClasses-1, g.site())
+	for i, k := range roots {
+		rcv := fmt.Sprintf("m%d", i)
+		g.printf("    var %s\n", rcv)
+		g.printf("    %s = new C%d @ %s\n", rcv, g.svcClass[k], g.site())
+		g.printf("    %s.svc%d(x0, x1)\n", rcv, k)
+	}
+	// Enter the clean spine directly with fresh arguments: its queries are
+	// provable and their cheapest abstractions span the spine's sites.
+	for k := 0; k < g.cfg.Services; k++ {
+		if g.pure(k) {
+			g.printf("    var mp, y0, y1\n")
+			g.printf("    y0 = new C%d @ %s\n", g.r.intn(g.cfg.AppClasses), g.site())
+			g.printf("    y1 = new C%d @ %s\n", g.r.intn(g.cfg.AppClasses), g.site())
+			g.printf("    mp = new C%d @ %s\n", g.svcClass[k], g.site())
+			g.printf("    mp.svc%d(y0, y1)\n", k)
+			break
+		}
+	}
+	g.printf("  }\n")
+	g.printf("}\n")
+}

@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tracer/internal/core"
+	"tracer/internal/driver"
+)
+
+// Client names the two client analyses.
+type Client string
+
+const (
+	Typestate Client = "type-state"
+	Escape    Client = "thread-escape"
+)
+
+// RunOptions tunes a client run over one benchmark.
+type RunOptions struct {
+	K          int           // beam width (the paper's k; 5 in the evaluation)
+	MaxIters   int           // CEGAR iteration cap per query
+	Timeout    time.Duration // wall-clock cap per query (paper: 1,000 min)
+	MaxQueries int           // 0 = all queries
+	Fresh      bool          // bypass the result cache (for testing.B loops)
+	// Workers resolves queries concurrently (queries are independent; each
+	// job owns its analysis instance). 0 or 1 means sequential. Per-query
+	// timings remain meaningful; total wall time shrinks.
+	Workers int
+}
+
+// DefaultRunOptions are the settings used to regenerate the paper's tables.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{K: 5, MaxIters: 200, Timeout: 5 * time.Second}
+}
+
+// QueryOutcome records the resolution of one query.
+type QueryOutcome struct {
+	ID          string
+	Status      core.Status
+	Iterations  int
+	AbsSize     int    // |cheapest abstraction| when proved
+	Abstraction string // canonical key of the cheapest abstraction
+	Millis      float64
+	Steps       int
+}
+
+// ClientResult is one (benchmark, client, k) run over all queries.
+type ClientResult struct {
+	Benchmark string
+	Client    Client
+	K         int
+	Outcomes  []QueryOutcome
+	WallMilli float64
+}
+
+// Proven, Impossible, Unresolved count outcomes by status.
+func (r *ClientResult) Proven() int     { return r.count(core.Proved) }
+func (r *ClientResult) Impossible() int { return r.count(core.Impossible) }
+func (r *ClientResult) Unresolved() int { return r.count(core.Exhausted) }
+
+func (r *ClientResult) count(s core.Status) int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Status == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes every generated query of the given client individually
+// through TRACER, mirroring the paper's per-query resolution. Results are
+// cached per (benchmark, client, k, query cap).
+func Run(b *Benchmark, client Client, opts RunOptions) (*ClientResult, error) {
+	key := fmt.Sprintf("%s/%s/k=%d/max=%d/cap=%d/to=%s", b.Config.Name, client, opts.K, opts.MaxIters, opts.MaxQueries, opts.Timeout)
+	if !opts.Fresh {
+		runMu.Lock()
+		if r, ok := runCache[key]; ok {
+			runMu.Unlock()
+			return r, nil
+		}
+		runMu.Unlock()
+	}
+
+	res := &ClientResult{Benchmark: b.Config.Name, Client: client, K: opts.K}
+	start := time.Now()
+	var err error
+	switch client {
+	case Typestate:
+		err = runTypestate(b, opts, res)
+	case Escape:
+		err = runEscape(b, opts, res)
+	default:
+		err = fmt.Errorf("bench: unknown client %q", client)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.WallMilli = float64(time.Since(start).Microseconds()) / 1000
+
+	if !opts.Fresh {
+		runMu.Lock()
+		runCache[key] = res
+		runMu.Unlock()
+	}
+	return res, nil
+}
+
+var (
+	runMu    sync.Mutex
+	runCache = map[string]*ClientResult{}
+)
+
+func coreOpts(opts RunOptions) core.Options {
+	return core.Options{MaxIters: opts.MaxIters, Timeout: opts.Timeout}
+}
+
+func runTypestate(b *Benchmark, opts RunOptions, res *ClientResult) error {
+	queries := b.Prog.TypestateQueries()
+	if opts.MaxQueries > 0 && len(queries) > opts.MaxQueries {
+		queries = queries[:opts.MaxQueries]
+	}
+	return runAll(len(queries), opts, res, func(i int) (string, core.Problem) {
+		return queries[i].ID, b.Prog.TypestateJob(queries[i], opts.K)
+	})
+}
+
+func runEscape(b *Benchmark, opts RunOptions, res *ClientResult) error {
+	queries := b.Prog.EscapeQueries()
+	if opts.MaxQueries > 0 && len(queries) > opts.MaxQueries {
+		queries = queries[:opts.MaxQueries]
+	}
+	return runAll(len(queries), opts, res, func(i int) (string, core.Problem) {
+		return queries[i].ID, b.Prog.EscapeJob(queries[i], opts.K)
+	})
+}
+
+// runAll resolves n queries, optionally across a worker pool. Results keep
+// query order regardless of completion order.
+func runAll(n int, opts RunOptions, res *ClientResult, job func(i int) (string, core.Problem)) error {
+	outcomes := make([]QueryOutcome, n)
+	errs := make([]error, n)
+	workers := opts.Workers
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			id, pr := job(i)
+			outcomes[i], errs[i] = solveOne(id, pr, opts)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					id, pr := job(i)
+					outcomes[i], errs[i] = solveOne(id, pr, opts)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	res.Outcomes = append(res.Outcomes, outcomes...)
+	return nil
+}
+
+func solveOne(id string, job core.Problem, opts RunOptions) (QueryOutcome, error) {
+	start := time.Now()
+	r, err := core.Solve(job, coreOpts(opts))
+	if err != nil {
+		return QueryOutcome{}, fmt.Errorf("query %s: %w", id, err)
+	}
+	o := QueryOutcome{
+		ID:         id,
+		Status:     r.Status,
+		Iterations: r.Iterations,
+		Millis:     float64(time.Since(start).Microseconds()) / 1000,
+		Steps:      r.ForwardSteps,
+	}
+	if r.Status == core.Proved {
+		o.AbsSize = r.Abstraction.Len()
+		o.Abstraction = r.Abstraction.Key()
+	}
+	return o, nil
+}
+
+// RunBatch resolves the same queries through the grouped multi-query driver
+// of §6, for the grouping ablation.
+func RunBatch(b *Benchmark, client Client, opts RunOptions) (*core.BatchResult, error) {
+	switch client {
+	case Typestate:
+		queries := b.Prog.TypestateQueries()
+		if opts.MaxQueries > 0 && len(queries) > opts.MaxQueries {
+			queries = queries[:opts.MaxQueries]
+		}
+		return core.SolveBatch(driver.NewTypestateBatch(b.Prog, queries, opts.K), coreOpts(opts))
+	case Escape:
+		queries := b.Prog.EscapeQueries()
+		if opts.MaxQueries > 0 && len(queries) > opts.MaxQueries {
+			queries = queries[:opts.MaxQueries]
+		}
+		return core.SolveBatch(driver.NewEscapeBatch(b.Prog, queries, opts.K), coreOpts(opts))
+	}
+	return nil, fmt.Errorf("bench: unknown client %q", client)
+}

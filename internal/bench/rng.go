@@ -1,0 +1,36 @@
+// Package bench synthesizes the benchmark suite and drives the experiments
+// of §6. The seven Java programs of Table 1 (tsp, elevator, hedc, weblech,
+// antlr, avrora, lusearch) are replaced by deterministic synthetic stand-ins
+// generated in the mini-IR, scaled down but preserving the suite's relative
+// ordering of size, abstraction-family size, call depth, and sharing
+// structure (see DESIGN.md for the substitution rationale). The package
+// also contains the harness that regenerates every table and figure.
+package bench
+
+// rng is a splitmix64 pseudo-random generator: tiny, fast, and fully
+// deterministic across platforms, which keeps the generated benchmarks and
+// therefore the experiment outputs reproducible.
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// chance reports true with probability pct/100.
+func (r *rng) chance(pct int) bool { return r.intn(100) < pct }

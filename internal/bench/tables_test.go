@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// quickOpts keeps the experiment tests fast: few queries, short budget.
+func quickOpts() RunOptions {
+	return RunOptions{K: 5, MaxIters: 60, Timeout: 250 * time.Millisecond, MaxQueries: 8, Workers: 4}
+}
+
+func TestTable1Structure(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Suite()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Name != Suite()[i].Name {
+			t.Errorf("row %d name %s", i, r.Name)
+		}
+		if r.AppClasses > r.TotalClasses || r.AppMethods > r.TotalMethods || r.AppAtoms > r.TotalAtoms {
+			t.Errorf("%s: app exceeds total: %+v", r.Name, r)
+		}
+		if r.Log2Typestate <= 0 || r.Log2Escape <= 0 {
+			t.Errorf("%s: empty abstraction family", r.Name)
+		}
+	}
+	// avrora must be the largest benchmark in every size column.
+	var avrora, largestAtoms Table1Row
+	for _, r := range rows {
+		if r.Name == "avrora" {
+			avrora = r
+		}
+		if r.TotalAtoms > largestAtoms.TotalAtoms {
+			largestAtoms = r
+		}
+	}
+	if largestAtoms.Name != avrora.Name {
+		t.Errorf("largest benchmark is %s, want avrora", largestAtoms.Name)
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "avrora") || !strings.Contains(out, "log2") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+}
+
+func TestFigure12Structure(t *testing.T) {
+	rows, err := Figure12(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(Suite()) {
+		t.Fatalf("rows = %d, want %d", len(rows), 2*len(Suite()))
+	}
+	for _, r := range rows {
+		if r.Proven+r.Impossible+r.Unresolved != r.Total {
+			t.Errorf("%s/%s: buckets %d+%d+%d ≠ %d", r.Name, r.Client, r.Proven, r.Impossible, r.Unresolved, r.Total)
+		}
+		if r.Total == 0 {
+			t.Errorf("%s/%s: no queries", r.Name, r.Client)
+		}
+	}
+	out := RenderFigure12(rows)
+	if !strings.Contains(out, "%") {
+		t.Errorf("render missing percentages:\n%s", out)
+	}
+}
+
+func TestFigure13Structure(t *testing.T) {
+	rows, err := Figure13(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*len(SmallSuite()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	ks := map[int]bool{}
+	for _, r := range rows {
+		ks[r.K] = true
+		if r.TotalIters == 0 {
+			t.Errorf("%s k=%d: zero iterations", r.Name, r.K)
+		}
+	}
+	for _, k := range []int{1, 5, 10} {
+		if !ks[k] {
+			t.Errorf("missing k=%d", k)
+		}
+	}
+}
+
+func TestTables234Structure(t *testing.T) {
+	opts := quickOpts()
+	t2, err := Table2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := Table3(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := Table4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2) != len(Suite()) || len(t3) != len(Suite()) || len(t4) != len(Suite()) {
+		t.Fatalf("row counts: %d %d %d", len(t2), len(t3), len(t4))
+	}
+	for i := range t2 {
+		if t2[i].TSProvenIters.N > 0 && (t2[i].TSProvenIters.Min > t2[i].TSProvenIters.Max) {
+			t.Errorf("%s: min > max", t2[i].Name)
+		}
+		if t3[i].TS.N > 0 && t3[i].TS.Min < 0 {
+			t.Errorf("%s: negative abstraction size", t3[i].Name)
+		}
+		// Groups cannot outnumber proven queries.
+		if t4[i].TSGroups > 0 && t4[i].TSGroupSize.N != t4[i].TSGroups {
+			t.Errorf("%s: group summary inconsistent", t4[i].Name)
+		}
+	}
+	for _, s := range []string{RenderTable2(t2), RenderTable3(t3), RenderTable4(t4)} {
+		if !strings.Contains(s, "tsp") {
+			t.Error("render missing benchmark rows")
+		}
+	}
+}
+
+func TestFigure14Structure(t *testing.T) {
+	rows, err := Figure14(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (largest three benchmarks)", len(rows))
+	}
+	suite := Suite()
+	for i, r := range rows {
+		if r.Name != suite[len(suite)-3+i].Name {
+			t.Errorf("row %d = %s", i, r.Name)
+		}
+		for size, n := range r.Hist {
+			if size < 1 || n < 1 {
+				t.Errorf("%s: bad histogram entry %d→%d", r.Name, size, n)
+			}
+		}
+	}
+	_ = RenderFigure14(rows)
+}
+
+// TestSummaryHelpers covers the statistics plumbing.
+func TestSummaryHelpers(t *testing.T) {
+	s := summarize([]int{3, 1, 2})
+	if s.Min != 1 || s.Max != 3 || s.Avg != 2 || s.N != 3 {
+		t.Fatalf("summarize = %+v", s)
+	}
+	if summarize(nil).N != 0 {
+		t.Fatal("empty summarize")
+	}
+	ms := summarizeMs([]float64{10, 20})
+	if ms.Min != 10 || ms.Max != 20 || ms.Avg != 15 {
+		t.Fatalf("summarizeMs = %+v", ms)
+	}
+	for in, want := range map[float64]string{500: "500ms", 1500: "1.5s", 90000: "1.5m"} {
+		if got := fmtMs(in); got != want {
+			t.Errorf("fmtMs(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

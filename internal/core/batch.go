@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tracer/internal/lang"
+	"tracer/internal/minsat"
+	"tracer/internal/uset"
+)
+
+// BatchProblem poses many queries over the same program and parametric
+// analysis. The framework implements the multi-query optimization of §6: it
+// maintains groups of unresolved queries keyed by their set of learned
+// blocking clauses; queries in a group share forward analysis runs, and a
+// group splits when the meta-analysis learns different conditions for
+// different queries.
+type BatchProblem interface {
+	NumParams() int
+	NumQueries() int
+	// RunForward runs the forward analysis once under abstraction p,
+	// returning a handle that answers per-query checks (lazily, so clients
+	// whose queries need per-site runs only pay for the sites asked).
+	RunForward(p uset.Set) BatchRun
+	// Backward analyzes query q's counterexample under p, as in Problem.
+	Backward(q int, p uset.Set, t lang.Trace) []ParamCube
+}
+
+// BatchRun is one (shared) forward run.
+type BatchRun interface {
+	// Check reports whether query q is proved; if not it returns an
+	// abstract counterexample trace.
+	Check(q int) (proved bool, trace lang.Trace)
+	// Steps is the machine-independent cost of the run so far.
+	Steps() int
+}
+
+// BatchStats aggregates runner-level statistics.
+type BatchStats struct {
+	ForwardRuns int
+	PeakGroups  int
+	TotalGroups int // groups ever created (Table 4's "# groups" analogue)
+	TotalSteps  int
+}
+
+// BatchResult is the outcome of SolveBatch.
+type BatchResult struct {
+	Results []Result
+	Stats   BatchStats
+}
+
+// group is a set of unresolved queries sharing a clause set.
+type group struct {
+	solver  *minsat.Solver
+	queries []int
+}
+
+// SolveBatch resolves every query, sharing forward runs within groups.
+// opts.MaxIters bounds the number of forward runs any single query may
+// participate in; queries exceeding it are Exhausted (the paper's timeout
+// bucket in Fig 12).
+func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
+	n := bp.NumQueries()
+	res := &BatchResult{Results: make([]Result, n)}
+	groups := map[string]*group{}
+	root := &group{solver: minsat.New(bp.NumParams())}
+	for q := 0; q < n; q++ {
+		root.queries = append(root.queries, q)
+	}
+	groups[root.solver.Signature()] = root
+	res.Stats.TotalGroups = 1
+
+	for len(groups) > 0 {
+		if len(groups) > res.Stats.PeakGroups {
+			res.Stats.PeakGroups = len(groups)
+		}
+		// Deterministic pick: smallest signature.
+		var sigs []string
+		for s := range groups {
+			sigs = append(sigs, s)
+		}
+		sort.Strings(sigs)
+		g := groups[sigs[0]]
+		delete(groups, sigs[0])
+
+		p, ok := g.solver.Minimum()
+		if !ok {
+			for _, q := range g.queries {
+				res.Results[q].Status = Impossible
+			}
+			continue
+		}
+		run := bp.RunForward(p)
+		res.Stats.ForwardRuns++
+		moved := map[string][]int{}
+		solvers := map[string]*minsat.Solver{}
+		for _, q := range g.queries {
+			res.Results[q].Iterations++
+			proved, trace := run.Check(q)
+			if proved {
+				res.Results[q].Status = Proved
+				res.Results[q].Abstraction = p
+				continue
+			}
+			if res.Results[q].Iterations >= opts.maxIters() {
+				res.Results[q].Status = Exhausted
+				continue
+			}
+			cubes := bp.Backward(q, p, trace)
+			next := g.solver.Clone()
+			covered := false
+			for _, c := range cubes {
+				next.Block(c.Pos, c.Neg)
+				if c.Contains(p) {
+					covered = true
+				}
+			}
+			if !covered {
+				return nil, fmt.Errorf("%w (query %d, p=%s)", ErrNoProgress, q, p)
+			}
+			res.Results[q].Clauses = next.NumClauses()
+			sig := next.Signature()
+			moved[sig] = append(moved[sig], q)
+			if _, exists := solvers[sig]; !exists {
+				solvers[sig] = next
+			}
+		}
+		res.Stats.TotalSteps += run.Steps()
+		for sig, qs := range moved {
+			if existing, ok := groups[sig]; ok {
+				existing.queries = append(existing.queries, qs...)
+				continue
+			}
+			groups[sig] = &group{solver: solvers[sig], queries: qs}
+			res.Stats.TotalGroups++
+		}
+	}
+	return res, nil
+}

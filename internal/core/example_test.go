@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"fmt"
+
+	"tracer/internal/core"
+	"tracer/internal/lang"
+	"tracer/internal/uset"
+)
+
+// toyProblem is a parametric analysis over three boolean parameters whose
+// query needs parameters 0 and 2; its meta-analysis eliminates one missing
+// parameter per counterexample.
+type toyProblem struct{ need uset.Set }
+
+func (t *toyProblem) NumParams() int { return 3 }
+
+func (t *toyProblem) Forward(p uset.Set) core.Outcome {
+	if t.need.SubsetOf(p) {
+		return core.Outcome{Proved: true}
+	}
+	return core.Outcome{Trace: lang.Trace{lang.MoveNull{V: "x"}}}
+}
+
+func (t *toyProblem) Backward(p uset.Set, _ lang.Trace) []core.ParamCube {
+	for _, v := range t.need.Elems() {
+		if !p.Has(v) {
+			return []core.ParamCube{{Neg: uset.New(v)}}
+		}
+	}
+	return nil
+}
+
+// ExampleSolve runs TRACER on the toy problem: it starts from the cheapest
+// abstraction and learns one necessary parameter per iteration.
+func ExampleSolve() {
+	res, err := core.Solve(&toyProblem{need: uset.New(0, 2)}, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Status, res.Abstraction, "in", res.Iterations, "iterations")
+	// Output: proved {0,2} in 3 iterations
+}

@@ -1,0 +1,156 @@
+// Package core implements TRACER (Algorithm 1, §5): the iterative
+// forward–backward analysis that solves the optimum abstraction problem
+// (Definition 2). Given a parametric dataflow analysis and a query, TRACER
+// either returns a minimum-cost abstraction that proves the query or shows
+// that no abstraction in the family can prove it.
+//
+// Abstractions are represented uniformly as sets of "on" parameter indices
+// (tracked variables for type-state; L-mapped sites for thread-escape), with
+// cost = |p|. The viable set of Alg 1 is maintained as a CNF of blocking
+// clauses over the parameter bits; choosing a minimum element of the viable
+// set (line 8) is a minimum-cost SAT query.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tracer/internal/lang"
+	"tracer/internal/minsat"
+	"tracer/internal/uset"
+)
+
+// ParamCube is a conjunction of parameter literals describing a set of
+// abstractions: every abstraction containing all of Pos and none of Neg.
+// The backward meta-analysis returns cubes of abstractions guaranteed to
+// fail; TRACER blocks each cube.
+type ParamCube struct {
+	Pos, Neg uset.Set
+}
+
+func (c ParamCube) String() string {
+	return fmt.Sprintf("on%s off%s", c.Pos, c.Neg)
+}
+
+// Contains reports whether abstraction p lies in the cube.
+func (c ParamCube) Contains(p uset.Set) bool {
+	return c.Pos.SubsetOf(p) && p.Intersect(c.Neg).Empty()
+}
+
+// Outcome is the result of one forward analysis run for one query.
+type Outcome struct {
+	Proved bool
+	// Trace is an abstract counterexample when !Proved.
+	Trace lang.Trace
+	// Steps is a machine-independent cost measure of the run.
+	Steps int
+}
+
+// Problem is a single query posed to a parametric analysis.
+type Problem interface {
+	// NumParams is the number of boolean abstraction parameters N; the
+	// abstraction family is 2^N.
+	NumParams() int
+	// Forward runs the analysis instantiated at p and checks the query.
+	Forward(p uset.Set) Outcome
+	// Backward runs the meta-analysis on a counterexample trace produced
+	// under abstraction p, returning cubes of abstractions that are
+	// guaranteed to fail the query. The cube set must cover p itself
+	// (Theorem 3 clause 1 guarantees this for a sound meta-analysis).
+	Backward(p uset.Set, t lang.Trace) []ParamCube
+}
+
+// Status classifies how a query was resolved.
+type Status int
+
+const (
+	// Proved: a minimum abstraction proving the query was found.
+	Proved Status = iota
+	// Impossible: no abstraction in the family proves the query.
+	Impossible
+	// Exhausted: the iteration budget ran out (the paper's timeout bucket).
+	Exhausted
+)
+
+func (s Status) String() string {
+	switch s {
+	case Proved:
+		return "proved"
+	case Impossible:
+		return "impossible"
+	case Exhausted:
+		return "exhausted"
+	}
+	return "unknown"
+}
+
+// Result reports the resolution of one query.
+type Result struct {
+	Status       Status
+	Abstraction  uset.Set // minimum proving abstraction when Status == Proved
+	Iterations   int      // forward analysis runs
+	Clauses      int      // blocking clauses learned
+	ForwardSteps int      // cumulative forward solver steps
+}
+
+// Options tunes the TRACER loop.
+type Options struct {
+	// MaxIters bounds the number of CEGAR iterations (0 = 1000).
+	MaxIters int
+	// Timeout bounds wall-clock time per query; 0 means no limit. It plays
+	// the role of the paper's 1,000-minute budget: queries exceeding it are
+	// reported Exhausted ("could not be resolved", Fig 12).
+	Timeout time.Duration
+}
+
+func (o Options) maxIters() int {
+	if o.MaxIters <= 0 {
+		return 1000
+	}
+	return o.MaxIters
+}
+
+// ErrNoProgress reports a meta-analysis that failed to eliminate the
+// abstraction whose run it analyzed; it indicates an unsound backward
+// transfer function and is returned rather than silently looping.
+var ErrNoProgress = errors.New("core: backward meta-analysis did not eliminate the current abstraction")
+
+// Solve runs Algorithm 1 for a single query.
+func Solve(pr Problem, opts Options) (Result, error) {
+	solver := minsat.New(pr.NumParams())
+	res := Result{}
+	start := time.Now()
+	for res.Iterations < opts.maxIters() {
+		if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
+			break
+		}
+		p, ok := solver.Minimum()
+		if !ok {
+			res.Status = Impossible
+			return res, nil
+		}
+		res.Iterations++
+		out := pr.Forward(p)
+		res.ForwardSteps += out.Steps
+		if out.Proved {
+			res.Status = Proved
+			res.Abstraction = p
+			return res, nil
+		}
+		cubes := pr.Backward(p, out.Trace)
+		covered := false
+		for _, c := range cubes {
+			solver.Block(c.Pos, c.Neg)
+			if c.Contains(p) {
+				covered = true
+			}
+		}
+		res.Clauses = solver.NumClauses()
+		if !covered {
+			return res, fmt.Errorf("%w (p=%s)", ErrNoProgress, p)
+		}
+	}
+	res.Status = Exhausted
+	return res, nil
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tracer/internal/lang"
+	"tracer/internal/uset"
+)
+
+// mockProblem simulates a parametric analysis over n boolean parameters:
+// the query is provable exactly by abstractions that include all of need;
+// the backward meta-analysis eliminates, per failing run, the cube "p with
+// the first missing needed parameter off".
+type mockProblem struct {
+	n        int
+	need     uset.Set
+	provable bool
+	runs     []uset.Set
+}
+
+func (m *mockProblem) NumParams() int { return m.n }
+
+func (m *mockProblem) Forward(p uset.Set) Outcome {
+	m.runs = append(m.runs, p)
+	if m.provable && m.need.SubsetOf(p) {
+		return Outcome{Proved: true, Steps: 1}
+	}
+	return Outcome{Trace: lang.Trace{lang.MoveNull{V: "x"}}, Steps: 1}
+}
+
+func (m *mockProblem) Backward(p uset.Set, t lang.Trace) []ParamCube {
+	if !m.provable {
+		// Nothing can prove it: eliminate everything matching p exactly on
+		// the needed bits... the strongest sound statement is "everything".
+		return []ParamCube{{}}
+	}
+	for _, v := range m.need.Elems() {
+		if !p.Has(v) {
+			// Every abstraction missing v fails.
+			return []ParamCube{{Neg: uset.New(v)}}
+		}
+	}
+	return nil
+}
+
+// TestSolveFindsMinimum: the cheapest abstraction is exactly the needed
+// set, reached by learning one parameter per iteration.
+func TestSolveFindsMinimum(t *testing.T) {
+	need := uset.New(1, 3)
+	m := &mockProblem{n: 6, need: need, provable: true}
+	res, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Proved {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !res.Abstraction.Equal(need) {
+		t.Fatalf("abstraction = %v, want %v", res.Abstraction, need)
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("iterations = %d, want 3 ({} → {1} → {1,3})", res.Iterations)
+	}
+	// The first run must be the cheapest abstraction (empty set).
+	if !m.runs[0].Empty() {
+		t.Fatalf("first run used %v, want {}", m.runs[0])
+	}
+}
+
+// TestSolveImpossible: blocking the full space yields Impossible.
+func TestSolveImpossible(t *testing.T) {
+	m := &mockProblem{n: 4, provable: false}
+	res, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Impossible {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Iterations != 1 {
+		t.Fatalf("iterations = %d, want 1", res.Iterations)
+	}
+}
+
+// noProgress is a (deliberately broken) problem whose meta-analysis fails
+// to eliminate the current abstraction; Solve must refuse to loop.
+type noProgress struct{ mockProblem }
+
+func (n *noProgress) Backward(p uset.Set, t lang.Trace) []ParamCube {
+	return []ParamCube{{Pos: uset.New(63)}} // never covers small p
+}
+
+func TestSolveDetectsNoProgress(t *testing.T) {
+	m := &noProgress{mockProblem{n: 64, need: uset.New(0), provable: true}}
+	_, err := Solve(m, Options{})
+	if !errors.Is(err, ErrNoProgress) {
+		t.Fatalf("err = %v, want ErrNoProgress", err)
+	}
+}
+
+// slowProblem never proves and always eliminates only the current point,
+// exercising iteration caps and timeouts.
+type slowProblem struct{ n int }
+
+func (s *slowProblem) NumParams() int { return s.n }
+func (s *slowProblem) Forward(p uset.Set) Outcome {
+	return Outcome{Trace: lang.Trace{lang.MoveNull{V: "x"}}}
+}
+func (s *slowProblem) Backward(p uset.Set, t lang.Trace) []ParamCube {
+	var neg uset.Set
+	for v := 0; v < s.n; v++ {
+		if !p.Has(v) {
+			neg = neg.Add(v)
+		}
+	}
+	return []ParamCube{{Pos: p, Neg: neg}} // blocks exactly p
+}
+
+func TestSolveIterationCap(t *testing.T) {
+	res, err := Solve(&slowProblem{n: 10}, Options{MaxIters: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Exhausted || res.Iterations != 7 {
+		t.Fatalf("status = %v after %d iterations", res.Status, res.Iterations)
+	}
+}
+
+func TestSolveTimeout(t *testing.T) {
+	res, err := Solve(&slowProblem{n: 16}, Options{Timeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Exhausted {
+		t.Fatalf("status = %v, want exhausted", res.Status)
+	}
+}
+
+// TestParamCubeContains covers the cube membership used for progress
+// detection.
+func TestParamCubeContains(t *testing.T) {
+	c := ParamCube{Pos: uset.New(1), Neg: uset.New(2)}
+	cases := []struct {
+		p    uset.Set
+		want bool
+	}{
+		{uset.New(1), true},
+		{uset.New(1, 3), true},
+		{uset.New(1, 2), false},
+		{nil, false},
+	}
+	for _, tc := range cases {
+		if got := c.Contains(tc.p); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+// ---------- batch driver ----------
+
+// mockBatch wraps several mockProblems sharing a parameter space.
+type mockBatch struct {
+	problems []*mockProblem
+	runs     int
+}
+
+func (b *mockBatch) NumParams() int  { return b.problems[0].n }
+func (b *mockBatch) NumQueries() int { return len(b.problems) }
+
+type mockBatchRun struct {
+	b *mockBatch
+	p uset.Set
+}
+
+func (b *mockBatch) RunForward(p uset.Set) BatchRun {
+	b.runs++
+	return &mockBatchRun{b, p}
+}
+
+func (r *mockBatchRun) Check(q int) (bool, lang.Trace) {
+	out := r.b.problems[q].Forward(r.p)
+	return out.Proved, out.Trace
+}
+
+func (r *mockBatchRun) Steps() int { return 1 }
+
+func (b *mockBatch) Backward(q int, p uset.Set, t lang.Trace) []ParamCube {
+	return b.problems[q].Backward(p, t)
+}
+
+// TestSolveBatchMatchesIndividual: batch resolution returns the same
+// statuses and abstractions as per-query Solve, while sharing runs.
+func TestSolveBatchMatchesIndividual(t *testing.T) {
+	mk := func() *mockBatch {
+		return &mockBatch{problems: []*mockProblem{
+			{n: 8, need: uset.New(0), provable: true},
+			{n: 8, need: uset.New(0), provable: true}, // same group as above
+			{n: 8, need: uset.New(2, 4), provable: true},
+			{n: 8, provable: false},
+		}}
+	}
+	batch := mk()
+	res, err := SolveBatch(batch, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q, pr := range mk().problems {
+		want, err := Solve(pr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Results[q]
+		if got.Status != want.Status {
+			t.Errorf("query %d: status %v, want %v", q, got.Status, want.Status)
+		}
+		if want.Status == Proved && !got.Abstraction.Equal(want.Abstraction) {
+			t.Errorf("query %d: abstraction %v, want %v", q, got.Abstraction, want.Abstraction)
+		}
+	}
+	// Queries 0 and 1 share every clause set, so the batch must use fewer
+	// forward runs than the 2+2+3+1 = 8 individual ones.
+	if batch.runs >= 8 {
+		t.Errorf("batch used %d forward runs, expected sharing to reduce below 8", batch.runs)
+	}
+	if res.Stats.ForwardRuns != batch.runs {
+		t.Errorf("stats.ForwardRuns = %d, want %d", res.Stats.ForwardRuns, batch.runs)
+	}
+}
+
+// TestSolveBatchExhaustion: the per-query iteration cap applies.
+func TestSolveBatchExhaustion(t *testing.T) {
+	b := &mockBatch{problems: []*mockProblem{{n: 6, need: uset.New(0, 1, 2, 3, 4), provable: true}}}
+	res, err := SolveBatch(b, Options{MaxIters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results[0].Status != Exhausted {
+		t.Fatalf("status = %v, want exhausted", res.Results[0].Status)
+	}
+}

@@ -1,0 +1,186 @@
+// Package dataflow implements the parametric dataflow framework of §3.2.
+//
+// A parametric analysis is specified by a set of abstractions P with a cost
+// preorder, a finite set of abstract states D, and a transfer function
+// [a]p : D → D for each atomic command a (Fig 4 and Fig 5 are the two
+// instances). The analysis is disjunctive: a program denotes a transformer
+// on sets of abstract states (Fig 3), and by Lemma 1 every reachable final
+// state has a loop-free witness trace. The solver here records provenance
+// for each (node, state) pair it discovers so that witness traces — the
+// abstract counterexamples consumed by the backward meta-analysis — can be
+// reconstructed in time linear in their length.
+package dataflow
+
+import (
+	"fmt"
+
+	"tracer/internal/lang"
+)
+
+// Transfer is an instantiated transfer function λa,d. [a]p(d): the
+// abstraction p has already been supplied by the analysis instance.
+type Transfer[D comparable] func(a lang.Atom, d D) D
+
+// EvalProg evaluates Fp[s](D0) per Fig 3, directly on the structured
+// program. Loops are least fixpoints in the powerset order. It is the
+// executable specification against which the CFG solver is tested.
+func EvalProg[D comparable](p lang.Prog, init map[D]bool, tr Transfer[D]) map[D]bool {
+	switch p := p.(type) {
+	case lang.Skip:
+		return copySet(init)
+	case lang.Atomic:
+		out := make(map[D]bool, len(init))
+		for d := range init {
+			out[tr(p.A, d)] = true
+		}
+		return out
+	case lang.Seq:
+		return EvalProg(p.Snd, EvalProg(p.Fst, init, tr), tr)
+	case lang.Choice:
+		out := EvalProg(p.Left, init, tr)
+		for d := range EvalProg(p.Right, init, tr) {
+			out[d] = true
+		}
+		return out
+	case lang.Star:
+		cur := copySet(init)
+		for {
+			next := EvalProg(p.Body, cur, tr)
+			grew := false
+			for d := range next {
+				if !cur[d] {
+					cur[d] = true
+					grew = true
+				}
+			}
+			if !grew {
+				return cur
+			}
+		}
+	}
+	panic("dataflow: unknown program form")
+}
+
+// EvalTrace evaluates Fp[t](d) per Fig 3 on a single trace.
+func EvalTrace[D comparable](t lang.Trace, d D, tr Transfer[D]) D {
+	for _, a := range t {
+		d = tr(a, d)
+	}
+	return d
+}
+
+// StatesAlong returns the length len(t)+1 sequence of abstract states
+// visited while evaluating trace t from d: states[i] is the state before
+// atom t[i]. The backward meta-analysis needs these pre-states for its
+// under-approximation operator (Fig 7 threads Fp[t](d) through B).
+func StatesAlong[D comparable](t lang.Trace, d D, tr Transfer[D]) []D {
+	out := make([]D, len(t)+1)
+	out[0] = d
+	for i, a := range t {
+		out[i+1] = tr(a, out[i])
+	}
+	return out
+}
+
+func copySet[D comparable](s map[D]bool) map[D]bool {
+	out := make(map[D]bool, len(s))
+	for d := range s {
+		out[d] = true
+	}
+	return out
+}
+
+// origin records how a (node, state) pair was first discovered.
+type origin[D comparable] struct {
+	root      bool // true for the initial state at the entry node
+	pred      int  // predecessor node
+	predState D    // state at the predecessor
+	atom      lang.Atom
+}
+
+// Result holds the states computed at every CFG node along with provenance.
+type Result[D comparable] struct {
+	g      *lang.CFG
+	tr     Transfer[D]
+	states []map[D]origin[D]
+	// Steps counts (node, state) discoveries, a machine-independent cost
+	// measure used by the benchmark harness.
+	Steps int
+}
+
+// States returns the set of abstract states reaching node n.
+func (r *Result[D]) States(n int) []D {
+	out := make([]D, 0, len(r.states[n]))
+	for d := range r.states[n] {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Has reports whether state d reaches node n.
+func (r *Result[D]) Has(n int, d D) bool {
+	_, ok := r.states[n][d]
+	return ok
+}
+
+// Witness reconstructs an abstract counterexample trace ending at node n in
+// state d: a loop-free walk through the (node, state) discovery graph, as
+// guaranteed by Lemma 1. It panics if (n, d) was not reached.
+func (r *Result[D]) Witness(n int, d D) lang.Trace {
+	var rev []lang.Atom
+	for {
+		o, ok := r.states[n][d]
+		if !ok {
+			panic(fmt.Sprintf("dataflow: no witness for state %v at node %d", d, n))
+		}
+		if o.root {
+			break
+		}
+		if o.atom != nil {
+			rev = append(rev, o.atom)
+		}
+		n, d = o.pred, o.predState
+	}
+	out := make(lang.Trace, len(rev))
+	for i, a := range rev {
+		out[len(rev)-1-i] = a
+	}
+	return out
+}
+
+// Solve runs the disjunctive forward analysis over the CFG from the initial
+// state at the entry node. ε edges propagate states unchanged. The solver
+// is a chaotic worklist iteration; since D is finite for the analyses in
+// this repository, it terminates.
+func Solve[D comparable](g *lang.CFG, init D, tr Transfer[D]) *Result[D] {
+	r := &Result[D]{g: g, tr: tr, states: make([]map[D]origin[D], g.Nodes)}
+	for i := range r.states {
+		r.states[i] = make(map[D]origin[D])
+	}
+	type item struct {
+		node  int
+		state D
+	}
+	var work []item
+	r.states[g.Entry][init] = origin[D]{root: true}
+	r.Steps++
+	work = append(work, item{g.Entry, init})
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, ei := range g.Out[it.node] {
+			e := g.Edges[ei]
+			next := it.state
+			if e.A != nil {
+				next = tr(e.A, it.state)
+			}
+			if _, seen := r.states[e.To][next]; seen {
+				continue
+			}
+			r.states[e.To][next] = origin[D]{pred: it.node, predState: it.state, atom: e.A}
+			r.Steps++
+			work = append(work, item{e.To, next})
+		}
+	}
+	return r
+}

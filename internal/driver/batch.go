@@ -1,0 +1,151 @@
+package driver
+
+import (
+	"tracer/internal/core"
+	"tracer/internal/dataflow"
+	"tracer/internal/escape"
+	"tracer/internal/lang"
+	"tracer/internal/typestate"
+	"tracer/internal/uset"
+)
+
+// EscapeBatch runs all generated thread-escape queries of a program through
+// core.SolveBatch. The thread-escape analysis is query-independent, so a
+// group's queries genuinely share one forward run.
+type EscapeBatch struct {
+	P       *Program
+	Queries []EscQuery
+	K       int
+
+	jobs []*escape.Job
+}
+
+var _ core.BatchProblem = (*EscapeBatch)(nil)
+
+// NewEscapeBatch builds the batch problem over the given queries. All jobs
+// share the batch's single analysis instance: interned state IDs are only
+// meaningful within one instance, and the batch runs sequentially.
+func NewEscapeBatch(p *Program, queries []EscQuery, k int) *EscapeBatch {
+	b := &EscapeBatch{P: p, Queries: queries, K: k}
+	a := p.EscapeAnalysis()
+	for _, q := range queries {
+		b.jobs = append(b.jobs, &escape.Job{
+			A: a,
+			G: p.Low.G,
+			Q: escape.Query{Nodes: q.Nodes, V: q.Var},
+			K: k,
+		})
+	}
+	return b
+}
+
+func (b *EscapeBatch) NumParams() int  { return b.P.EscapeAnalysis().Sites.Len() }
+func (b *EscapeBatch) NumQueries() int { return len(b.Queries) }
+
+// RunForward solves the whole program once under p.
+func (b *EscapeBatch) RunForward(p uset.Set) core.BatchRun {
+	a := b.P.EscapeAnalysis()
+	res := dataflow.Solve(b.P.Low.G, a.Initial(), a.Transfer(p))
+	return &escapeRun{b: b, res: res}
+}
+
+type escapeRun struct {
+	b   *EscapeBatch
+	res *dataflow.Result[escape.State]
+}
+
+func (r *escapeRun) Check(q int) (bool, lang.Trace) {
+	job := r.b.jobs[q]
+	node, bad, found := escape.FindFailure(job.A, r.res, job.Q)
+	if !found {
+		return true, nil
+	}
+	return false, r.res.Witness(node, bad)
+}
+
+func (r *escapeRun) Steps() int { return r.res.Steps }
+
+// Backward delegates to the per-query job.
+func (b *EscapeBatch) Backward(q int, p uset.Set, t lang.Trace) []core.ParamCube {
+	return b.jobs[q].Backward(p, t)
+}
+
+// TypestateBatch runs all generated type-state queries through
+// core.SolveBatch. Queries tracking the same allocation site share an
+// analysis instance, and a shared forward run solves lazily per site (the
+// paper's implementation tracks a separate abstract object per site within
+// one tabulation run; per-site solves over the same graph are equivalent).
+type TypestateBatch struct {
+	P       *Program
+	Queries []TSQuery
+	K       int
+
+	analyses map[string]*typestate.Analysis
+	jobs     []*typestate.Job
+}
+
+var _ core.BatchProblem = (*TypestateBatch)(nil)
+
+// NewTypestateBatch builds the batch problem over the given queries.
+func NewTypestateBatch(p *Program, queries []TSQuery, k int) *TypestateBatch {
+	b := &TypestateBatch{P: p, Queries: queries, K: k, analyses: map[string]*typestate.Analysis{}}
+	prop := typestate.StressProperty(p.stressMethods)
+	for _, q := range queries {
+		a := b.analyses[q.Site]
+		if a == nil {
+			a = typestate.New(prop, q.Site, p.Vars)
+			a.MayPoint = p.MayPoint(q.Site)
+			b.analyses[q.Site] = a
+		}
+		b.jobs = append(b.jobs, &typestate.Job{
+			A: a,
+			G: p.Low.G,
+			Q: typestate.Query{Nodes: q.Nodes, Want: uset.Bits(0).Add(prop.Init)},
+			K: k,
+		})
+	}
+	return b
+}
+
+func (b *TypestateBatch) NumParams() int  { return len(b.P.Vars) }
+func (b *TypestateBatch) NumQueries() int { return len(b.Queries) }
+
+// RunForward returns a run that solves per tracked site on demand.
+func (b *TypestateBatch) RunForward(p uset.Set) core.BatchRun {
+	return &typestateRun{b: b, p: p, perSite: map[string]*dataflow.Result[typestate.State]{}}
+}
+
+type typestateRun struct {
+	b       *TypestateBatch
+	p       uset.Set
+	perSite map[string]*dataflow.Result[typestate.State]
+	steps   int
+}
+
+func (r *typestateRun) solve(site string) *dataflow.Result[typestate.State] {
+	if res, ok := r.perSite[site]; ok {
+		return res
+	}
+	a := r.b.analyses[site]
+	res := dataflow.Solve(r.b.P.Low.G, a.Initial(), a.Transfer(r.p))
+	r.perSite[site] = res
+	r.steps += res.Steps
+	return res
+}
+
+func (r *typestateRun) Check(q int) (bool, lang.Trace) {
+	job := r.b.jobs[q]
+	res := r.solve(r.b.Queries[q].Site)
+	node, bad, found := typestate.FindFailure(job.A, res, job.Q)
+	if !found {
+		return true, nil
+	}
+	return false, res.Witness(node, bad)
+}
+
+func (r *typestateRun) Steps() int { return r.steps }
+
+// Backward delegates to the per-query job.
+func (b *TypestateBatch) Backward(q int, p uset.Set, t lang.Trace) []core.ParamCube {
+	return b.jobs[q].Backward(p, t)
+}

@@ -1,0 +1,361 @@
+// Package driver ties the front end together: it parses a mini-IR program,
+// runs the 0-CFA points-to analysis, lowers the program to a single CFG by
+// inlining, and generates queries the way the paper's evaluation does (§6):
+// a type-state query at each method call site (pc, h), and a thread-escape
+// query at each instance-field access (pc, v), restricted to application
+// code (classes whose names start with "Lib" play the role of the JDK).
+package driver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tracer/internal/escape"
+	"tracer/internal/ir"
+	"tracer/internal/pointsto"
+	"tracer/internal/typestate"
+	"tracer/internal/uset"
+)
+
+// LibPrefix marks library classes, excluded from query generation but fully
+// analyzed, mirroring how the paper poses no queries inside the JDK.
+const LibPrefix = "Lib"
+
+// Program is a loaded, lowered, and points-to-analyzed program.
+type Program struct {
+	IR  *ir.Program
+	PT  *pointsto.Result
+	Low *ir.Lowered
+
+	// Vars is the type-state parameter universe: the qualified pointer
+	// variables appearing in the lowered program, sorted.
+	Vars []string
+	// Locals, Fields, Sites are the thread-escape universes.
+	Locals, Fields, Sites []string
+
+	// varPts maps qualified variable names to their may-point-to site sets.
+	varPts map[string]uset.Set
+
+	escapeAnalysis *escape.Analysis
+	stressMethods  []string
+}
+
+// Load parses src and prepares all analyses.
+func Load(src string) (*Program, error) {
+	prog, err := ir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Prepare(prog)
+}
+
+// Prepare runs points-to and lowering on an already-parsed program.
+func Prepare(prog *ir.Program) (*Program, error) {
+	pt, err := pointsto.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	low, err := ir.Lower(prog, pt, ir.LowerOptions{})
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{IR: prog, PT: pt, Low: low, varPts: map[string]uset.Set{}}
+	p.Vars = typestate.CollectVars(low.G)
+	p.Locals, p.Fields, p.Sites = escape.Universe(low.G)
+	for _, m := range pt.ReachableMethods() {
+		if m.Native {
+			continue
+		}
+		vars := append([]string{"this"}, m.Params...)
+		vars = append(vars, m.Locals...)
+		for _, v := range vars {
+			p.varPts[ir.Qualify(m, v)] = pt.PointsTo(m, v)
+		}
+	}
+	methodSet := map[string]bool{}
+	for _, cs := range low.Calls {
+		if p.IsApp(cs.Method) {
+			methodSet[cs.Stmt.Method] = true
+		}
+	}
+	for name := range methodSet {
+		p.stressMethods = append(p.stressMethods, name)
+	}
+	sort.Strings(p.stressMethods)
+	return p, nil
+}
+
+// IsApp reports whether a method belongs to application code.
+func (p *Program) IsApp(m *ir.Method) bool {
+	return !strings.HasPrefix(m.Class.Name, LibPrefix)
+}
+
+// isAppSite reports whether allocation site h occurs in application code.
+func (p *Program) isAppSite(h string) bool {
+	found := false
+	for _, m := range p.IR.Methods() {
+		if !p.IsApp(m) {
+			continue
+		}
+		walkStmts(m.Body, func(s ir.Stmt) {
+			if n, ok := s.(*ir.NewStmt); ok && n.Site == h {
+				found = true
+			}
+		})
+	}
+	return found
+}
+
+func walkStmts(body []ir.Stmt, f func(ir.Stmt)) {
+	for _, s := range body {
+		f(s)
+		switch s := s.(type) {
+		case *ir.IfStmt:
+			walkStmts(s.Then, f)
+			walkStmts(s.Else, f)
+		case *ir.LoopStmt:
+			walkStmts(s.Body, f)
+		}
+	}
+}
+
+// MayPoint returns the oracle "may qualified variable qv point to site h".
+func (p *Program) MayPoint(h string) func(qv string) bool {
+	id, ok := p.PT.Sites.Lookup(h)
+	if !ok {
+		return func(string) bool { return false }
+	}
+	return func(qv string) bool { return p.varPts[qv].Has(id) }
+}
+
+// TSQuery is a generated type-state query: at source call site Stmt, is
+// every object allocated at Site that the receiver may denote still in the
+// automaton's initial state?
+type TSQuery struct {
+	ID    string
+	Site  string
+	Stmt  *ir.CallStmt
+	Nodes []int
+}
+
+// TypestateQueries generates one query per (application call site, tracked
+// application site h) pair with the receiver possibly pointing to h,
+// mirroring §6. Results are deterministically ordered.
+func (p *Program) TypestateQueries() []TSQuery {
+	type key struct {
+		stmt *ir.CallStmt
+		site string
+	}
+	nodes := map[key][]int{}
+	meta := map[key]ir.CallSite{}
+	appSite := map[string]bool{}
+	for i := 0; i < p.PT.Sites.Len(); i++ {
+		h := p.PT.Sites.Value(i)
+		appSite[h] = p.isAppSite(h)
+	}
+	for _, cs := range p.Low.Calls {
+		if !p.IsApp(cs.Method) {
+			continue
+		}
+		pts := p.varPts[cs.Recv]
+		for _, hid := range pts.Elems() {
+			h := p.PT.Sites.Value(hid)
+			if !appSite[h] {
+				continue
+			}
+			k := key{cs.Stmt, h}
+			nodes[k] = append(nodes[k], cs.Node)
+			meta[k] = cs
+		}
+	}
+	var out []TSQuery
+	for k, ns := range nodes {
+		sort.Ints(ns)
+		out = append(out, TSQuery{
+			ID:    fmt.Sprintf("ts:%s:%s:%s", meta[k].Method.QualName(), k.stmt.Position(), k.site),
+			Site:  k.site,
+			Stmt:  k.stmt,
+			Nodes: ns,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TypestateJob builds the core.Problem for a generated stress query.
+func (p *Program) TypestateJob(q TSQuery, k int) *typestate.Job {
+	prop := typestate.StressProperty(p.stressMethods)
+	a := typestate.New(prop, q.Site, p.Vars)
+	a.MayPoint = p.MayPoint(q.Site)
+	return &typestate.Job{
+		A: a,
+		G: p.Low.G,
+		Q: typestate.Query{Nodes: q.Nodes, Want: uset.Bits(0).Add(prop.Init)},
+		K: k,
+	}
+}
+
+// EscQuery is a generated thread-escape query: at source field access Stmt,
+// is the base pointer thread-local?
+type EscQuery struct {
+	ID    string
+	Var   string // qualified base variable
+	Stmt  ir.Stmt
+	Nodes []int
+}
+
+// EscapeQueries generates one query per application field access, as §6
+// does for the datarace client.
+func (p *Program) EscapeQueries() []EscQuery {
+	type key struct {
+		stmt ir.Stmt
+		base string
+	}
+	nodes := map[key][]int{}
+	meta := map[key]ir.FieldAccess{}
+	for _, fa := range p.Low.Accesses {
+		if !p.IsApp(fa.Method) {
+			continue
+		}
+		k := key{fa.Stmt, fa.Base}
+		nodes[k] = append(nodes[k], fa.Node)
+		meta[k] = fa
+	}
+	var out []EscQuery
+	for k, ns := range nodes {
+		sort.Ints(ns)
+		out = append(out, EscQuery{
+			ID:    fmt.Sprintf("esc:%s:%s:%s", meta[k].Method.QualName(), k.stmt.Position(), k.base),
+			Var:   k.base,
+			Stmt:  k.stmt,
+			Nodes: ns,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// EscapeAnalysis returns a (query-independent) thread-escape analysis for
+// the program, built once. Analyses intern abstract states and are
+// therefore not safe for concurrent use; callers resolving queries in
+// parallel must use FreshEscapeAnalysis per goroutine.
+func (p *Program) EscapeAnalysis() *escape.Analysis {
+	if p.escapeAnalysis == nil {
+		p.escapeAnalysis = p.FreshEscapeAnalysis()
+	}
+	return p.escapeAnalysis
+}
+
+// FreshEscapeAnalysis builds an independent analysis instance over the
+// program's universes.
+func (p *Program) FreshEscapeAnalysis() *escape.Analysis {
+	return escape.New(p.Locals, p.Fields, p.Sites)
+}
+
+// EscapeJob builds the core.Problem for a generated escape query. Each job
+// gets its own analysis instance so jobs can be solved concurrently.
+func (p *Program) EscapeJob(q EscQuery, k int) *escape.Job {
+	return &escape.Job{
+		A: p.FreshEscapeAnalysis(),
+		G: p.Low.G,
+		Q: escape.Query{Nodes: q.Nodes, V: q.Var},
+		K: k,
+	}
+}
+
+// ExplicitEscapeJobs builds jobs for the program's explicit
+// "query name local(v)" statements.
+func (p *Program) ExplicitEscapeJobs(k int) map[string]*escape.Job {
+	out := map[string]*escape.Job{}
+	for _, q := range p.Low.Queries {
+		if q.Kind != ir.QueryLocal {
+			continue
+		}
+		job := out[q.Name]
+		if job == nil {
+			job = p.EscapeJob(EscQuery{Var: q.Var}, k)
+			out[q.Name] = job
+		}
+		job.Q.Nodes = append(job.Q.Nodes, q.Node)
+	}
+	return out
+}
+
+// ExplicitTypestateJobs builds jobs for "query name state(v: ...)"
+// statements against a user-supplied property; each query yields one job
+// per site its variable may point to, keyed "name@site".
+func (p *Program) ExplicitTypestateJobs(prop *typestate.Property, k int) (map[string]*typestate.Job, error) {
+	out := map[string]*typestate.Job{}
+	for _, q := range p.Low.Queries {
+		if q.Kind != ir.QueryTypestate {
+			continue
+		}
+		var want uset.Bits
+		for _, s := range q.States {
+			found := false
+			for i, name := range prop.States {
+				if name == s {
+					want = want.Add(i)
+					found = true
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("driver: query %s: unknown automaton state %q", q.Name, s)
+			}
+		}
+		for _, hid := range p.varPts[q.Var].Elems() {
+			h := p.PT.Sites.Value(hid)
+			keyName := q.Name + "@" + h
+			job := out[keyName]
+			if job == nil {
+				a := typestate.New(prop, h, p.Vars)
+				a.MayPoint = p.MayPoint(h)
+				job = &typestate.Job{A: a, G: p.Low.G, Q: typestate.Query{Want: want}, K: k}
+				out[keyName] = job
+			}
+			job.Q.Nodes = append(job.Q.Nodes, q.Node)
+		}
+	}
+	return out, nil
+}
+
+// Stats summarizes program size for Table 1.
+type Stats struct {
+	AppClasses, TotalClasses int
+	AppMethods, TotalMethods int
+	AppAtoms, TotalAtoms     int // lowered atomic commands ("bytecode")
+	SourceLines              int
+	TypestateParams          int // N for the type-state family 2^N
+	EscapeParams             int // N for the thread-escape family 2^N
+}
+
+// ComputeStats gathers Table 1 statistics. src may be empty (lines = 0).
+func (p *Program) ComputeStats(src string) Stats {
+	s := Stats{
+		TypestateParams: len(p.Vars),
+		EscapeParams:    len(p.Sites),
+		SourceLines:     strings.Count(src, "\n") + 1,
+	}
+	if src == "" {
+		s.SourceLines = 0
+	}
+	for _, c := range p.IR.Classes {
+		s.TotalClasses++
+		app := !strings.HasPrefix(c.Name, LibPrefix)
+		if app {
+			s.AppClasses++
+		}
+		s.TotalMethods += len(c.Methods)
+		if app {
+			s.AppMethods += len(c.Methods)
+		}
+	}
+	s.TotalAtoms = p.Low.Atoms
+	for m, n := range p.Low.AtomsByMethod {
+		if p.IsApp(m) {
+			s.AppAtoms += n
+		}
+	}
+	return s
+}

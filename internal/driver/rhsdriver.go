@@ -1,0 +1,335 @@
+package driver
+
+import (
+	"fmt"
+	"sort"
+
+	"tracer/internal/core"
+	"tracer/internal/dataflow"
+	"tracer/internal/escape"
+	"tracer/internal/ir"
+	"tracer/internal/lang"
+	"tracer/internal/pointsto"
+	"tracer/internal/rhs"
+	"tracer/internal/typestate"
+	"tracer/internal/uset"
+)
+
+// RHSProgram is a program prepared with the summary-based tabulation
+// backend instead of the inlining lowering. It supports recursive call
+// graphs; everything else — query generation, the backward meta-analysis,
+// and TRACER — is shared with the inlining pipeline, since both produce
+// flat counterexample traces over the same atoms.
+type RHSProgram struct {
+	IR *ir.Program
+	PT *pointsto.Result
+	SP *rhs.Program
+
+	Vars                  []string
+	Locals, Fields, Sites []string
+
+	varPts        map[string]uset.Set
+	stressMethods []string
+}
+
+// LoadRHS parses src and prepares the tabulation pipeline.
+func LoadRHS(src string) (*RHSProgram, error) {
+	prog, err := ir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := pointsto.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := rhs.FromIR(prog, pt)
+	if err != nil {
+		return nil, err
+	}
+	p := &RHSProgram{IR: prog, PT: pt, SP: sp, varPts: map[string]uset.Set{}}
+	flat := sp.G.AtomsCFG()
+	p.Vars = typestate.CollectVars(flat)
+	p.Locals, p.Fields, p.Sites = escape.Universe(flat)
+	for _, m := range pt.ReachableMethods() {
+		if m.Native {
+			continue
+		}
+		vars := append([]string{"this"}, m.Params...)
+		vars = append(vars, m.Locals...)
+		for _, v := range vars {
+			p.varPts[ir.Qualify(m, v)] = pt.PointsTo(m, v)
+		}
+	}
+	methodSet := map[string]bool{}
+	for _, cs := range sp.Calls {
+		if !isLib(cs.Method) {
+			methodSet[cs.Stmt.Method] = true
+		}
+	}
+	for name := range methodSet {
+		p.stressMethods = append(p.stressMethods, name)
+	}
+	sort.Strings(p.stressMethods)
+	return p, nil
+}
+
+func isLib(m *ir.Method) bool {
+	return len(m.Class.Name) >= len(LibPrefix) && m.Class.Name[:len(LibPrefix)] == LibPrefix
+}
+
+// mayPoint builds the per-site oracle.
+func (p *RHSProgram) mayPoint(h string) func(qv string) bool {
+	id, ok := p.PT.Sites.Lookup(h)
+	if !ok {
+		return func(string) bool { return false }
+	}
+	return func(qv string) bool { return p.varPts[qv].Has(id) }
+}
+
+// rhsForward is the shared forward runner: solve the supergraph and scan
+// the query points for a violating fact.
+func rhsForward[D comparable](
+	g *rhs.Graph, dI D, tr dataflow.Transfer[D],
+	points []rhs.Point,
+	holds func(d D) bool,
+	less func(a, b D) bool,
+) core.Outcome {
+	res := rhs.Solve(g, dI, tr)
+	for _, pt := range points {
+		var bad []D
+		for _, d := range res.States(pt.Method, pt.Node) {
+			if !holds(d) {
+				bad = append(bad, d)
+			}
+		}
+		if len(bad) == 0 {
+			continue
+		}
+		sort.Slice(bad, func(i, j int) bool { return less(bad[i], bad[j]) })
+		return core.Outcome{Trace: res.Witness(pt.Method, pt.Node, bad[0]), Steps: res.Steps}
+	}
+	return core.Outcome{Proved: true, Steps: 0}
+}
+
+// RHSEscapeJob poses one thread-escape query against the tabulation
+// backend. The backward meta-analysis is delegated to the standard job:
+// both backends produce flat traces of the same atoms.
+type RHSEscapeJob struct {
+	P      *RHSProgram
+	Points []rhs.Point
+	V      string
+	K      int
+
+	inner *escape.Job
+}
+
+var _ core.Problem = (*RHSEscapeJob)(nil)
+
+// NewRHSEscapeJob builds a query job for variable v at the given points.
+func (p *RHSProgram) NewRHSEscapeJob(v string, points []rhs.Point, k int) *RHSEscapeJob {
+	a := escape.New(p.Locals, p.Fields, p.Sites)
+	return &RHSEscapeJob{
+		P: p, Points: points, V: v, K: k,
+		inner: &escape.Job{A: a, Q: escape.Query{V: v}, K: k},
+	}
+}
+
+func (j *RHSEscapeJob) NumParams() int         { return j.inner.A.Sites.Len() }
+func (j *RHSEscapeJob) ParamName(i int) string { return j.inner.A.Sites.Value(i) }
+
+// Forward solves the supergraph under abstraction p.
+func (j *RHSEscapeJob) Forward(p uset.Set) core.Outcome {
+	a := j.inner.A
+	return rhsForward(j.P.SP.G, a.Initial(), a.Transfer(p), j.Points,
+		func(d escape.State) bool { return a.Holds(j.inner.Q, d) },
+		func(x, y escape.State) bool { return x < y })
+}
+
+// Backward delegates to the standard escape job.
+func (j *RHSEscapeJob) Backward(p uset.Set, t lang.Trace) []core.ParamCube {
+	return j.inner.Backward(p, t)
+}
+
+// RHSTypestateJob poses one type-state query against the tabulation
+// backend.
+type RHSTypestateJob struct {
+	P      *RHSProgram
+	Points []rhs.Point
+	K      int
+
+	inner *typestate.Job
+}
+
+var _ core.Problem = (*RHSTypestateJob)(nil)
+
+// NewRHSTypestateJob builds a job for the given property, tracked site, and
+// wanted automaton states.
+func (p *RHSProgram) NewRHSTypestateJob(prop *typestate.Property, site string, want uset.Bits, points []rhs.Point, k int) *RHSTypestateJob {
+	a := typestate.New(prop, site, p.Vars)
+	a.MayPoint = p.mayPoint(site)
+	return &RHSTypestateJob{
+		P: p, Points: points, K: k,
+		inner: &typestate.Job{A: a, Q: typestate.Query{Want: want}, K: k},
+	}
+}
+
+func (j *RHSTypestateJob) NumParams() int         { return j.inner.A.Vars.Len() }
+func (j *RHSTypestateJob) ParamName(i int) string { return j.inner.A.Vars.Value(i) }
+
+// Forward solves the supergraph under abstraction p.
+func (j *RHSTypestateJob) Forward(p uset.Set) core.Outcome {
+	a := j.inner.A
+	return rhsForward(j.P.SP.G, a.Initial(), a.Transfer(p), j.Points,
+		func(d typestate.State) bool { return j.inner.Q.Holds(d) },
+		func(x, y typestate.State) bool {
+			if x.Top != y.Top {
+				return x.Top
+			}
+			if x.TS != y.TS {
+				return x.TS < y.TS
+			}
+			return x.VS < y.VS
+		})
+}
+
+// Backward delegates to the standard type-state job.
+func (j *RHSTypestateJob) Backward(p uset.Set, t lang.Trace) []core.ParamCube {
+	return j.inner.Backward(p, t)
+}
+
+// RHSTSQuery is a generated type-state query for the tabulation backend.
+type RHSTSQuery struct {
+	ID     string
+	Site   string
+	Stmt   *ir.CallStmt
+	Points []rhs.Point
+}
+
+// TypestateQueries generates the §6 stress queries: one per (application
+// call site, application site the receiver may reach). With the
+// supergraph, each source call statement has exactly one point.
+func (p *RHSProgram) TypestateQueries() []RHSTSQuery {
+	appSite := map[string]bool{}
+	for _, m := range p.IR.Methods() {
+		if isLib(m) {
+			continue
+		}
+		collectSites(m.Body, appSite)
+	}
+	var out []RHSTSQuery
+	for _, cs := range p.SP.Calls {
+		if isLib(cs.Method) {
+			continue
+		}
+		for _, hid := range p.varPts[cs.Recv].Elems() {
+			h := p.PT.Sites.Value(hid)
+			if !appSite[h] {
+				continue
+			}
+			out = append(out, RHSTSQuery{
+				ID:     fmt.Sprintf("ts:%s:%s:%s", cs.Method.QualName(), cs.Stmt.Position(), h),
+				Site:   h,
+				Stmt:   cs.Stmt,
+				Points: []rhs.Point{cs.At},
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func collectSites(body []ir.Stmt, out map[string]bool) {
+	for _, s := range body {
+		switch s := s.(type) {
+		case *ir.NewStmt:
+			out[s.Site] = true
+		case *ir.IfStmt:
+			collectSites(s.Then, out)
+			collectSites(s.Else, out)
+		case *ir.LoopStmt:
+			collectSites(s.Body, out)
+		}
+	}
+}
+
+// TypestateJob builds the tabulation job for a generated stress query.
+func (p *RHSProgram) TypestateJob(q RHSTSQuery, k int) *RHSTypestateJob {
+	prop := typestate.StressProperty(p.stressMethods)
+	return p.NewRHSTypestateJob(prop, q.Site, uset.Bits(0).Add(prop.Init), q.Points, k)
+}
+
+// RHSEscQuery is a generated thread-escape query for the tabulation
+// backend.
+type RHSEscQuery struct {
+	ID     string
+	Var    string
+	Stmt   ir.Stmt
+	Points []rhs.Point
+}
+
+// EscapeQueries generates one query per application field access.
+func (p *RHSProgram) EscapeQueries() []RHSEscQuery {
+	var out []RHSEscQuery
+	for _, fa := range p.SP.Accesses {
+		if isLib(fa.Method) {
+			continue
+		}
+		out = append(out, RHSEscQuery{
+			ID:     fmt.Sprintf("esc:%s:%s:%s", fa.Method.QualName(), fa.Stmt.Position(), fa.Base),
+			Var:    fa.Base,
+			Stmt:   fa.Stmt,
+			Points: []rhs.Point{fa.At},
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// EscapeJob builds the tabulation job for a generated escape query.
+func (p *RHSProgram) EscapeJob(q RHSEscQuery, k int) *RHSEscapeJob {
+	return p.NewRHSEscapeJob(q.Var, q.Points, k)
+}
+
+// ExplicitJobs builds jobs for the program's explicit query statements:
+// "query name local(v)" and, against prop, "query name state(v: ...)"
+// (keyed "name@site" per may-site like the inlining driver).
+func (p *RHSProgram) ExplicitJobs(prop *typestate.Property, k int) (map[string]core.Problem, error) {
+	out := map[string]core.Problem{}
+	escPoints := map[string][]rhs.Point{}
+	escVar := map[string]string{}
+	for _, q := range p.SP.Queries {
+		switch q.Kind {
+		case ir.QueryLocal:
+			escPoints[q.Name] = append(escPoints[q.Name], q.At)
+			escVar[q.Name] = q.Var
+		case ir.QueryTypestate:
+			var want uset.Bits
+			for _, s := range q.States {
+				found := false
+				for i, name := range prop.States {
+					if name == s {
+						want = want.Add(i)
+						found = true
+					}
+				}
+				if !found {
+					return nil, fmt.Errorf("driver: query %s: unknown automaton state %q", q.Name, s)
+				}
+			}
+			for _, hid := range p.varPts[q.Var].Elems() {
+				h := p.PT.Sites.Value(hid)
+				key := q.Name + "@" + h
+				job, ok := out[key].(*RHSTypestateJob)
+				if !ok {
+					job = p.NewRHSTypestateJob(prop, h, want, nil, k)
+					out[key] = job
+				}
+				job.Points = append(job.Points, q.At)
+			}
+		}
+	}
+	for name, points := range escPoints {
+		out[name] = p.NewRHSEscapeJob(escVar[name], points, k)
+	}
+	return out, nil
+}

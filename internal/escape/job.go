@@ -1,0 +1,122 @@
+package escape
+
+import (
+	"sort"
+
+	"tracer/internal/core"
+	"tracer/internal/dataflow"
+	"tracer/internal/formula"
+	"tracer/internal/lang"
+	"tracer/internal/meta"
+	"tracer/internal/uset"
+)
+
+// Job poses one thread-escape query on one program as a core.Problem. K is
+// the beam width of the meta-analysis (k in §4.1); K ≤ 0 disables
+// under-approximation, as in Fig 6(a).
+type Job struct {
+	A *Analysis
+	G *lang.CFG
+	Q Query
+	K int
+
+	wpCache *meta.WPCache
+}
+
+var _ core.Problem = (*Job)(nil)
+
+// NumParams returns the number of allocation sites (the family is 2^H).
+func (j *Job) NumParams() int { return j.A.Sites.Len() }
+
+// ParamName names parameter i (the site it maps to L when on).
+func (j *Job) ParamName(i int) string { return j.A.Sites.Value(i) }
+
+// Forward runs the forward analysis under abstraction p and checks the
+// query at every node it covers.
+func (j *Job) Forward(p uset.Set) core.Outcome {
+	res := dataflow.Solve(j.G, j.A.Initial(), j.A.Transfer(p))
+	node, bad, ok := FindFailure(j.A, res, j.Q)
+	if !ok {
+		return core.Outcome{Proved: true, Steps: res.Steps}
+	}
+	return core.Outcome{Trace: res.Witness(node, bad), Steps: res.Steps}
+}
+
+// FindFailure scans the query's nodes in a solved result for a violating
+// state, returning a deterministic choice. It is shared with the batch
+// driver, which reuses one forward run across many queries.
+func FindFailure(a *Analysis, res *dataflow.Result[State], q Query) (node int, bad State, ok bool) {
+	for _, n := range q.Nodes {
+		var cands []State
+		for _, d := range res.States(n) {
+			if !a.Holds(q, d) {
+				cands = append(cands, d)
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		sort.Slice(cands, func(x, y int) bool { return cands[x] < cands[y] })
+		return n, cands[0], true
+	}
+	return 0, State(0), false
+}
+
+// Client builds the meta-analysis client for abstraction p. Weakest
+// preconditions do not depend on p, so all clients of this job share one
+// memoization cache.
+func (j *Job) Client(p uset.Set) *meta.Client[State] {
+	if j.wpCache == nil {
+		j.wpCache = meta.NewWPCache()
+	}
+	return &meta.Client[State]{
+		WP:     j.A.WP,
+		Theory: Theory{},
+		Eval:   func(l formula.Lit, d State) bool { return j.A.EvalLit(l, p, d) },
+		K:      j.K,
+		Cache:  j.wpCache,
+	}
+}
+
+// Backward runs the meta-analysis over the counterexample trace and
+// extracts the parameter cubes of abstractions guaranteed to fail.
+func (j *Job) Backward(p uset.Set, t lang.Trace) []core.ParamCube {
+	dI := j.A.Initial()
+	states := dataflow.StatesAlong(t, dI, j.A.Transfer(p))
+	dnf := meta.Run(j.Client(p), t, states, j.A.NotQ(j.Q))
+	return j.Cubes(dnf, dI)
+}
+
+// Cubes projects a failure-condition DNF onto parameter cubes. A site
+// literal h.L puts h in Pos; h.E puts it in Neg; state literals are
+// evaluated at dI.
+func (j *Job) Cubes(dnf formula.DNF, dI State) []core.ParamCube {
+	var out []core.ParamCube
+	for _, conj := range dnf {
+		var pos, neg uset.Set
+		ok := true
+		for _, l := range conj.Lits() {
+			if ps, isSite := l.P.(PSite); isSite {
+				id := j.A.Sites.ID(ps.H)
+				wantL := ps.O == L
+				if l.Neg {
+					wantL = !wantL
+				}
+				if wantL {
+					pos = pos.Add(id)
+				} else {
+					neg = neg.Add(id)
+				}
+				continue
+			}
+			if !j.A.EvalLit(l, nil, dI) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, core.ParamCube{Pos: pos, Neg: neg})
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+// Package explain instruments a TRACER problem so that every CEGAR
+// iteration is narrated the way the paper's Figs 1 and 6 are drawn: the
+// abstract counterexample trace annotated with the forward states (α) and
+// the backward meta-analysis's failure conditions (ψ), followed by the
+// eliminated abstraction cubes. cmd/tracer's -explain flag and the
+// examples use it.
+package explain
+
+import (
+	"fmt"
+	"io"
+
+	"tracer/internal/core"
+	"tracer/internal/dataflow"
+	"tracer/internal/formula"
+	"tracer/internal/lang"
+	"tracer/internal/meta"
+	"tracer/internal/uset"
+)
+
+// coreCube aliases the cube type for the per-client constructors.
+type coreCube = core.ParamCube
+
+// Hooks supplies the analysis-specific pieces the narrator needs. D is the
+// forward analysis's abstract state type.
+type Hooks[D comparable] struct {
+	// Initial is dI.
+	Initial D
+	// Transfer instantiates the forward transfer function at p.
+	Transfer func(p uset.Set) dataflow.Transfer[D]
+	// Client builds the meta-analysis client for p.
+	Client func(p uset.Set) *meta.Client[D]
+	// Post is the failure condition not(q).
+	Post formula.Formula
+	// FormatState renders an abstract state (the α annotations).
+	FormatState func(D) string
+	// FormatAbstraction renders an abstraction (e.g. variable names).
+	FormatAbstraction func(uset.Set) string
+	// Cubes projects a failure-condition DNF onto parameter cubes.
+	Cubes func(dnf formula.DNF, dI D) []core.ParamCube
+	// DescribeCube renders one eliminated cube.
+	DescribeCube func(core.ParamCube) string
+}
+
+// Problem wraps a core.Problem, writing a narration of every iteration to
+// W. It implements core.Problem and is otherwise transparent: outcomes and
+// learned cubes are exactly the inner problem's.
+type Problem[D comparable] struct {
+	Inner core.Problem
+	W     io.Writer
+	H     Hooks[D]
+
+	iteration int
+}
+
+// New builds a narrated problem.
+func New[D comparable](inner core.Problem, w io.Writer, h Hooks[D]) *Problem[D] {
+	return &Problem[D]{Inner: inner, W: w, H: h}
+}
+
+// NumParams delegates to the inner problem.
+func (p *Problem[D]) NumParams() int { return p.Inner.NumParams() }
+
+// Forward narrates the chosen abstraction, then delegates.
+func (p *Problem[D]) Forward(abs uset.Set) core.Outcome {
+	p.iteration++
+	fmt.Fprintf(p.W, "\niteration %d: forward analysis with p = %s\n", p.iteration, p.H.FormatAbstraction(abs))
+	out := p.Inner.Forward(abs)
+	if out.Proved {
+		fmt.Fprintf(p.W, "  query proven\n")
+	}
+	return out
+}
+
+// Backward recomputes the annotated backward pass for display, then
+// delegates to the inner problem for the actual cubes (which are identical
+// by construction; the meta-analysis is deterministic).
+func (p *Problem[D]) Backward(abs uset.Set, t lang.Trace) []core.ParamCube {
+	states := dataflow.StatesAlong(t, p.H.Initial, p.H.Transfer(abs))
+	ann := meta.RunAnnotated(p.H.Client(abs), t, states, p.H.Post)
+	fmt.Fprintf(p.W, "  counterexample trace (α = forward state, ψ = failure condition):\n")
+	fmt.Fprintf(p.W, "    %-28s α %-30s ψ %s\n", "", p.H.FormatState(states[0]), ann[0])
+	for i, atom := range t {
+		fmt.Fprintf(p.W, "    %-28s α %-30s ψ %s\n", atom.String()+";", p.H.FormatState(states[i+1]), ann[i+1])
+	}
+	for _, c := range p.H.Cubes(ann[0], p.H.Initial) {
+		fmt.Fprintf(p.W, "  eliminated: %s\n", p.H.DescribeCube(c))
+	}
+	return p.Inner.Backward(abs, t)
+}
+
+// Solve runs TRACER on the narrated problem and prints the verdict.
+func (p *Problem[D]) Solve(opts core.Options) (core.Result, error) {
+	res, err := core.Solve(p, opts)
+	if err != nil {
+		return res, err
+	}
+	switch res.Status {
+	case core.Proved:
+		fmt.Fprintf(p.W, "PROVED with cheapest abstraction p = %s after %d iterations\n",
+			p.H.FormatAbstraction(res.Abstraction), res.Iterations)
+	case core.Impossible:
+		fmt.Fprintf(p.W, "IMPOSSIBLE: no abstraction in the family proves the query (%d iterations)\n", res.Iterations)
+	default:
+		fmt.Fprintf(p.W, "UNRESOLVED: budget exhausted after %d iterations\n", res.Iterations)
+	}
+	return res, nil
+}

@@ -1,0 +1,475 @@
+// Package formula implements the generic boolean-formula machinery of the
+// backward meta-analysis (§4.1 of the paper). Formulas are built over
+// analysis-specific primitive formulas (Fig 9 for type-state, the h.o/v.o/f.o
+// primitives for thread-escape); the package provides the DNF representation
+// and the toDNF, simplify, and dropk operations of Fig 8, combined into the
+// generic under-approximation operator approx.
+package formula
+
+import (
+	"sort"
+	"strings"
+)
+
+// Prim is a primitive formula. Implementations must be immutable values; Key
+// must uniquely identify the primitive within its theory.
+type Prim interface {
+	Key() string
+	String() string
+}
+
+// Lit is a possibly negated primitive formula.
+type Lit struct {
+	P   Prim
+	Neg bool
+}
+
+// Key returns a canonical identity for the literal. Hot paths avoid calling
+// it repeatedly: Conj precomputes and stores literal keys at construction.
+func (l Lit) Key() string {
+	if l.Neg {
+		return "!" + l.P.Key()
+	}
+	return l.P.Key()
+}
+
+func (l Lit) String() string {
+	if l.Neg {
+		return "¬" + l.P.String()
+	}
+	return l.P.String()
+}
+
+// Negate returns the literal with flipped sign.
+func (l Lit) Negate() Lit { return Lit{l.P, !l.Neg} }
+
+// Theory supplies the analysis-specific reasoning the generic machinery
+// needs: how to negate a literal into DNF, when one literal entails another
+// (used by simplify, the ⪯ of Figs 9/11), and when two literals are
+// mutually exclusive (used to prune unsatisfiable disjuncts).
+type Theory interface {
+	// NegLit rewrites the negation of a positive literal l into an
+	// equivalent positive DNF (e.g. ¬v.L ≡ v.E ∨ v.N for thread-escape).
+	// It returns ok=false when the theory keeps signed literals instead.
+	NegLit(l Lit) (d DNF, ok bool)
+	// Implies reports whether δ(a) ⊆ δ(b).
+	Implies(a, b Lit) bool
+	// Contradicts reports whether δ(a) ∩ δ(b) = ∅. It may be incomplete
+	// (returning false is always safe).
+	Contradicts(a, b Lit) bool
+}
+
+// Conj is a conjunction of literals, kept sorted by literal key and
+// deduplicated, with the per-literal keys and the joined conjunction key
+// precomputed — entailment, contradiction, and deduplication checks are the
+// meta-analysis's hottest paths. The zero Conj is true.
+type Conj struct {
+	lits []Lit
+	keys []string // parallel to lits
+	key  string   // joined identity
+}
+
+// NewConj builds a canonical conjunction from literals.
+func NewConj(lits ...Lit) Conj {
+	ls := make([]Lit, len(lits))
+	copy(ls, lits)
+	keys := make([]string, len(ls))
+	for i, l := range ls {
+		keys[i] = l.Key()
+	}
+	sort.Sort(&litSorter{ls, keys})
+	outL := ls[:0]
+	outK := keys[:0]
+	for i := range ls {
+		if i > 0 && keys[i] == outK[len(outK)-1] {
+			continue
+		}
+		outL = append(outL, ls[i])
+		outK = append(outK, keys[i])
+	}
+	return mkConj(outL, outK)
+}
+
+type litSorter struct {
+	lits []Lit
+	keys []string
+}
+
+func (s *litSorter) Len() int           { return len(s.lits) }
+func (s *litSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *litSorter) Swap(i, j int) {
+	s.lits[i], s.lits[j] = s.lits[j], s.lits[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+// mkConj finalizes a sorted, deduplicated literal list.
+func mkConj(lits []Lit, keys []string) Conj {
+	return Conj{lits: lits, keys: keys, key: strings.Join(keys, "&")}
+}
+
+// Retain returns the sub-conjunction of literals at indices where keep is
+// true, preserving canonical order.
+func (c Conj) Retain(keep func(i int) bool) Conj {
+	lits := make([]Lit, 0, len(c.lits))
+	keys := make([]string, 0, len(c.keys))
+	for i := range c.lits {
+		if keep(i) {
+			lits = append(lits, c.lits[i])
+			keys = append(keys, c.keys[i])
+		}
+	}
+	return mkConj(lits, keys)
+}
+
+// SingletonLit reports whether the DNF is exactly one single-literal
+// disjunct and returns that literal; the meta-analysis uses it to detect
+// identity weakest preconditions.
+func (d DNF) SingletonLit() (Lit, bool) {
+	if len(d) == 1 && len(d[0].lits) == 1 {
+		return d[0].lits[0], true
+	}
+	return Lit{}, false
+}
+
+// Lits returns the literals in canonical order; the result must not be
+// mutated.
+func (c Conj) Lits() []Lit { return c.lits }
+
+// Size is the syntactic size of the conjunction (its literal count).
+func (c Conj) Size() int { return len(c.lits) }
+
+// Key returns a canonical identity for the conjunction.
+func (c Conj) Key() string { return c.key }
+
+func (c Conj) String() string {
+	if len(c.lits) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(c.lits))
+	for i, l := range c.lits {
+		parts[i] = l.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Eval evaluates the conjunction under a literal valuation.
+func (c Conj) Eval(eval func(Lit) bool) bool {
+	for _, l := range c.lits {
+		if !eval(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// unsatRaw reports whether a literal list contains two contradictory
+// literals (syntactic complement or theory contradiction).
+func unsatRaw(lits []Lit, th Theory) bool {
+	for i := 0; i < len(lits); i++ {
+		for j := i + 1; j < len(lits); j++ {
+			a, b := lits[i], lits[j]
+			if a.Neg != b.Neg && a.P == b.P {
+				return true
+			}
+			if th != nil && (th.Contradicts(a, b) || th.Contradicts(b, a)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unsat reports whether the conjunction is syntactically unsatisfiable.
+func (c Conj) unsat(th Theory) bool { return unsatRaw(c.lits, th) }
+
+// mergeSorted merges two key-sorted literal lists, deduplicating.
+func mergeSorted(c, d Conj) (lits []Lit, keys []string) {
+	lits = make([]Lit, 0, len(c.lits)+len(d.lits))
+	keys = make([]string, 0, len(c.keys)+len(d.keys))
+	i, j := 0, 0
+	for i < len(c.lits) && j < len(d.lits) {
+		switch {
+		case c.keys[i] < d.keys[j]:
+			lits, keys = append(lits, c.lits[i]), append(keys, c.keys[i])
+			i++
+		case c.keys[i] > d.keys[j]:
+			lits, keys = append(lits, d.lits[j]), append(keys, d.keys[j])
+			j++
+		default:
+			lits, keys = append(lits, c.lits[i]), append(keys, c.keys[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(c.lits); i++ {
+		lits, keys = append(lits, c.lits[i]), append(keys, c.keys[i])
+	}
+	for ; j < len(d.lits); j++ {
+		lits, keys = append(lits, d.lits[j]), append(keys, d.keys[j])
+	}
+	return lits, keys
+}
+
+// and returns the canonical conjunction c ∧ d by merging the sorted lists.
+func (c Conj) and(d Conj) Conj {
+	if len(c.lits) == 0 {
+		return d
+	}
+	if len(d.lits) == 0 {
+		return c
+	}
+	return mkConj(mergeSorted(c, d))
+}
+
+// reduceRaw drops literals that are entailed by another literal of the
+// list (e.g. type(σ) entails ¬err in the type-state theory), keeping one
+// representative of equivalent literals. The result denotes the same set
+// and is syntactically smaller.
+func reduceRaw(lits []Lit, keys []string, th Theory) ([]Lit, []string) {
+	if th == nil || len(lits) < 2 {
+		return lits, keys
+	}
+	drop := make([]bool, len(lits))
+	any := false
+	for i, li := range lits {
+		for j, lj := range lits {
+			if i == j || keys[i] == keys[j] {
+				continue
+			}
+			if th.Implies(lj, li) && (!th.Implies(li, lj) || j < i) {
+				drop[i] = true
+				any = true
+				break
+			}
+		}
+	}
+	if !any {
+		return lits, keys
+	}
+	outL := make([]Lit, 0, len(lits))
+	outK := make([]string, 0, len(keys))
+	for i := range lits {
+		if !drop[i] {
+			outL = append(outL, lits[i])
+			outK = append(outK, keys[i])
+		}
+	}
+	return outL, outK
+}
+
+// reduce applies reduceRaw to a conjunction.
+func (c Conj) reduce(th Theory) Conj {
+	lits, keys := reduceRaw(c.lits, c.keys, th)
+	if len(lits) == len(c.lits) {
+		return c
+	}
+	return mkConj(lits, keys)
+}
+
+// Implies reports whether c entails d: every literal of d is entailed by
+// some literal of c. This is the fast, incomplete entailment check of
+// Figs 9/11 (f ⪯ f'). Both literal lists are key-sorted, so the syntactic
+// subset part is a linear merge; the theory part handles the rest.
+func (c Conj) Implies(d Conj, th Theory) bool {
+	for j, ld := range d.lits {
+		ok := false
+		for i, lc := range c.lits {
+			if c.keys[i] == d.keys[j] || (th != nil && th.Implies(lc, ld)) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// DNF is a disjunction of conjunctions. nil is false; a DNF containing an
+// empty Conj is true (once simplified).
+type DNF []Conj
+
+// DTrue and DFalse are the boolean constants in DNF form.
+func DTrue() DNF  { return DNF{Conj{}} }
+func DFalse() DNF { return nil }
+
+// IsFalse reports whether the DNF has no disjuncts.
+func (d DNF) IsFalse() bool { return len(d) == 0 }
+
+// IsTrue reports whether some disjunct is the empty conjunction.
+func (d DNF) IsTrue() bool {
+	for _, c := range d {
+		if c.Size() == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Size is the total syntactic size.
+func (d DNF) Size() int {
+	n := 0
+	for _, c := range d {
+		n += c.Size()
+	}
+	return n
+}
+
+func (d DNF) String() string {
+	if len(d) == 0 {
+		return "false"
+	}
+	parts := make([]string, len(d))
+	for i, c := range d {
+		if len(d) > 1 && c.Size() > 1 {
+			parts[i] = "(" + c.String() + ")"
+		} else {
+			parts[i] = c.String()
+		}
+	}
+	return strings.Join(parts, " ∨ ")
+}
+
+// Eval evaluates the DNF under a literal valuation.
+func (d DNF) Eval(eval func(Lit) bool) bool {
+	for _, c := range d {
+		if c.Eval(eval) {
+			return true
+		}
+	}
+	return false
+}
+
+// Or returns the disjunction d ∨ e with unsatisfiable and duplicate
+// disjuncts removed.
+func (d DNF) Or(e DNF, th Theory) DNF {
+	out := make(DNF, 0, len(d)+len(e))
+	seen := make(map[string]bool)
+	for _, c := range append(append(DNF{}, d...), e...) {
+		if c.unsat(th) {
+			continue
+		}
+		c = c.reduce(th)
+		k := c.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// And returns the conjunction d ∧ e, distributing into DNF, with
+// unsatisfiable and duplicate disjuncts removed.
+func (d DNF) And(e DNF, th Theory) DNF {
+	var out DNF
+	seen := make(map[string]bool)
+	for _, c1 := range d {
+		for _, c2 := range e {
+			// Merge first and test satisfiability before paying for the
+			// joined key: most products of large formulas are pruned here.
+			lits, keys := mergeSorted(c1, c2)
+			if unsatRaw(lits, th) {
+				continue
+			}
+			lits, keys = reduceRaw(lits, keys, th)
+			c := mkConj(lits, keys)
+			k := c.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SortBySize orders disjuncts by syntactic size (then by key, for
+// determinism), as required by toDNF in Fig 8.
+func (d DNF) SortBySize() DNF {
+	out := append(DNF{}, d...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Size() != out[j].Size() {
+			return out[i].Size() < out[j].Size()
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}
+
+// Simplify removes disjuncts subsumed by earlier (shorter) ones: a disjunct
+// is dropped if it entails a kept disjunct, which means its denotation is
+// contained in the kept one's and removing it preserves δ (Fig 8).
+func (d DNF) Simplify(th Theory) DNF {
+	sorted := d.SortBySize()
+	var out DNF
+	for _, c := range sorted {
+		redundant := false
+		for _, kept := range out {
+			if c.Implies(kept, th) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// DropK implements dropk of Fig 8: keep the first k−1 disjuncts by size plus
+// the shortest disjunct that holds at the current (p, d) — supplied as the
+// holds predicate. If no disjunct holds, the first k disjuncts are kept
+// (the retention condition of approx is vacuous in that case).
+func (d DNF) DropK(k int, holds func(Conj) bool) DNF {
+	if len(d) <= k {
+		return d
+	}
+	keep := k - 1
+	if keep < 0 {
+		keep = 0
+	}
+	out := append(DNF{}, d[:keep]...)
+	for _, c := range d {
+		if holds(c) {
+			// Already kept?
+			dup := false
+			for _, o := range out {
+				if o.Key() == c.Key() {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, c)
+			}
+			return out
+		}
+	}
+	// No disjunct holds at (p, d); keep the first k.
+	return append(out, d[keep:k]...)
+}
+
+// Approx is the generic under-approximation operator of §4.1:
+// simplify ∘ toDNF, followed by dropk when more than k disjuncts remain.
+// k ≤ 0 disables dropping (the "no under-approximation" ablation).
+func Approx(f Formula, th Theory, k int, holds func(Conj) bool) DNF {
+	d := ToDNF(f, th).Simplify(th)
+	if k <= 0 || len(d) <= k {
+		return d
+	}
+	return d.DropK(k, holds)
+}
+
+// ApproxDNF is Approx for an already-converted DNF.
+func ApproxDNF(d DNF, th Theory, k int, holds func(Conj) bool) DNF {
+	d = d.Simplify(th)
+	if k <= 0 || len(d) <= k {
+		return d
+	}
+	return d.DropK(k, holds)
+}

@@ -1,0 +1,133 @@
+package formula
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests (testing/quick) on the DNF data structure: each
+// property derives its formulas from a quick-generated seed so the
+// structures stay well-formed while the coverage stays randomized.
+
+func formulaFromSeed(seed int64, nv, depth int) Formula {
+	rng := rand.New(rand.NewSource(seed))
+	return randFormula(rng, nv, depth)
+}
+
+// TestQuickDNFIdempotent: converting a DNF back to a formula and
+// re-normalizing is semantically stable.
+func TestQuickDNFIdempotent(t *testing.T) {
+	th := mockTheory{}
+	f := func(seed int64) bool {
+		const nv = 4
+		d1 := ToDNF(formulaFromSeed(seed, nv, 4), th)
+		d2 := ToDNF(FromDNF(d1), th)
+		for env := uint(0); env < 1<<nv; env++ {
+			if d1.Eval(evalEnv(env)) != d2.Eval(evalEnv(env)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAndMonotone: δ(a ∧ b) ⊆ δ(a) and δ(a ∧ b) ⊆ δ(b).
+func TestQuickAndMonotone(t *testing.T) {
+	th := mockTheory{}
+	f := func(s1, s2 int64) bool {
+		const nv = 4
+		a := ToDNF(formulaFromSeed(s1, nv, 3), th)
+		b := ToDNF(formulaFromSeed(s2, nv, 3), th)
+		ab := a.And(b, th)
+		for env := uint(0); env < 1<<nv; env++ {
+			ev := evalEnv(env)
+			if ab.Eval(ev) && (!a.Eval(ev) || !b.Eval(ev)) {
+				return false
+			}
+			if a.Eval(ev) && b.Eval(ev) && !ab.Eval(ev) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOrIsUnion: δ(a ∨ b) = δ(a) ∪ δ(b).
+func TestQuickOrIsUnion(t *testing.T) {
+	th := mockTheory{}
+	f := func(s1, s2 int64) bool {
+		const nv = 4
+		a := ToDNF(formulaFromSeed(s1, nv, 3), th)
+		b := ToDNF(formulaFromSeed(s2, nv, 3), th)
+		or := a.Or(b, th)
+		for env := uint(0); env < 1<<nv; env++ {
+			ev := evalEnv(env)
+			if or.Eval(ev) != (a.Eval(ev) || b.Eval(ev)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNotInvolutive: ¬¬f ≡ f through ToDNF.
+func TestQuickNotInvolutive(t *testing.T) {
+	th := mockTheory{}
+	f := func(seed int64) bool {
+		const nv = 4
+		orig := formulaFromSeed(seed, nv, 4)
+		d1 := ToDNF(orig, th)
+		d2 := ToDNF(Not(Not(orig)), th)
+		for env := uint(0); env < 1<<nv; env++ {
+			if d1.Eval(evalEnv(env)) != d2.Eval(evalEnv(env)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSortBySizeStable: SortBySize is a permutation (no disjunct lost
+// or invented) with sizes non-decreasing.
+func TestQuickSortBySizeStable(t *testing.T) {
+	th := mockTheory{}
+	f := func(seed int64) bool {
+		d := ToDNF(formulaFromSeed(seed, 4, 4), th)
+		s := d.SortBySize()
+		if len(s) != len(d) {
+			return false
+		}
+		seen := map[string]int{}
+		for _, c := range d {
+			seen[c.Key()]++
+		}
+		for i, c := range s {
+			seen[c.Key()]--
+			if i > 0 && s[i-1].Size() > c.Size() {
+				return false
+			}
+		}
+		for _, n := range seen {
+			if n != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Package intern provides canonicalizing tables that map structured values
+// to small dense integer IDs. Abstract states in the analyses (must-alias
+// sets, escape environments) are interned so that the disjunctive solver can
+// treat states as comparable keys and so that visited-state sets are compact.
+package intern
+
+import "tracer/internal/uset"
+
+// Strings interns strings to dense IDs starting at 0.
+type Strings struct {
+	ids  map[string]int
+	vals []string
+}
+
+// NewStrings returns an empty intern table.
+func NewStrings() *Strings {
+	return &Strings{ids: make(map[string]int)}
+}
+
+// ID returns the canonical ID for s, allocating one if needed.
+func (t *Strings) ID(s string) int {
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id := len(t.vals)
+	t.ids[s] = id
+	t.vals = append(t.vals, s)
+	return id
+}
+
+// Lookup returns the ID for s and whether it was present.
+func (t *Strings) Lookup(s string) (int, bool) {
+	id, ok := t.ids[s]
+	return id, ok
+}
+
+// Value returns the string for a previously allocated ID.
+func (t *Strings) Value(id int) string { return t.vals[id] }
+
+// Len reports the number of interned strings.
+func (t *Strings) Len() int { return len(t.vals) }
+
+// Sets interns uset.Set values to dense IDs. ID 0 is always the empty set.
+type Sets struct {
+	ids  map[string]int
+	vals []uset.Set
+}
+
+// NewSets returns a table with the empty set pre-interned as ID 0.
+func NewSets() *Sets {
+	t := &Sets{ids: make(map[string]int)}
+	t.ids[""] = 0
+	t.vals = append(t.vals, nil)
+	return t
+}
+
+// ID returns the canonical ID for s.
+func (t *Sets) ID(s uset.Set) int {
+	k := s.Key()
+	if id, ok := t.ids[k]; ok {
+		return id
+	}
+	id := len(t.vals)
+	t.ids[k] = id
+	t.vals = append(t.vals, s)
+	return id
+}
+
+// Value returns the set for a previously allocated ID.
+func (t *Sets) Value(id int) uset.Set { return t.vals[id] }
+
+// Len reports the number of interned sets.
+func (t *Sets) Len() int { return len(t.vals) }

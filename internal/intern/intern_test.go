@@ -1,0 +1,62 @@
+package intern
+
+import (
+	"testing"
+
+	"tracer/internal/uset"
+)
+
+func TestStrings(t *testing.T) {
+	s := NewStrings()
+	a := s.ID("alpha")
+	b := s.ID("beta")
+	if a == b {
+		t.Fatal("distinct strings share an ID")
+	}
+	if got := s.ID("alpha"); got != a {
+		t.Fatalf("re-intern changed ID: %d vs %d", got, a)
+	}
+	if s.Value(a) != "alpha" || s.Value(b) != "beta" {
+		t.Fatal("Value roundtrip failed")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if id, ok := s.Lookup("beta"); !ok || id != b {
+		t.Fatalf("Lookup(beta) = %d, %v", id, ok)
+	}
+	if _, ok := s.Lookup("gamma"); ok {
+		t.Fatal("Lookup of absent string succeeded")
+	}
+}
+
+func TestStringsDense(t *testing.T) {
+	s := NewStrings()
+	for i := 0; i < 100; i++ {
+		if got := s.ID(string(rune('a' + i))); got != i {
+			t.Fatalf("IDs not dense: got %d want %d", got, i)
+		}
+	}
+}
+
+func TestSets(t *testing.T) {
+	s := NewSets()
+	if s.ID(nil) != 0 {
+		t.Fatal("empty set must be ID 0")
+	}
+	a := s.ID(uset.New(1, 2))
+	b := s.ID(uset.New(2, 1))
+	if a != b {
+		t.Fatal("equal sets got distinct IDs")
+	}
+	c := s.ID(uset.New(1, 2, 3))
+	if c == a {
+		t.Fatal("distinct sets share an ID")
+	}
+	if !s.Value(a).Equal(uset.New(1, 2)) {
+		t.Fatal("Value roundtrip failed")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}

@@ -1,0 +1,264 @@
+package ir
+
+import "fmt"
+
+// Check performs semantic analysis: it resolves the class hierarchy,
+// verifies declarations, and reclassifies ambiguous assignments between
+// locals and globals. Parse calls it automatically.
+func Check(prog *Program) error {
+	c := &checker{prog: prog, globals: map[string]bool{}}
+	return c.run()
+}
+
+type checker struct {
+	prog    *Program
+	globals map[string]bool
+	fields  map[string]bool
+}
+
+func errAt(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (c *checker) run() error {
+	for _, g := range c.prog.Globals {
+		if c.globals[g] {
+			return fmt.Errorf("ir: duplicate global %q", g)
+		}
+		c.globals[g] = true
+	}
+	if err := c.resolveClasses(); err != nil {
+		return err
+	}
+	c.fields = map[string]bool{}
+	for _, cl := range c.prog.Classes {
+		for _, f := range cl.Fields {
+			c.fields[f] = true
+		}
+	}
+	for _, cl := range c.prog.Classes {
+		for _, m := range cl.Methods {
+			if err := c.checkMethod(m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) resolveClasses() error {
+	c.prog.classByName = map[string]*Class{}
+	for _, cl := range c.prog.Classes {
+		if c.prog.classByName[cl.Name] != nil {
+			return errAt(cl.Pos, "duplicate class %q", cl.Name)
+		}
+		c.prog.classByName[cl.Name] = cl
+		cl.methodByName = map[string]*Method{}
+		seenFields := map[string]bool{}
+		for _, f := range cl.Fields {
+			if seenFields[f] {
+				return errAt(cl.Pos, "class %s: duplicate field %q", cl.Name, f)
+			}
+			seenFields[f] = true
+		}
+		for _, m := range cl.Methods {
+			if cl.methodByName[m.Name] != nil {
+				return errAt(m.Pos, "class %s: duplicate method %q", cl.Name, m.Name)
+			}
+			cl.methodByName[m.Name] = m
+			// An explicit leading "this" parameter is the receiver, which
+			// is always in scope; normalize it away so call arguments line
+			// up with the remaining parameters.
+			if len(m.Params) > 0 && m.Params[0] == "this" {
+				m.Params = m.Params[1:]
+			}
+		}
+	}
+	for _, cl := range c.prog.Classes {
+		if cl.Super == "" {
+			continue
+		}
+		super := c.prog.classByName[cl.Super]
+		if super == nil {
+			return errAt(cl.Pos, "class %s extends unknown class %q", cl.Name, cl.Super)
+		}
+		cl.super = super
+	}
+	// Reject inheritance cycles.
+	for _, cl := range c.prog.Classes {
+		slow, fast := cl, cl.super
+		for fast != nil {
+			if fast == slow {
+				return errAt(cl.Pos, "inheritance cycle through class %s", cl.Name)
+			}
+			slow = slow.super
+			fast = fast.super
+			if fast != nil {
+				fast = fast.super
+			}
+		}
+	}
+	return nil
+}
+
+// scope resolves variables of one method.
+type scope struct {
+	locals map[string]bool
+}
+
+func (c *checker) methodScope(m *Method) (*scope, error) {
+	s := &scope{locals: map[string]bool{"this": true}}
+	declare := func(v string) error {
+		if s.locals[v] {
+			return errAt(m.Pos, "method %s: duplicate variable %q", m.QualName(), v)
+		}
+		if c.globals[v] {
+			return errAt(m.Pos, "method %s: variable %q shadows a global", m.QualName(), v)
+		}
+		s.locals[v] = true
+		return nil
+	}
+	for _, v := range m.Params {
+		if err := declare(v); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range m.Locals {
+		if err := declare(v); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (c *checker) checkMethod(m *Method) error {
+	if m.Native {
+		if len(m.Body) != 0 {
+			return errAt(m.Pos, "native method %s has a body", m.QualName())
+		}
+		return nil
+	}
+	s, err := c.methodScope(m)
+	if err != nil {
+		return err
+	}
+	return c.checkBlock(m, s, m.Body, true)
+}
+
+// checkBlock validates statements; topLevel marks the method body, where a
+// trailing return is allowed.
+func (c *checker) checkBlock(m *Method, s *scope, body []Stmt, topLevel bool) error {
+	for i, st := range body {
+		if ret, ok := st.(*ReturnStmt); ok {
+			if !topLevel || i != len(body)-1 {
+				return errAt(ret.Position(), "method %s: return must be the last statement of the method body", m.QualName())
+			}
+			if ret.Src != "" && !s.locals[ret.Src] {
+				return errAt(ret.Position(), "method %s: return of undeclared variable %q", m.QualName(), ret.Src)
+			}
+			continue
+		}
+		if err := c.checkStmt(m, s, &body[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) local(m *Method, s *scope, pos Pos, v string) error {
+	if !s.locals[v] {
+		if c.globals[v] {
+			return errAt(pos, "method %s: %q is a global; globals may only appear in plain assignments", m.QualName(), v)
+		}
+		return errAt(pos, "method %s: undeclared variable %q", m.QualName(), v)
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(m *Method, s *scope, slot *Stmt) error {
+	switch st := (*slot).(type) {
+	case *NewStmt:
+		if err := c.local(m, s, st.Position(), st.Dst); err != nil {
+			return err
+		}
+		if c.prog.classByName[st.Class] == nil {
+			return errAt(st.Position(), "new of unknown class %q", st.Class)
+		}
+	case *NullStmt:
+		return c.local(m, s, st.Position(), st.Dst)
+	case *MoveStmt:
+		// Reclassify global reads/writes.
+		dstGlobal, srcGlobal := c.globals[st.Dst], c.globals[st.Src]
+		switch {
+		case dstGlobal && srcGlobal:
+			return errAt(st.Position(), "assignment between globals %q and %q (use a local temporary)", st.Dst, st.Src)
+		case dstGlobal:
+			if err := c.local(m, s, st.Position(), st.Src); err != nil {
+				return err
+			}
+			*slot = &GlobalPut{stmtBase{st.Position()}, st.Dst, st.Src}
+		case srcGlobal:
+			if err := c.local(m, s, st.Position(), st.Dst); err != nil {
+				return err
+			}
+			*slot = &GlobalGet{stmtBase{st.Position()}, st.Dst, st.Src}
+		default:
+			if err := c.local(m, s, st.Position(), st.Dst); err != nil {
+				return err
+			}
+			if err := c.local(m, s, st.Position(), st.Src); err != nil {
+				return err
+			}
+		}
+	case *GlobalGet, *GlobalPut:
+		// Only produced by this checker.
+	case *LoadStmt:
+		if err := c.local(m, s, st.Position(), st.Dst); err != nil {
+			return err
+		}
+		if err := c.local(m, s, st.Position(), st.Src); err != nil {
+			return err
+		}
+		if !c.fields[st.Field] {
+			return errAt(st.Position(), "load of undeclared field %q", st.Field)
+		}
+	case *StoreStmt:
+		if err := c.local(m, s, st.Position(), st.Dst); err != nil {
+			return err
+		}
+		if err := c.local(m, s, st.Position(), st.Src); err != nil {
+			return err
+		}
+		if !c.fields[st.Field] {
+			return errAt(st.Position(), "store to undeclared field %q", st.Field)
+		}
+	case *CallStmt:
+		if st.Dst != "" {
+			if err := c.local(m, s, st.Position(), st.Dst); err != nil {
+				return err
+			}
+		}
+		if err := c.local(m, s, st.Position(), st.Recv); err != nil {
+			return err
+		}
+		for _, a := range st.Args {
+			if err := c.local(m, s, st.Position(), a); err != nil {
+				return err
+			}
+		}
+	case *IfStmt:
+		if err := c.checkBlock(m, s, st.Then, false); err != nil {
+			return err
+		}
+		return c.checkBlock(m, s, st.Else, false)
+	case *LoopStmt:
+		return c.checkBlock(m, s, st.Body, false)
+	case *QueryStmt:
+		return c.local(m, s, st.Position(), st.Var)
+	case *ReturnStmt:
+		return errAt(st.Position(), "method %s: return must be the last statement of the method body", m.QualName())
+	default:
+		return fmt.Errorf("ir: unknown statement %T", st)
+	}
+	return nil
+}

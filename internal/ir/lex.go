@@ -1,0 +1,206 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds of the textual IR.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokComma
+	tokAssign
+	tokDot
+	tokAt
+	tokStar
+	tokColon
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokAssign:
+		return "'='"
+	case tokDot:
+		return "'.'"
+	case tokAt:
+		return "'@'"
+	case tokStar:
+		return "'*'"
+	case tokColon:
+		return "':'"
+	}
+	return "?"
+}
+
+// token is a lexed token with its position.
+type token struct {
+	kind tokKind
+	text string
+	pos  Pos
+}
+
+// lexer produces tokens from source text. Comments run from // to newline.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a lexing or parsing error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func (l *lexer) errorf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.off >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.off], true
+}
+
+func (l *lexer) advance() byte {
+	b := l.src[l.off]
+	l.off++
+	if b == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return b
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		b, ok := l.peekByte()
+		if !ok {
+			return
+		}
+		switch {
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			l.advance()
+		case b == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for {
+				b2, ok2 := l.peekByte()
+				if !ok2 || b2 == '\n' {
+					break
+				}
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || b == '$' || unicode.IsLetter(rune(b))
+}
+
+func isIdentPart(b byte) bool {
+	return isIdentStart(b) || unicode.IsDigit(rune(b))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	pos := Pos{l.line, l.col}
+	b, ok := l.peekByte()
+	if !ok {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	switch b {
+	case '{':
+		l.advance()
+		return token{tokLBrace, "{", pos}, nil
+	case '}':
+		l.advance()
+		return token{tokRBrace, "}", pos}, nil
+	case '(':
+		l.advance()
+		return token{tokLParen, "(", pos}, nil
+	case ')':
+		l.advance()
+		return token{tokRParen, ")", pos}, nil
+	case ',':
+		l.advance()
+		return token{tokComma, ",", pos}, nil
+	case '=':
+		l.advance()
+		return token{tokAssign, "=", pos}, nil
+	case '.':
+		l.advance()
+		return token{tokDot, ".", pos}, nil
+	case '@':
+		l.advance()
+		return token{tokAt, "@", pos}, nil
+	case '*':
+		l.advance()
+		return token{tokStar, "*", pos}, nil
+	case ':':
+		l.advance()
+		return token{tokColon, ":", pos}, nil
+	}
+	if isIdentStart(b) {
+		var sb strings.Builder
+		for {
+			b2, ok2 := l.peekByte()
+			if !ok2 || !isIdentPart(b2) {
+				break
+			}
+			sb.WriteByte(l.advance())
+		}
+		return token{tokIdent, sb.String(), pos}, nil
+	}
+	return token{}, l.errorf(pos, "unexpected character %q", string(b))
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package ir
+
+import (
+	"fmt"
+
+	"tracer/internal/lang"
+)
+
+// Resolver abstracts the call-graph oracle the lowering needs; the
+// pointsto package's Result implements it. Keeping it an interface avoids
+// an import cycle and lets tests use hand-written call graphs.
+type Resolver interface {
+	// Targets returns the possible callees of a call statement.
+	Targets(s *CallStmt) []*Method
+}
+
+// Lowered is the whole program expanded into a single CFG over the
+// structured language of §3.1. Virtual calls are resolved through the
+// 0-CFA call graph and inlined context-sensitively — the moral equivalent
+// of the exploded supergraph an RHS tabulation solver works on, specialized
+// to acyclic call graphs (see DESIGN.md). Locals are qualified as
+// "Class.method::v", so the abstraction family of the type-state analysis
+// ranges over method-locals exactly as in the paper.
+type Lowered struct {
+	G    *lang.CFG
+	Prog *Program
+
+	// Calls lists every inlined occurrence of a call site, with the CFG
+	// node immediately before the type-state event — the pc of the
+	// evaluation's type-state queries (§6).
+	Calls []CallSite
+	// Accesses lists every inlined field access (load or store), the pc of
+	// the evaluation's thread-escape queries.
+	Accesses []FieldAccess
+	// Queries lists explicit query statements.
+	Queries []ExplicitQuery
+	// Atoms counts non-ε edges, a proxy for "bytecodes" in Table 1.
+	Atoms int
+	// AtomsByMethod attributes atom counts to the source method whose
+	// statement produced them (call-glue atoms count toward the caller).
+	AtomsByMethod map[*Method]int
+}
+
+// CallSite is one inlined occurrence of a source call statement.
+type CallSite struct {
+	Stmt   *CallStmt
+	Method *Method // enclosing source method
+	Node   int     // node immediately before the call event
+	Recv   string  // qualified receiver variable
+}
+
+// FieldAccess is one inlined occurrence of a field load or store.
+type FieldAccess struct {
+	Stmt   Stmt
+	Method *Method
+	Node   int
+	Base   string // qualified base-pointer variable
+}
+
+// ExplicitQuery is a lowered query statement.
+type ExplicitQuery struct {
+	Name   string
+	Kind   QueryKind
+	Var    string // qualified
+	States []string
+	Node   int
+	Method *Method
+}
+
+// LowerOptions tunes lowering.
+type LowerOptions struct {
+	// MaxDepth bounds the inlining depth (default 64). Exceeding it, or
+	// encountering recursion, is an error: the benchmark programs are
+	// generated with acyclic call graphs.
+	MaxDepth int
+}
+
+func (o LowerOptions) maxDepth() int {
+	if o.MaxDepth <= 0 {
+		return 64
+	}
+	return o.MaxDepth
+}
+
+// Qualify returns the qualified name of local v in method m.
+func Qualify(m *Method, v string) string { return m.QualName() + "::" + v }
+
+type lowerer struct {
+	prog *Program
+	res  Resolver
+	opts LowerOptions
+	out  *Lowered
+	// stack is the current inline chain, for recursion detection.
+	stack []*Method
+}
+
+// Lower expands the program from its Main.main entry into a CFG.
+func Lower(prog *Program, res Resolver, opts LowerOptions) (*Lowered, error) {
+	main := prog.Main()
+	if main == nil {
+		return nil, fmt.Errorf("ir: program has no Main.main entry method")
+	}
+	lw := &lowerer{prog: prog, res: res, opts: opts, out: &Lowered{G: lang.NewCFG(), Prog: prog, AtomsByMethod: map[*Method]int{}}}
+	g := lw.out.G
+	g.Entry = g.AddNode()
+	end, err := lw.method(main, g.Entry)
+	if err != nil {
+		return nil, err
+	}
+	g.Exit = end
+	for _, e := range g.Edges {
+		if e.A != nil {
+			lw.out.Atoms++
+		}
+	}
+	return lw.out, nil
+}
+
+// atom appends a single atom edge attributed to method m and returns the
+// new node.
+func (lw *lowerer) atom(m *Method, from int, a lang.Atom) int {
+	to := lw.out.G.AddNode()
+	lw.out.G.AddEdge(from, to, a)
+	lw.out.AtomsByMethod[m]++
+	return to
+}
+
+// method inlines a method body, nulling its locals first (a fresh frame).
+func (lw *lowerer) method(m *Method, from int) (int, error) {
+	for _, prev := range lw.stack {
+		if prev == m {
+			return 0, fmt.Errorf("ir: recursive call chain through %s (the inlining lowering requires an acyclic call graph)", m.QualName())
+		}
+	}
+	if len(lw.stack) >= lw.opts.maxDepth() {
+		return 0, fmt.Errorf("ir: inlining depth limit (%d) exceeded at %s", lw.opts.maxDepth(), m.QualName())
+	}
+	lw.stack = append(lw.stack, m)
+	defer func() { lw.stack = lw.stack[:len(lw.stack)-1] }()
+	cur := from
+	for _, v := range m.Locals {
+		cur = lw.atom(m, cur, lang.MoveNull{V: Qualify(m, v)})
+	}
+	return lw.block(m, m.Body, cur)
+}
+
+func (lw *lowerer) block(m *Method, body []Stmt, from int) (int, error) {
+	cur := from
+	var err error
+	for _, s := range body {
+		cur, err = lw.stmt(m, s, cur)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return cur, nil
+}
+
+func (lw *lowerer) stmt(m *Method, s Stmt, from int) (int, error) {
+	q := func(v string) string { return Qualify(m, v) }
+	g := lw.out.G
+	switch s := s.(type) {
+	case *NewStmt:
+		return lw.atom(m, from, lang.Alloc{V: q(s.Dst), H: s.Site}), nil
+	case *MoveStmt:
+		return lw.atom(m, from, lang.Move{Dst: q(s.Dst), Src: q(s.Src)}), nil
+	case *NullStmt:
+		return lw.atom(m, from, lang.MoveNull{V: q(s.Dst)}), nil
+	case *GlobalGet:
+		return lw.atom(m, from, lang.GlobalRead{V: q(s.Dst), G: s.Global}), nil
+	case *GlobalPut:
+		return lw.atom(m, from, lang.GlobalWrite{G: s.Global, V: q(s.Src)}), nil
+	case *LoadStmt:
+		lw.out.Accesses = append(lw.out.Accesses, FieldAccess{Stmt: s, Method: m, Node: from, Base: q(s.Src)})
+		return lw.atom(m, from, lang.Load{Dst: q(s.Dst), Src: q(s.Src), F: s.Field}), nil
+	case *StoreStmt:
+		lw.out.Accesses = append(lw.out.Accesses, FieldAccess{Stmt: s, Method: m, Node: from, Base: q(s.Dst)})
+		return lw.atom(m, from, lang.Store{Dst: q(s.Dst), F: s.Field, Src: q(s.Src)}), nil
+	case *IfStmt:
+		thenEnd, err := lw.block(m, s.Then, from)
+		if err != nil {
+			return 0, err
+		}
+		elseEnd, err := lw.block(m, s.Else, from)
+		if err != nil {
+			return 0, err
+		}
+		join := g.AddNode()
+		g.AddEdge(thenEnd, join, nil)
+		g.AddEdge(elseEnd, join, nil)
+		return join, nil
+	case *LoopStmt:
+		head := g.AddNode()
+		g.AddEdge(from, head, nil)
+		bodyEnd, err := lw.block(m, s.Body, head)
+		if err != nil {
+			return 0, err
+		}
+		g.AddEdge(bodyEnd, head, nil)
+		return head, nil
+	case *ReturnStmt:
+		return from, nil // the caller reads the returned variable directly
+	case *QueryStmt:
+		lw.out.Queries = append(lw.out.Queries, ExplicitQuery{
+			Name: s.Name, Kind: s.Kind, Var: q(s.Var), States: s.States,
+			Node: from, Method: m,
+		})
+		return from, nil
+	case *CallStmt:
+		return lw.call(m, s, from)
+	}
+	return 0, fmt.Errorf("ir: cannot lower statement %T", s)
+}
+
+// call lowers "[dst =] recv.m(args)": a type-state event followed by the
+// inlined bodies of every possible callee (a nondeterministic choice).
+func (lw *lowerer) call(m *Method, s *CallStmt, from int) (int, error) {
+	g := lw.out.G
+	recv := Qualify(m, s.Recv)
+	lw.out.Calls = append(lw.out.Calls, CallSite{Stmt: s, Method: m, Node: from, Recv: recv})
+	cur := lw.atom(m, from, lang.Invoke{V: recv, M: s.Method})
+	var bodied []*Method
+	for _, callee := range lw.res.Targets(s) {
+		if !callee.Native {
+			bodied = append(bodied, callee)
+		}
+	}
+	if len(bodied) == 0 {
+		if s.Dst != "" {
+			cur = lw.atom(m, cur, lang.MoveNull{V: Qualify(m, s.Dst)})
+		}
+		return cur, nil
+	}
+	join := g.AddNode()
+	for _, callee := range bodied {
+		branch := cur
+		branch = lw.atom(m, branch, lang.Move{Dst: Qualify(callee, "this"), Src: recv})
+		for i, p := range callee.Params {
+			if i < len(s.Args) {
+				branch = lw.atom(m, branch, lang.Move{Dst: Qualify(callee, p), Src: Qualify(m, s.Args[i])})
+			} else {
+				branch = lw.atom(m, branch, lang.MoveNull{V: Qualify(callee, p)})
+			}
+		}
+		end, err := lw.method(callee, branch)
+		if err != nil {
+			return 0, err
+		}
+		if s.Dst != "" {
+			if ret := calleeReturn(callee); ret != "" {
+				end = lw.atom(m, end, lang.Move{Dst: Qualify(m, s.Dst), Src: Qualify(callee, ret)})
+			} else {
+				end = lw.atom(m, end, lang.MoveNull{V: Qualify(m, s.Dst)})
+			}
+		}
+		g.AddEdge(end, join, nil)
+	}
+	return join, nil
+}
+
+// calleeReturn returns the variable a method returns, or "".
+func calleeReturn(m *Method) string {
+	if len(m.Body) == 0 {
+		return ""
+	}
+	if ret, ok := m.Body[len(m.Body)-1].(*ReturnStmt); ok {
+		return ret.Src
+	}
+	return ""
+}

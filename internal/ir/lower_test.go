@@ -1,0 +1,217 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"tracer/internal/lang"
+)
+
+// staticResolver resolves calls by method name over all classes — a
+// hand-written stand-in for the 0-CFA call graph in these tests.
+type staticResolver struct{ prog *Program }
+
+func (r staticResolver) Targets(s *CallStmt) []*Method {
+	var out []*Method
+	for _, c := range r.prog.Classes {
+		if m, ok := c.methodByName[s.Method]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func lowerSrc(t *testing.T, src string) *Lowered {
+	t.Helper()
+	prog := MustParse(src)
+	low, err := Lower(prog, staticResolver{prog}, LowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return low
+}
+
+func TestLowerStraightLine(t *testing.T) {
+	low := lowerSrc(t, `
+class Main {
+  method main(this) {
+    var a, b
+    a = new Main @ h1
+    b = a
+    b = null
+  }
+}
+`)
+	var kinds []string
+	for _, e := range low.G.Edges {
+		if e.A != nil {
+			kinds = append(kinds, e.A.String())
+		}
+	}
+	joined := strings.Join(kinds, "; ")
+	for _, want := range []string{
+		"Main.main::a = null", // frame initialization
+		"Main.main::a = new h1",
+		"Main.main::b = Main.main::a",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("lowered atoms %q missing %q", joined, want)
+		}
+	}
+}
+
+func TestLowerCallInlines(t *testing.T) {
+	low := lowerSrc(t, `
+class Helper {
+  method work(this, x) {
+    var y
+    y = x
+    return y
+  }
+}
+class Main {
+  method main(this) {
+    var a, r, h
+    a = new Main @ h1
+    h = new Helper @ h2
+    r = h.work(a)
+  }
+}
+`)
+	var atoms []string
+	for _, e := range low.G.Edges {
+		if e.A != nil {
+			atoms = append(atoms, e.A.String())
+		}
+	}
+	joined := strings.Join(atoms, "; ")
+	for _, want := range []string{
+		"Main.main::h.work()",              // the type-state event
+		"Helper.work::this = Main.main::h", // receiver binding
+		"Helper.work::x = Main.main::a",    // argument binding
+		"Helper.work::y = Helper.work::x",  // inlined body
+		"Main.main::r = Helper.work::y",    // return value
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("lowered atoms missing %q in:\n%s", want, joined)
+		}
+	}
+	if len(low.Calls) != 1 {
+		t.Fatalf("call sites = %d", len(low.Calls))
+	}
+}
+
+func TestLowerVirtualChoice(t *testing.T) {
+	low := lowerSrc(t, `
+class A { method m(this) { var x
+  x = new A @ hA } }
+class B { method m(this) { var x
+  x = new B @ hB } }
+class Main {
+  method main(this) {
+    var o
+    o = new A @ h1
+    o.m()
+  }
+}
+`)
+	// Both targets' alloc sites must appear (nondeterministic choice).
+	var sites []string
+	for _, e := range low.G.Edges {
+		if a, ok := e.A.(lang.Alloc); ok {
+			sites = append(sites, a.H)
+		}
+	}
+	joined := strings.Join(sites, ",")
+	if !strings.Contains(joined, "hA") || !strings.Contains(joined, "hB") {
+		t.Fatalf("virtual call did not inline both targets: %s", joined)
+	}
+}
+
+func TestLowerRejectsRecursion(t *testing.T) {
+	prog := MustParse(`
+class Main {
+  method main(this) {
+    this.main()
+  }
+}
+`)
+	_, err := Lower(prog, staticResolver{prog}, LowerOptions{})
+	if err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Fatalf("err = %v, want recursion error", err)
+	}
+}
+
+func TestLowerDepthLimit(t *testing.T) {
+	src := "class Main {\n"
+	src += "  method main(this) {\n    this.m0()\n  }\n"
+	for i := 0; i < 5; i++ {
+		src += "  method m" + string(rune('0'+i)) + "(this) {\n"
+		src += "    this.m" + string(rune('1'+i)) + "()\n  }\n"
+	}
+	src += "  method m5(this) { }\n}\n"
+	prog := MustParse(src)
+	if _, err := Lower(prog, staticResolver{prog}, LowerOptions{MaxDepth: 3}); err == nil ||
+		!strings.Contains(err.Error(), "depth limit") {
+		t.Fatalf("expected depth-limit error")
+	}
+	if _, err := Lower(prog, staticResolver{prog}, LowerOptions{MaxDepth: 10}); err != nil {
+		t.Fatalf("depth 10 should succeed: %v", err)
+	}
+}
+
+func TestLowerQueriesAndAccesses(t *testing.T) {
+	low := lowerSrc(t, `
+class Main {
+  field f
+  method main(this) {
+    var a, b
+    a = new Main @ h1
+    a.f = a
+    b = a.f
+    query q local(a)
+  }
+}
+`)
+	if len(low.Accesses) != 2 {
+		t.Fatalf("accesses = %d, want 2", len(low.Accesses))
+	}
+	if len(low.Queries) != 1 || low.Queries[0].Var != "Main.main::a" {
+		t.Fatalf("queries = %+v", low.Queries)
+	}
+	if low.Atoms == 0 || low.AtomsByMethod[low.Prog.Main()] != low.Atoms {
+		t.Fatalf("atom attribution wrong: %d vs %v", low.Atoms, low.AtomsByMethod)
+	}
+}
+
+func TestLowerNativeCallOnly(t *testing.T) {
+	low := lowerSrc(t, `
+class Main {
+  native method ping(this)
+  method main(this) {
+    var a, r
+    a = new Main @ h1
+    a.ping()
+    r = a.ping()
+  }
+}
+`)
+	// Native targets have no body: the call is just the Invoke event, and a
+	// call with a destination nulls it.
+	var invokes, nulls int
+	for _, e := range low.G.Edges {
+		switch e.A.(type) {
+		case lang.Invoke:
+			invokes++
+		case lang.MoveNull:
+			nulls++
+		}
+	}
+	if invokes != 2 {
+		t.Fatalf("invokes = %d, want 2", invokes)
+	}
+	// Frame init nulls (a, r) + result null for r.
+	if nulls != 3 {
+		t.Fatalf("nulls = %d, want 3", nulls)
+	}
+}

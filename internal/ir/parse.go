@@ -1,0 +1,454 @@
+package ir
+
+import "fmt"
+
+// Parse parses the textual IR into a Program and runs the semantic checker.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse for tests and generated sources that are known good.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// keywords that cannot be used as identifiers for variables, fields, etc.
+var keywords = map[string]bool{
+	"class": true, "extends": true, "field": true, "method": true,
+	"native": true, "var": true, "new": true, "null": true, "if": true,
+	"else": true, "loop": true, "return": true, "query": true,
+	"global": true, "local": true, "state": true,
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) peek2() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(t token, format string, args ...any) error {
+	return &Error{Pos: t.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.advance()
+	if t.kind != k {
+		return t, p.errorf(t, "expected %s, found %q", k, t.text)
+	}
+	return t, nil
+}
+
+// ident consumes an identifier that is not a reserved keyword.
+func (p *parser) ident() (token, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return t, err
+	}
+	if keywords[t.text] {
+		return t, p.errorf(t, "%q is a reserved word", t.text)
+	}
+	return t, nil
+}
+
+// keyword consumes the given contextual keyword.
+func (p *parser) keyword(kw string) (token, error) {
+	t := p.advance()
+	if t.kind != tokIdent || t.text != kw {
+		return t, p.errorf(t, "expected %q, found %q", kw, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == kw
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokEOF:
+			return prog, nil
+		case p.atKeyword("global"):
+			p.advance()
+			names, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, names...)
+		case p.atKeyword("class"):
+			c, err := p.classDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Classes = append(prog.Classes, c)
+		default:
+			return nil, p.errorf(t, "expected 'class' or 'global', found %q", t.text)
+		}
+	}
+}
+
+func (p *parser) identList() ([]string, error) {
+	first, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	out := []string{first.text}
+	for p.peek().kind == tokComma {
+		p.advance()
+		t, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t.text)
+	}
+	return out, nil
+}
+
+func (p *parser) classDecl() (*Class, error) {
+	kw, err := p.keyword("class")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	c := &Class{Name: name.text, Pos: kw.pos}
+	if p.atKeyword("extends") {
+		p.advance()
+		super, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		c.Super = super.text
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.peek().kind == tokRBrace:
+			p.advance()
+			return c, nil
+		case p.atKeyword("field"):
+			p.advance()
+			names, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			c.Fields = append(c.Fields, names...)
+		case p.atKeyword("native"), p.atKeyword("method"):
+			m, err := p.methodDecl(c)
+			if err != nil {
+				return nil, err
+			}
+			c.Methods = append(c.Methods, m)
+		default:
+			return nil, p.errorf(p.peek(), "expected member declaration, found %q", p.peek().text)
+		}
+	}
+}
+
+func (p *parser) methodDecl(c *Class) (*Method, error) {
+	m := &Method{Class: c}
+	if p.atKeyword("native") {
+		p.advance()
+		m.Native = true
+	}
+	kw, err := p.keyword("method")
+	if err != nil {
+		return nil, err
+	}
+	m.Pos = kw.pos
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	m.Name = name.text
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokRParen {
+		params, err := p.identList()
+		if err != nil {
+			return nil, err
+		}
+		m.Params = params
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if m.Native {
+		return m, nil
+	}
+	body, err := p.block(m)
+	if err != nil {
+		return nil, err
+	}
+	m.Body = body
+	return m, nil
+}
+
+func (p *parser) block(m *Method) ([]Stmt, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for {
+		if p.peek().kind == tokRBrace {
+			p.advance()
+			return out, nil
+		}
+		s, err := p.stmt(m)
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+}
+
+func (p *parser) stmt(m *Method) (Stmt, error) {
+	t := p.peek()
+	switch {
+	case p.atKeyword("var"):
+		p.advance()
+		names, err := p.identList()
+		if err != nil {
+			return nil, err
+		}
+		m.Locals = append(m.Locals, names...)
+		return nil, nil
+	case p.atKeyword("if"):
+		return p.ifStmt(m)
+	case p.atKeyword("loop"):
+		kw := p.advance()
+		body, err := p.block(m)
+		if err != nil {
+			return nil, err
+		}
+		return &LoopStmt{stmtBase{kw.pos}, body}, nil
+	case p.atKeyword("return"):
+		kw := p.advance()
+		ret := &ReturnStmt{stmtBase: stmtBase{kw.pos}}
+		if p.peek().kind == tokIdent && !keywords[p.peek().text] && p.peek2().kind == tokRBrace {
+			v := p.advance()
+			ret.Src = v.text
+		}
+		return ret, nil
+	case p.atKeyword("query"):
+		return p.queryStmt()
+	case t.kind == tokIdent:
+		return p.simpleStmt()
+	}
+	return nil, p.errorf(t, "expected statement, found %q", t.text)
+}
+
+func (p *parser) ifStmt(m *Method) (Stmt, error) {
+	kw := p.advance()
+	if _, err := p.expect(tokStar); err != nil {
+		return nil, err
+	}
+	then, err := p.block(m)
+	if err != nil {
+		return nil, err
+	}
+	var els []Stmt
+	if p.atKeyword("else") {
+		p.advance()
+		els, err = p.block(m)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &IfStmt{stmtBase{kw.pos}, then, els}, nil
+}
+
+func (p *parser) queryStmt() (Stmt, error) {
+	kw := p.advance()
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	q := &QueryStmt{stmtBase: stmtBase{kw.pos}, Name: name.text}
+	switch {
+	case p.atKeyword("local"):
+		p.advance()
+		q.Kind = QueryLocal
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		v, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		q.Var = v.text
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+	case p.atKeyword("state"):
+		p.advance()
+		q.Kind = QueryTypestate
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		v, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		q.Var = v.text
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		for p.peek().kind == tokIdent {
+			s := p.advance()
+			q.States = append(q.States, s.text)
+		}
+		if len(q.States) == 0 {
+			return nil, p.errorf(p.peek(), "query %s: expected at least one state", q.Name)
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errorf(p.peek(), "expected 'local' or 'state', found %q", p.peek().text)
+	}
+	return q, nil
+}
+
+// simpleStmt parses statements beginning with an identifier: assignments,
+// stores, and calls.
+func (p *parser) simpleStmt() (Stmt, error) {
+	first, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	base := stmtBase{first.pos}
+	switch p.peek().kind {
+	case tokDot:
+		p.advance()
+		member, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch p.peek().kind {
+		case tokAssign: // v.f = w
+			p.advance()
+			src, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &StoreStmt{base, first.text, member.text, src.text}, nil
+		case tokLParen: // v.m(args)
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return &CallStmt{base, "", first.text, member.text, args}, nil
+		}
+		return nil, p.errorf(p.peek(), "expected '=' or '(' after %s.%s", first.text, member.text)
+	case tokAssign:
+		p.advance()
+		return p.assignRHS(base, first.text)
+	}
+	return nil, p.errorf(p.peek(), "expected '=' or '.' after %q", first.text)
+}
+
+func (p *parser) assignRHS(base stmtBase, dst string) (Stmt, error) {
+	t := p.peek()
+	switch {
+	case p.atKeyword("new"):
+		p.advance()
+		cls, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokAt); err != nil {
+			return nil, err
+		}
+		site, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &NewStmt{base, dst, cls.text, site.text}, nil
+	case p.atKeyword("null"):
+		p.advance()
+		return &NullStmt{base, dst}, nil
+	case t.kind == tokIdent:
+		src, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind == tokDot {
+			p.advance()
+			member, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if p.peek().kind == tokLParen { // v = w.m(args)
+				args, err := p.args()
+				if err != nil {
+					return nil, err
+				}
+				return &CallStmt{base, dst, src.text, member.text, args}, nil
+			}
+			return &LoadStmt{base, dst, src.text, member.text}, nil
+		}
+		// Move or global read; the checker reclassifies by declaration.
+		return &MoveStmt{base, dst, src.text}, nil
+	}
+	return nil, p.errorf(t, "expected expression, found %q", t.text)
+}
+
+func (p *parser) args() ([]string, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokRParen {
+		p.advance()
+		return nil, nil
+	}
+	out, err := p.identList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,205 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const okSrc = `
+// A comment.
+global G1, G2
+
+class Base {
+  field next
+  native method touch(this)
+  method id(this, x) {
+    return x
+  }
+}
+
+class Derived extends Base {
+  method id(this, x) {
+    var y
+    y = x
+    return y
+  }
+}
+
+class Main {
+  method main(this) {
+    var a, b, c
+    a = new Derived @ h1
+    b = a.id(a)
+    c = null
+    G1 = b
+    c = G2
+    a.next = b
+    b = a.next
+    a.touch()
+    if * {
+      b = a
+    } else {
+      b = c
+    }
+    loop {
+      a = b
+    }
+    query q1 local(a)
+    query q2 state(b: s1 s2)
+  }
+}
+`
+
+func TestParseOK(t *testing.T) {
+	prog, err := Parse(okSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Classes) != 3 {
+		t.Fatalf("classes = %d", len(prog.Classes))
+	}
+	if len(prog.Globals) != 2 {
+		t.Fatalf("globals = %v", prog.Globals)
+	}
+	d := prog.ClassByName("Derived")
+	if d == nil || d.Superclass() == nil || d.Superclass().Name != "Base" {
+		t.Fatal("inheritance not resolved")
+	}
+	// Virtual dispatch: Derived overrides id; touch comes from Base.
+	if m := d.LookupMethod("id"); m == nil || m.Class.Name != "Derived" {
+		t.Fatal("override not picked")
+	}
+	if m := d.LookupMethod("touch"); m == nil || !m.Native || m.Class.Name != "Base" {
+		t.Fatal("inherited native method not found")
+	}
+	if prog.Main() == nil {
+		t.Fatal("Main.main not found")
+	}
+}
+
+func TestParseReclassifiesGlobals(t *testing.T) {
+	prog := MustParse(okSrc)
+	main := prog.Main()
+	var puts, gets int
+	walkAll(main.Body, func(s Stmt) {
+		switch s.(type) {
+		case *GlobalPut:
+			puts++
+		case *GlobalGet:
+			gets++
+		}
+	})
+	if puts != 1 || gets != 1 {
+		t.Fatalf("puts=%d gets=%d, want 1 and 1", puts, gets)
+	}
+}
+
+func walkAll(body []Stmt, f func(Stmt)) {
+	for _, s := range body {
+		f(s)
+		switch s := s.(type) {
+		case *IfStmt:
+			walkAll(s.Then, f)
+			walkAll(s.Else, f)
+		case *LoopStmt:
+			walkAll(s.Body, f)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unterminated class", "class A {", "expected member"},
+		{"bad char", "class A { # }", "unexpected character"},
+		{"reserved ident", "class class { }", "reserved word"},
+		{"undeclared var", "class Main { method main(this) { x = null } }", "undeclared variable"},
+		{"unknown class", "class Main { method main(this) { var x\n x = new Foo @ h } }", "unknown class"},
+		{"unknown super", "class A extends B { }", "unknown class"},
+		{"dup class", "class A { } class A { }", "duplicate class"},
+		{"dup method", "class A { method m(this) { } method m(this) { } }", "duplicate method"},
+		{"dup field", "class A { field f, f }", "duplicate field"},
+		{"dup var", "class Main { method main(this) { var x, x } }", "duplicate variable"},
+		{"global shadow", "global g\nclass Main { method main(this, g) { } }", "shadows a global"},
+		{"global to global", "global a, b\nclass Main { method main(this) { a = b } }", "assignment between globals"},
+		{"return not last", "class Main { method main(this) { var x\n return\n x = null } }", "return must be the last"},
+		{"return value not last", "class Main { method main(this) { var x\n return x\n x = null } }", ""},
+		{"return nested", "class Main { method main(this) { var x\n if * { return x } } }", "return must be the last"},
+		{"undeclared field", "class Main { method main(this) { var x\n x = x.f } }", "undeclared field"},
+		{"native with body", "class A { native method m(this) { } }", ""},
+		{"query bad state", "class Main { method main(this) { var x\n query q state(x:) } }", "at least one state"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("expected error for %q", tc.src)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestInheritanceCycle(t *testing.T) {
+	src := `
+class A extends B { }
+class B extends A { }
+`
+	_, err := Parse(src)
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v, want inheritance cycle", err)
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	src := "class A {\n  method m(this) {\n    zz = null\n  }\n}"
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var perr *Error
+	if !asError(err, &perr) {
+		t.Fatalf("error %T lacks a position", err)
+	}
+	if perr.Pos.Line != 3 {
+		t.Fatalf("error at line %d, want 3 (%v)", perr.Pos.Line, err)
+	}
+}
+
+func asError(err error, out **Error) bool {
+	if e, ok := err.(*Error); ok {
+		*out = e
+		return true
+	}
+	return false
+}
+
+func TestCommentsAndPositions(t *testing.T) {
+	toks, err := lexAll("// only a comment\nclass // trailing\nA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 { // class, A, EOF
+		t.Fatalf("tokens = %d", len(toks))
+	}
+	if toks[0].pos.Line != 2 || toks[1].pos.Line != 3 {
+		t.Fatalf("positions: %v %v", toks[0].pos, toks[1].pos)
+	}
+}
+
+func TestBareReturnThenBrace(t *testing.T) {
+	src := `
+class A {
+  method m(this) {
+    return
+  }
+}
+class Main { method main(this) { } }
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a program back to parseable textual IR. Parse(Print(p)) is
+// semantically identical to p (verified by the round-trip test), which
+// makes generated benchmarks inspectable and diffable.
+func Print(p *Program) string {
+	var b strings.Builder
+	if len(p.Globals) > 0 {
+		fmt.Fprintf(&b, "global %s\n\n", strings.Join(p.Globals, ", "))
+	}
+	for _, c := range p.Classes {
+		printClass(&b, c)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func printClass(b *strings.Builder, c *Class) {
+	fmt.Fprintf(b, "class %s", c.Name)
+	if c.Super != "" {
+		fmt.Fprintf(b, " extends %s", c.Super)
+	}
+	b.WriteString(" {\n")
+	if len(c.Fields) > 0 {
+		fmt.Fprintf(b, "  field %s\n", strings.Join(c.Fields, ", "))
+	}
+	for _, m := range c.Methods {
+		printMethod(b, m)
+	}
+	b.WriteString("}\n")
+}
+
+func printMethod(b *strings.Builder, m *Method) {
+	params := append([]string{"this"}, m.Params...)
+	if m.Native {
+		fmt.Fprintf(b, "  native method %s(%s)\n", m.Name, strings.Join(params, ", "))
+		return
+	}
+	fmt.Fprintf(b, "  method %s(%s) {\n", m.Name, strings.Join(params, ", "))
+	if len(m.Locals) > 0 {
+		fmt.Fprintf(b, "    var %s\n", strings.Join(m.Locals, ", "))
+	}
+	printBlock(b, m.Body, "    ")
+	b.WriteString("  }\n")
+}
+
+func printBlock(b *strings.Builder, body []Stmt, indent string) {
+	for _, s := range body {
+		printStmt(b, s, indent)
+	}
+}
+
+func printStmt(b *strings.Builder, s Stmt, indent string) {
+	switch s := s.(type) {
+	case *NewStmt:
+		fmt.Fprintf(b, "%s%s = new %s @ %s\n", indent, s.Dst, s.Class, s.Site)
+	case *MoveStmt:
+		fmt.Fprintf(b, "%s%s = %s\n", indent, s.Dst, s.Src)
+	case *NullStmt:
+		fmt.Fprintf(b, "%s%s = null\n", indent, s.Dst)
+	case *GlobalGet:
+		fmt.Fprintf(b, "%s%s = %s\n", indent, s.Dst, s.Global)
+	case *GlobalPut:
+		fmt.Fprintf(b, "%s%s = %s\n", indent, s.Global, s.Src)
+	case *LoadStmt:
+		fmt.Fprintf(b, "%s%s = %s.%s\n", indent, s.Dst, s.Src, s.Field)
+	case *StoreStmt:
+		fmt.Fprintf(b, "%s%s.%s = %s\n", indent, s.Dst, s.Field, s.Src)
+	case *CallStmt:
+		if s.Dst != "" {
+			fmt.Fprintf(b, "%s%s = %s.%s(%s)\n", indent, s.Dst, s.Recv, s.Method, strings.Join(s.Args, ", "))
+		} else {
+			fmt.Fprintf(b, "%s%s.%s(%s)\n", indent, s.Recv, s.Method, strings.Join(s.Args, ", "))
+		}
+	case *IfStmt:
+		fmt.Fprintf(b, "%sif * {\n", indent)
+		printBlock(b, s.Then, indent+"  ")
+		if len(s.Else) > 0 {
+			fmt.Fprintf(b, "%s} else {\n", indent)
+			printBlock(b, s.Else, indent+"  ")
+		}
+		fmt.Fprintf(b, "%s}\n", indent)
+	case *LoopStmt:
+		fmt.Fprintf(b, "%sloop {\n", indent)
+		printBlock(b, s.Body, indent+"  ")
+		fmt.Fprintf(b, "%s}\n", indent)
+	case *ReturnStmt:
+		if s.Src != "" {
+			fmt.Fprintf(b, "%sreturn %s\n", indent, s.Src)
+		} else {
+			fmt.Fprintf(b, "%sreturn\n", indent)
+		}
+	case *QueryStmt:
+		switch s.Kind {
+		case QueryLocal:
+			fmt.Fprintf(b, "%squery %s local(%s)\n", indent, s.Name, s.Var)
+		case QueryTypestate:
+			fmt.Fprintf(b, "%squery %s state(%s: %s)\n", indent, s.Name, s.Var, strings.Join(s.States, " "))
+		}
+	}
+}

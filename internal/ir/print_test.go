@@ -1,0 +1,57 @@
+package ir
+
+import (
+	"testing"
+)
+
+// TestPrintRoundTrip: Print output parses back to a program that prints
+// identically (a fixpoint after one round, since Print canonicalizes
+// whitespace and var placement).
+func TestPrintRoundTrip(t *testing.T) {
+	prog := MustParse(okSrc)
+	once := Print(prog)
+	reparsed, err := Parse(once)
+	if err != nil {
+		t.Fatalf("Print output does not parse: %v\n%s", err, once)
+	}
+	twice := Print(reparsed)
+	if once != twice {
+		t.Fatalf("Print not a fixpoint:\n--- once ---\n%s\n--- twice ---\n%s", once, twice)
+	}
+}
+
+// TestPrintPreservesStructure: statement counts survive the round trip.
+func TestPrintPreservesStructure(t *testing.T) {
+	prog := MustParse(okSrc)
+	reparsed := MustParse(Print(prog))
+	count := func(p *Program) map[string]int {
+		out := map[string]int{}
+		for _, m := range p.Methods() {
+			walkAll(m.Body, func(s Stmt) {
+				switch s.(type) {
+				case *NewStmt:
+					out["new"]++
+				case *CallStmt:
+					out["call"]++
+				case *IfStmt:
+					out["if"]++
+				case *LoopStmt:
+					out["loop"]++
+				case *QueryStmt:
+					out["query"]++
+				case *GlobalGet, *GlobalPut:
+					out["global"]++
+				case *ReturnStmt:
+					out["return"]++
+				}
+			})
+		}
+		return out
+	}
+	a, b := count(prog), count(reparsed)
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("%s: %d vs %d after round trip", k, v, b[k])
+		}
+	}
+}

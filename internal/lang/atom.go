@@ -1,0 +1,97 @@
+// Package lang defines the simple imperative language of §3.1 of the paper:
+//
+//	(atomic command) a ::= ...
+//	(program)        s ::= a | s ; s' | s + s' | s*
+//
+// The set of atomic commands is the union of the heap-manipulating commands
+// interpreted by the two client analyses (Figs 4 and 5): allocations, copies,
+// null assignments, global reads/writes, field loads/stores, and method
+// invocations. A trace is a finite sequence of atomic commands (Fig 2).
+package lang
+
+import "fmt"
+
+// Atom is an atomic command. Analyses interpret the subset of atoms they
+// care about and treat the rest according to their concrete semantics
+// (typically as identity or as a conservative kill).
+type Atom interface {
+	fmt.Stringer
+	atom()
+}
+
+// Alloc is "v = new h": bind local v to a fresh object from allocation
+// site h.
+type Alloc struct {
+	V string // destination local
+	H string // allocation site
+}
+
+// Move is "v = w": copy local w into local v.
+type Move struct {
+	Dst, Src string
+}
+
+// MoveNull is "v = null".
+type MoveNull struct {
+	V string
+}
+
+// GlobalWrite is "g = v": store local v into global (static) variable g.
+type GlobalWrite struct {
+	G, V string
+}
+
+// GlobalRead is "v = g": load global g into local v.
+type GlobalRead struct {
+	V, G string
+}
+
+// Load is "v = w.f": load instance field f of the object w points to.
+type Load struct {
+	Dst, Src, F string
+}
+
+// Store is "v.f = w": store local w into field f of the object v points to.
+type Store struct {
+	Dst, F, Src string
+}
+
+// Invoke is "v.m()": call method m on the object v points to. For the
+// type-state analysis this drives the type-state automaton; the thread-escape
+// analysis ignores it (interprocedural effects are handled by the RHS solver,
+// which splices callee atoms into the trace).
+type Invoke struct {
+	V, M string
+}
+
+func (Alloc) atom()       {}
+func (Move) atom()        {}
+func (MoveNull) atom()    {}
+func (GlobalWrite) atom() {}
+func (GlobalRead) atom()  {}
+func (Load) atom()        {}
+func (Store) atom()       {}
+func (Invoke) atom()      {}
+
+func (a Alloc) String() string       { return a.V + " = new " + a.H }
+func (a Move) String() string        { return a.Dst + " = " + a.Src }
+func (a MoveNull) String() string    { return a.V + " = null" }
+func (a GlobalWrite) String() string { return a.G + " = " + a.V }
+func (a GlobalRead) String() string  { return a.V + " = " + a.G }
+func (a Load) String() string        { return a.Dst + " = " + a.Src + "." + a.F }
+func (a Store) String() string       { return a.Dst + "." + a.F + " = " + a.Src }
+func (a Invoke) String() string      { return a.V + "." + a.M + "()" }
+
+// Trace is a finite sequence of atomic commands recording one execution.
+type Trace []Atom
+
+func (t Trace) String() string {
+	s := ""
+	for i, a := range t {
+		if i > 0 {
+			s += "; "
+		}
+		s += a.String()
+	}
+	return s
+}

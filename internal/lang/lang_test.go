@@ -1,0 +1,207 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func atomA() Atom { return MoveNull{V: "a"} }
+func atomB() Atom { return MoveNull{V: "b"} }
+func atomC() Atom { return MoveNull{V: "c"} }
+
+// TestTracesStraightLine: a;b;c has exactly one trace.
+func TestTracesStraightLine(t *testing.T) {
+	p := Atoms(atomA(), atomB(), atomC())
+	ts := Traces(p, 10, 100)
+	if len(ts) != 1 {
+		t.Fatalf("traces = %d, want 1", len(ts))
+	}
+	if ts[0].String() != "a = null; b = null; c = null" {
+		t.Fatalf("trace = %q", ts[0])
+	}
+}
+
+// TestTracesChoice: a + b has two traces.
+func TestTracesChoice(t *testing.T) {
+	p := Choice{Atoms(atomA()), Atoms(atomB())}
+	ts := Traces(p, 10, 100)
+	if len(ts) != 2 {
+		t.Fatalf("traces = %v, want 2", ts)
+	}
+}
+
+// TestTracesStar: a* yields ε, a, aa, aaa, ... up to the length bound.
+func TestTracesStar(t *testing.T) {
+	p := Star{Atoms(atomA())}
+	ts := Traces(p, 4, 100)
+	lens := map[int]bool{}
+	for _, tr := range ts {
+		lens[len(tr)] = true
+	}
+	for want := 0; want <= 4; want++ {
+		if !lens[want] {
+			t.Errorf("missing trace of length %d in %v", want, ts)
+		}
+	}
+}
+
+// TestTracesLimit stops at the requested number of traces.
+func TestTracesLimit(t *testing.T) {
+	p := Star{Atoms(atomA())}
+	ts := Traces(p, 100, 5)
+	if len(ts) != 5 {
+		t.Fatalf("traces = %d, want 5", len(ts))
+	}
+}
+
+// TestSkipAndHelpers: Skip is the unit of SeqN and If.
+func TestSkipAndHelpers(t *testing.T) {
+	if got := Traces(Skip{}, 5, 10); len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("Skip traces = %v", got)
+	}
+	ifp := If(Atoms(atomA()))
+	ts := Traces(ifp, 5, 10)
+	if len(ts) != 2 {
+		t.Fatalf("If traces = %v", ts)
+	}
+	if SeqN().String() != "skip" {
+		t.Fatalf("SeqN() = %q", SeqN().String())
+	}
+}
+
+// randProg builds a random structured program with the given atom pool.
+func randProg(rng *rand.Rand, depth int) Prog {
+	atoms := []Atom{
+		Alloc{V: "x", H: "h"}, Move{Dst: "x", Src: "y"}, MoveNull{V: "y"},
+		Invoke{V: "x", M: "m"}, Store{Dst: "x", F: "f", Src: "y"},
+	}
+	if depth == 0 || rng.Intn(3) == 0 {
+		return Atomic{atoms[rng.Intn(len(atoms))]}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return Seq{randProg(rng, depth-1), randProg(rng, depth-1)}
+	case 1:
+		return Choice{randProg(rng, depth-1), randProg(rng, depth-1)}
+	case 2:
+		return Star{randProg(rng, depth-1)}
+	default:
+		return Atomic{atoms[rng.Intn(len(atoms))]}
+	}
+}
+
+// TestCFGTraceCorrespondence: every enumerated trace of a program is a path
+// through its lowered CFG from entry to exit.
+func TestCFGTraceCorrespondence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		p := randProg(rng, 3)
+		g := BuildCFG(p)
+		for _, tr := range Traces(p, 6, 30) {
+			if !cfgAccepts(g, tr) {
+				t.Fatalf("CFG of %s rejects trace %q", p, tr)
+			}
+		}
+	}
+}
+
+// cfgAccepts reports whether the CFG has a path spelling the trace from
+// Entry to Exit (ε edges free).
+func cfgAccepts(g *CFG, tr Trace) bool {
+	type state struct {
+		node int
+		pos  int
+	}
+	seen := map[state]bool{}
+	var stack []state
+	push := func(s state) {
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	push(state{g.Entry, 0})
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.node == g.Exit && s.pos == len(tr) {
+			return true
+		}
+		for _, ei := range g.Out[s.node] {
+			e := g.Edges[ei]
+			if e.A == nil {
+				push(state{e.To, s.pos})
+			} else if s.pos < len(tr) && e.A.String() == tr[s.pos].String() {
+				push(state{e.To, s.pos + 1})
+			}
+		}
+	}
+	return false
+}
+
+// TestReversePostorder: entry first, and every node reachable appears once.
+func TestReversePostorder(t *testing.T) {
+	p := Seq{Choice{Atoms(atomA()), Atoms(atomB())}, Star{Atoms(atomC())}}
+	g := BuildCFG(p)
+	order := g.ReversePostorder()
+	if order[0] != g.Entry {
+		t.Fatalf("rpo starts at %d, want entry %d", order[0], g.Entry)
+	}
+	seen := map[int]bool{}
+	for _, n := range order {
+		if seen[n] {
+			t.Fatalf("node %d repeated", n)
+		}
+		seen[n] = true
+	}
+	if !seen[g.Exit] {
+		t.Fatal("exit unreachable in rpo")
+	}
+}
+
+// TestAtomStrings covers the printable forms used in traces and examples.
+func TestAtomStrings(t *testing.T) {
+	cases := map[Atom]string{
+		Alloc{V: "v", H: "h1"}:            "v = new h1",
+		Move{Dst: "a", Src: "b"}:          "a = b",
+		MoveNull{V: "v"}:                  "v = null",
+		GlobalWrite{G: "G", V: "v"}:       "G = v",
+		GlobalRead{V: "v", G: "G"}:        "v = G",
+		Load{Dst: "a", Src: "b", F: "f"}:  "a = b.f",
+		Store{Dst: "a", F: "f", Src: "b"}: "a.f = b",
+		Invoke{V: "v", M: "close"}:        "v.close()",
+	}
+	for atom, want := range cases {
+		if got := atom.String(); got != want {
+			t.Errorf("%T.String() = %q, want %q", atom, got, want)
+		}
+	}
+}
+
+// TestFormat renders nested structure with branches and loops.
+func TestFormat(t *testing.T) {
+	p := SeqN(
+		Atoms(Alloc{V: "x", H: "h"}),
+		If(Atoms(Move{Dst: "z", Src: "x"})),
+		Star{Atoms(Invoke{V: "x", M: "m"})},
+	)
+	s := Format(p)
+	for _, want := range []string{"x = new h;", "if (*)", "else", "loop {", "x.m();"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestAddEdgePanics on out-of-range nodes.
+func TestAddEdgePanics(t *testing.T) {
+	g := NewCFG()
+	g.AddNode()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.AddEdge(0, 5, nil)
+}

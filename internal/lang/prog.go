@@ -1,0 +1,189 @@
+package lang
+
+import "strings"
+
+// Prog is a program of the structured regular language:
+// s ::= a | s ; s' | s + s' | s*.
+type Prog interface {
+	prog()
+	String() string
+}
+
+// Atomic wraps a single atomic command as a program.
+type Atomic struct{ A Atom }
+
+// Seq is sequential composition s ; s'.
+type Seq struct{ Fst, Snd Prog }
+
+// Choice is nondeterministic choice s + s'.
+type Choice struct{ Left, Right Prog }
+
+// Star is iteration s*.
+type Star struct{ Body Prog }
+
+// Skip is the empty program ε; it is convenient for encoding one-armed
+// conditionals (s + ε).
+type Skip struct{}
+
+func (Atomic) prog() {}
+func (Seq) prog()    {}
+func (Choice) prog() {}
+func (Star) prog()   {}
+func (Skip) prog()   {}
+
+func (p Atomic) String() string { return p.A.String() }
+func (p Seq) String() string    { return p.Fst.String() + "; " + p.Snd.String() }
+func (p Choice) String() string { return "(" + p.Left.String() + " + " + p.Right.String() + ")" }
+func (p Star) String() string   { return "(" + p.Body.String() + ")*" }
+func (Skip) String() string     { return "skip" }
+
+// SeqN sequences the given programs left to right. SeqN() is Skip.
+func SeqN(ps ...Prog) Prog {
+	if len(ps) == 0 {
+		return Skip{}
+	}
+	out := ps[0]
+	for _, p := range ps[1:] {
+		out = Seq{out, p}
+	}
+	return out
+}
+
+// Atoms builds a straight-line program from atomic commands.
+func Atoms(as ...Atom) Prog {
+	ps := make([]Prog, len(as))
+	for i, a := range as {
+		ps[i] = Atomic{a}
+	}
+	return SeqN(ps...)
+}
+
+// If is the one-armed conditional "if (*) s", i.e. s + ε.
+func If(s Prog) Prog { return Choice{s, Skip{}} }
+
+// Traces enumerates traces of p per Fig 2, in breadth-first order, stopping
+// once limit traces have been produced or every trace would exceed maxLen
+// atoms. It is intended for tests and small examples; programs with loops
+// have infinitely many traces.
+func Traces(p Prog, maxLen, limit int) []Trace {
+	var out []Trace
+	seen := make(map[string]bool)
+	emit := func(t Trace) bool {
+		k := t.String()
+		if seen[k] {
+			return len(out) < limit
+		}
+		seen[k] = true
+		out = append(out, t)
+		return len(out) < limit
+	}
+	// Iterative deepening on the number of loop unrollings keeps the
+	// enumeration breadth-first-ish without an explicit queue.
+	for unroll := 0; ; unroll++ {
+		before := len(out)
+		if !emitTraces(p, nil, maxLen, unroll, emit) {
+			break
+		}
+		if len(out) == before && unroll > maxLen {
+			break
+		}
+		if !hasStar(p) {
+			break
+		}
+	}
+	return out
+}
+
+// emitTraces walks p accumulating the prefix; it reports false when the
+// limit has been reached and enumeration should stop.
+func emitTraces(p Prog, prefix Trace, maxLen, unroll int, emit func(Trace) bool) bool {
+	type frame struct {
+		prefix Trace
+	}
+	var rec func(p Prog, prefix Trace, k func(Trace) bool) bool
+	rec = func(p Prog, prefix Trace, k func(Trace) bool) bool {
+		if len(prefix) > maxLen {
+			return true
+		}
+		switch p := p.(type) {
+		case Skip:
+			return k(prefix)
+		case Atomic:
+			next := make(Trace, len(prefix)+1)
+			copy(next, prefix)
+			next[len(prefix)] = p.A
+			return k(next)
+		case Seq:
+			return rec(p.Fst, prefix, func(t Trace) bool {
+				return rec(p.Snd, t, k)
+			})
+		case Choice:
+			if !rec(p.Left, prefix, k) {
+				return false
+			}
+			return rec(p.Right, prefix, k)
+		case Star:
+			// Unroll the body 0..unroll times.
+			var loop func(t Trace, n int) bool
+			loop = func(t Trace, n int) bool {
+				if !k(t) {
+					return false
+				}
+				if n == 0 {
+					return true
+				}
+				return rec(p.Body, t, func(t2 Trace) bool {
+					if len(t2) == len(t) {
+						return true // empty body iteration; avoid divergence
+					}
+					return loop(t2, n-1)
+				})
+			}
+			return loop(prefix, unroll)
+		}
+		panic("lang: unknown program form")
+	}
+	_ = frame{}
+	return rec(p, prefix, emit)
+}
+
+func hasStar(p Prog) bool {
+	switch p := p.(type) {
+	case Star:
+		return true
+	case Seq:
+		return hasStar(p.Fst) || hasStar(p.Snd)
+	case Choice:
+		return hasStar(p.Left) || hasStar(p.Right)
+	default:
+		return false
+	}
+}
+
+// Format renders a program with one atom per line, for example output.
+func Format(p Prog) string {
+	var b strings.Builder
+	var rec func(p Prog, indent string)
+	rec = func(p Prog, indent string) {
+		switch p := p.(type) {
+		case Skip:
+		case Atomic:
+			b.WriteString(indent + p.A.String() + ";\n")
+		case Seq:
+			rec(p.Fst, indent)
+			rec(p.Snd, indent)
+		case Choice:
+			b.WriteString(indent + "if (*) {\n")
+			rec(p.Left, indent+"  ")
+			b.WriteString(indent + "} else {\n")
+			rec(p.Right, indent+"  ")
+			b.WriteString(indent + "}\n")
+		case Star:
+			b.WriteString(indent + "loop {\n")
+			rec(p.Body, indent+"  ")
+			b.WriteString(indent + "}\n")
+		}
+	}
+	rec(p, "")
+	return b.String()
+}

@@ -1,0 +1,262 @@
+// Package meta implements the backward meta-analysis of §4 (Fig 7).
+//
+// Given an abstract counterexample trace t of the forward analysis run with
+// abstraction p from initial state dI, the meta-analysis walks t backward,
+// transforming a boolean formula over (abstraction, abstract-state) pairs.
+// The formula is a sufficient condition for the forward analysis to fail:
+// for every (p', d') in its denotation, instantiating the forward analysis
+// with p' and running it from d' along the analyzed suffix fails to prove
+// the query (Theorem 3). Each step applies the analysis-specific weakest
+// precondition [a]♭ and then the under-approximation operator approx at the
+// abstract state the forward analysis computed at that point.
+package meta
+
+import (
+	"tracer/internal/dataflow"
+	"tracer/internal/formula"
+	"tracer/internal/lang"
+)
+
+// Client bundles what an analysis must provide to run the meta-analysis.
+// D is the forward analysis's abstract state type.
+type Client[D comparable] struct {
+	// WP returns the weakest precondition [a]♭ of a positive primitive π:
+	// the set of (p, d) such that (p, [a]p(d)) ∈ δ(π). Negative literals are
+	// handled generically: since [a]p is a total function, wp(¬π) = ¬wp(π).
+	WP func(a lang.Atom, p formula.Prim) formula.Formula
+	// Theory is the literal theory used for DNF conversion and subsumption.
+	Theory formula.Theory
+	// Eval evaluates a literal at (p, d) where p is the abstraction the
+	// client was built for (captured in the closure).
+	Eval func(l formula.Lit, d D) bool
+	// K is the beam width for dropk; K ≤ 0 disables under-approximation.
+	K int
+	// Cache optionally shares memoized weakest preconditions across clients
+	// (they depend only on the analysis, not on the abstraction p).
+	Cache *WPCache
+}
+
+// WPCache memoizes per-(atom, literal) weakest-precondition DNFs. It is
+// safe to share across all Clients of one analysis instance.
+type WPCache struct {
+	m map[wpKey]wpEntry
+}
+
+// NewWPCache returns an empty cache.
+func NewWPCache() *WPCache { return &WPCache{m: map[wpKey]wpEntry{}} }
+
+// wpLit applies the weakest precondition to a possibly negated literal.
+func (c *Client[D]) wpLit(a lang.Atom, l formula.Lit) formula.Formula {
+	f := c.WP(a, l.P)
+	if l.Neg {
+		return formula.Not(f)
+	}
+	return f
+}
+
+// wpKey memoizes per-(atom, literal) weakest preconditions. Atoms and
+// literals are small comparable values, and a trace mentions the same atom
+// at every iteration of the CEGAR loop, so the cache hit rate is high.
+type wpKey struct {
+	a lang.Atom
+	l formula.Lit
+}
+
+type wpEntry struct {
+	identity bool // wp(l) = l: the common case, handled without DNF work
+	d        formula.DNF
+}
+
+// wpLitDNF returns the cached DNF of [a]♭(l).
+func (c *Client[D]) wpLitDNF(a lang.Atom, l formula.Lit) wpEntry {
+	if c.Cache == nil {
+		c.Cache = NewWPCache()
+	}
+	k := wpKey{a, l}
+	if e, ok := c.Cache.m[k]; ok {
+		return e
+	}
+	d := formula.ToDNF(c.wpLit(a, l), c.Theory)
+	e := wpEntry{d: d}
+	if sl, ok := d.SingletonLit(); ok && sl == l {
+		e.identity = true
+	}
+	c.Cache.m[k] = e
+	return e
+}
+
+// wpDNF applies [a]♭ to a whole DNF formula, returning DNF directly and a
+// flag telling whether the formula is unchanged (the atom does not affect
+// any literal — the overwhelmingly common case on long inlined traces,
+// which lets the driver skip the approx step entirely). For each disjunct
+// it splits literals into the unchanged majority (retained in one sorted
+// pass) and the few literals the atom actually affects (whose preconditions
+// are conjoined in).
+func (c *Client[D]) wpDNF(a lang.Atom, d formula.DNF) (formula.DNF, bool) {
+	var out formula.DNF
+	var seen map[string]bool
+	allIdentity := true
+	for ci, conj := range d {
+		lits := conj.Lits()
+		var subs []formula.DNF
+		identity := make([]bool, len(lits))
+		allID := true
+		for i, l := range lits {
+			e := c.wpLitDNF(a, l)
+			if e.identity {
+				identity[i] = true
+			} else {
+				allID = false
+				subs = append(subs, e.d)
+			}
+		}
+		if allID && allIdentity {
+			// Still on the unchanged fast path: defer any copying.
+			continue
+		}
+		if allIdentity {
+			// First changed disjunct: materialize the prefix.
+			allIdentity = false
+			seen = make(map[string]bool, len(d))
+			out = append(out, d[:ci]...)
+			for _, pc := range d[:ci] {
+				seen[pc.Key()] = true
+			}
+		}
+		acc := formula.DNF{conj.Retain(func(i int) bool { return identity[i] })}
+		for _, s := range subs {
+			acc = acc.And(s, c.Theory)
+			if acc.IsFalse() {
+				break
+			}
+		}
+		for _, nc := range acc {
+			k := nc.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, nc)
+			}
+		}
+	}
+	if allIdentity {
+		return d, true
+	}
+	return out, false
+}
+
+// approxAt runs the approx operator relative to the abstract state d that
+// the forward analysis computed at the current point.
+func (c *Client[D]) approxAt(f formula.DNF, d D) formula.DNF {
+	holds := func(conj formula.Conj) bool {
+		return conj.Eval(func(l formula.Lit) bool { return c.Eval(l, d) })
+	}
+	return formula.ApproxDNF(f, c.Theory, c.K, holds)
+}
+
+// Run computes B[t](p, dI, not(q)): the sufficient condition for failure at
+// the start of trace t. states must be the pre-state sequence returned by
+// dataflow.StatesAlong(t, dI, tr) — states[i] is the forward state before
+// atom t[i], and states[len(t)] the failing final state. post is not(q).
+func Run[D comparable](c *Client[D], t lang.Trace, states []D, post formula.Formula) formula.DNF {
+	ann := RunAnnotated(c, t, states, post)
+	return ann[0]
+}
+
+// RunAnnotated is Run but returns the formula at every point of the trace:
+// result[i] is the condition before atom t[i] (so result[0] is B[t]'s value
+// and result[len(t)] the approximated not(q)). These per-point formulas are
+// the ψ annotations of Figs 1 and 6.
+func RunAnnotated[D comparable](c *Client[D], t lang.Trace, states []D, post formula.Formula) []formula.DNF {
+	if len(states) != len(t)+1 {
+		panic("meta: states must have length len(t)+1")
+	}
+	out := make([]formula.DNF, len(t)+1)
+	cur := c.approxAt(formula.ToDNF(post, c.Theory), states[len(t)])
+	out[len(t)] = cur
+	for i := len(t) - 1; i >= 0; i-- {
+		pre, unchanged := c.wpDNF(t[i], cur)
+		if !unchanged {
+			// approx is idempotent, so unchanged formulas (already
+			// simplified and within the beam width) skip it.
+			pre = c.approxAt(pre, states[i])
+		}
+		cur = pre
+		out[i] = cur
+	}
+	return out
+}
+
+// CheckWP verifies requirement (2) of §4 for a single atom over explicit
+// universes: δ([a]♭(π)) must equal {(p, d) | (p, [a]p(d)) ∈ δ(π)}. It
+// returns the offending (p, d) pairs (as indices into the given slices)
+// where the two sides disagree. transfer(p, d) must implement [a]p.
+// It is used by the analyses' soundness tests.
+func CheckWP[P any, D comparable](
+	a lang.Atom,
+	prim formula.Prim,
+	wp func(a lang.Atom, p formula.Prim) formula.Formula,
+	th formula.Theory,
+	abstractions []P,
+	states []D,
+	transfer func(p P, d D) D,
+	eval func(l formula.Lit, p P, d D) bool,
+) (bad [][2]int) {
+	f := wp(a, prim)
+	pre := formula.ToDNF(f, th)
+	for pi, p := range abstractions {
+		for di, d := range states {
+			lhs := pre.Eval(func(l formula.Lit) bool { return eval(l, p, d) })
+			post := transfer(p, d)
+			rhs := eval(formula.Lit{P: prim}, p, post)
+			if lhs != rhs {
+				bad = append(bad, [2]int{pi, di})
+			}
+		}
+	}
+	return bad
+}
+
+// CheckSoundness verifies both clauses of Theorem 3 on a concrete trace for
+// the client's abstraction p (captured in c.Eval) against explicit universes
+// of alternative abstractions and states:
+//
+//  1. if (p, Fp[t](dI)) ∈ δ(f) then (p, dI) ∈ δ(B[t](p, dI, f));
+//  2. every (p0, d0) ∈ δ(B[t](p, dI, f)) satisfies (p0, Fp0[t](d0)) ∈ δ(f).
+//
+// evalFor(p0) must evaluate literals under abstraction p0; transferFor(p0)
+// must be the forward transfer instantiated at p0. It returns a descriptive
+// violation count of each clause.
+func CheckSoundness[P any, D comparable](
+	c *Client[D],
+	t lang.Trace,
+	dI D,
+	post formula.Formula,
+	selfHolds bool, // whether (p, Fp[t](dI)) ∈ δ(post), i.e. the run failed
+	abstractions []P,
+	states []D,
+	transferFor func(p P) dataflow.Transfer[D],
+	evalFor func(p P) func(l formula.Lit, d D) bool,
+	selfTransfer dataflow.Transfer[D],
+) (clause1Violations, clause2Violations int) {
+	pre := dataflow.StatesAlong(t, dI, selfTransfer)
+	f := Run(c, t, pre, post)
+	if selfHolds {
+		if !f.Eval(func(l formula.Lit) bool { return c.Eval(l, dI) }) {
+			clause1Violations++
+		}
+	}
+	for _, p0 := range abstractions {
+		ev := evalFor(p0)
+		tr := transferFor(p0)
+		for _, d0 := range states {
+			if !f.Eval(func(l formula.Lit) bool { return ev(l, d0) }) {
+				continue
+			}
+			final := dataflow.EvalTrace(t, d0, tr)
+			if !post.Eval(func(l formula.Lit) bool { return ev(l, final) }) {
+				clause2Violations++
+			}
+		}
+	}
+	return clause1Violations, clause2Violations
+}

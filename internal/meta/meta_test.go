@@ -1,0 +1,150 @@
+package meta_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"tracer/internal/dataflow"
+	"tracer/internal/formula"
+	"tracer/internal/lang"
+	"tracer/internal/meta"
+	"tracer/internal/typestate"
+	"tracer/internal/uset"
+)
+
+// naiveBackward is a direct transcription of Fig 7 without the identity
+// fast path, the WP cache, or DNF-level accumulation: the reference the
+// optimized driver is checked against.
+func naiveBackward(c *meta.Client[typestate.State], t lang.Trace, states []typestate.State, post formula.Formula) []formula.DNF {
+	out := make([]formula.DNF, len(t)+1)
+	approx := func(f formula.Formula, d typestate.State) formula.DNF {
+		holds := func(conj formula.Conj) bool {
+			return conj.Eval(func(l formula.Lit) bool { return c.Eval(l, d) })
+		}
+		return formula.Approx(f, c.Theory, c.K, holds)
+	}
+	cur := approx(post, states[len(t)])
+	out[len(t)] = cur
+	for i := len(t) - 1; i >= 0; i-- {
+		var disjuncts []formula.Formula
+		for _, conj := range cur {
+			var lits []formula.Formula
+			for _, l := range conj.Lits() {
+				wp := c.WP(t[i], l.P)
+				if l.Neg {
+					wp = formula.Not(wp)
+				}
+				lits = append(lits, wp)
+			}
+			disjuncts = append(disjuncts, formula.And(lits...))
+		}
+		cur = approx(formula.Or(disjuncts...), states[i])
+		out[i] = cur
+	}
+	return out
+}
+
+func testSetup() (*typestate.Analysis, []lang.Atom) {
+	a := typestate.New(typestate.FileProperty(), "h", []string{"x", "y"})
+	atoms := []lang.Atom{
+		lang.Alloc{V: "x", H: "h"},
+		lang.Alloc{V: "y", H: "g"},
+		lang.Move{Dst: "y", Src: "x"},
+		lang.Move{Dst: "x", Src: "y"},
+		lang.MoveNull{V: "y"},
+		lang.Invoke{V: "x", M: "open"},
+		lang.Invoke{V: "y", M: "close"},
+		lang.Store{Dst: "x", F: "f", Src: "y"},
+	}
+	return a, atoms
+}
+
+// TestOptimizedDriverMatchesNaive compares the production driver (with its
+// identity fast path and WP caching) against the naive Fig 7 transcription,
+// point by point, on random traces, semantically over all (p, d).
+func TestOptimizedDriverMatchesNaive(t *testing.T) {
+	a, atoms := testSetup()
+	rng := rand.New(rand.NewSource(31))
+	abstractions := a.AllAbstractions()
+	states := a.AllStates()
+	post := a.NotQ(typestate.Query{Want: uset.Bits(0).Add(0)})
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(8)
+		tr := make(lang.Trace, n)
+		for i := range tr {
+			tr[i] = atoms[rng.Intn(len(atoms))]
+		}
+		p := abstractions[rng.Intn(len(abstractions))]
+		for _, k := range []int{1, 2, 0} {
+			client := &meta.Client[typestate.State]{
+				WP:     a.WP,
+				Theory: typestate.Theory{},
+				Eval:   func(l formula.Lit, d typestate.State) bool { return a.EvalLit(l, p, d) },
+				K:      k,
+			}
+			pre := dataflow.StatesAlong(tr, a.Initial(), a.Transfer(p))
+			got := meta.RunAnnotated(client, tr, pre, post)
+			ref := naiveBackward(client, tr, pre, post)
+			for i := range got {
+				for _, p0 := range abstractions {
+					for _, d0 := range states {
+						ev := func(l formula.Lit) bool { return a.EvalLit(l, p0, d0) }
+						if got[i].Eval(ev) != ref[i].Eval(ev) {
+							t.Fatalf("k=%d trace %q point %d: optimized %s vs naive %s differ at p=%v d=%s",
+								k, tr, i, got[i], ref[i], p0, a.Format(d0))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunAnnotatedLengths and the state-length contract.
+func TestRunAnnotatedLengths(t *testing.T) {
+	a, _ := testSetup()
+	client := &meta.Client[typestate.State]{
+		WP:     a.WP,
+		Theory: typestate.Theory{},
+		Eval:   func(l formula.Lit, d typestate.State) bool { return a.EvalLit(l, nil, d) },
+		K:      1,
+	}
+	tr := lang.Trace{lang.MoveNull{V: "x"}}
+	states := dataflow.StatesAlong(tr, a.Initial(), a.Transfer(nil))
+	post := a.NotQ(typestate.Query{Want: uset.Bits(0).Add(0)})
+	ann := meta.RunAnnotated(client, tr, states, post)
+	if len(ann) != 2 {
+		t.Fatalf("annotations = %d, want 2", len(ann))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched states length")
+		}
+	}()
+	meta.RunAnnotated(client, tr, states[:1], post)
+}
+
+// TestWPCacheShared: results are identical with and without a shared cache.
+func TestWPCacheShared(t *testing.T) {
+	a, atoms := testSetup()
+	cache := meta.NewWPCache()
+	tr := lang.Trace{atoms[0], atoms[2], atoms[5], atoms[6]}
+	post := a.NotQ(typestate.Query{Want: uset.Bits(0).Add(0)})
+	states := dataflow.StatesAlong(tr, a.Initial(), a.Transfer(nil))
+	mk := func(c *meta.WPCache) formula.DNF {
+		client := &meta.Client[typestate.State]{
+			WP:     a.WP,
+			Theory: typestate.Theory{},
+			Eval:   func(l formula.Lit, d typestate.State) bool { return a.EvalLit(l, nil, d) },
+			K:      1,
+			Cache:  c,
+		}
+		return meta.Run(client, tr, states, post)
+	}
+	first := mk(cache)
+	second := mk(cache) // warm cache
+	fresh := mk(nil)
+	if first.String() != second.String() || first.String() != fresh.String() {
+		t.Fatalf("cache changed results: %s / %s / %s", first, second, fresh)
+	}
+}

@@ -1,0 +1,82 @@
+package meta
+
+import (
+	"tracer/internal/formula"
+	"tracer/internal/lang"
+)
+
+// This file implements one of the paper's proposed extensions (§8):
+// "devise a general recipe for synthesizing these [backward transfer]
+// functions automatically from a given abstract domain and parametric
+// analysis." Over explicit (finite, small) universes the recipe is exact:
+// the weakest precondition of a primitive is the disjunction of
+// characterizing formulas of every (p, d) whose successor satisfies it.
+// The result is unusable at production scale (it enumerates P × D), but it
+// is exact by construction, which makes it a reference oracle: analysis
+// designers can check a hand-written [a]♭ against the synthesized one on a
+// small universe before trusting it at scale — precisely how this
+// repository's soundness tests found their bugs.
+
+// Descriptor characterizes (p, d) pairs as conjunctions of literals.
+type Descriptor[P any, D comparable] struct {
+	// Describe returns a conjunction that holds at exactly (p, d) within
+	// the given universes.
+	Describe func(p P, d D) formula.Conj
+	// Eval evaluates a literal at (p, d).
+	Eval func(l formula.Lit, p P, d D) bool
+}
+
+// SynthesizeWP computes the exact weakest precondition of prim across atom
+// a by brute-force preimage over the universes:
+//
+//	δ(wp) = {(p, d) | (p, [a]p(d)) ∈ δ(prim)}.
+//
+// The returned DNF is simplified with the theory.
+func SynthesizeWP[P any, D comparable](
+	a lang.Atom,
+	prim formula.Prim,
+	transfer func(p P, d D) D,
+	desc Descriptor[P, D],
+	th formula.Theory,
+	abstractions []P,
+	states []D,
+) formula.DNF {
+	var out formula.DNF
+	for _, p := range abstractions {
+		for _, d := range states {
+			post := transfer(p, d)
+			if desc.Eval(formula.Lit{P: prim}, p, post) {
+				out = append(out, desc.Describe(p, d))
+			}
+		}
+	}
+	return out.Simplify(th)
+}
+
+// CheckAgainstSynthesized verifies a hand-written weakest precondition
+// against the synthesized oracle, returning the number of (p, d) points
+// where they disagree. It subsumes CheckWP but reports against the exact
+// reference rather than the transfer function directly.
+func CheckAgainstSynthesized[P any, D comparable](
+	a lang.Atom,
+	prim formula.Prim,
+	wp func(a lang.Atom, p formula.Prim) formula.Formula,
+	transfer func(p P, d D) D,
+	desc Descriptor[P, D],
+	th formula.Theory,
+	abstractions []P,
+	states []D,
+) int {
+	hand := formula.ToDNF(wp(a, prim), th)
+	synth := SynthesizeWP(a, prim, transfer, desc, th, abstractions, states)
+	bad := 0
+	for _, p := range abstractions {
+		for _, d := range states {
+			ev := func(l formula.Lit) bool { return desc.Eval(l, p, d) }
+			if hand.Eval(ev) != synth.Eval(ev) {
+				bad++
+			}
+		}
+	}
+	return bad
+}

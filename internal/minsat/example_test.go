@@ -1,0 +1,21 @@
+package minsat_test
+
+import (
+	"fmt"
+
+	"tracer/internal/minsat"
+	"tracer/internal/uset"
+)
+
+// ExampleSolver_Minimum blocks two abstraction cubes the way TRACER does
+// and asks for the cheapest surviving abstraction.
+func ExampleSolver_Minimum() {
+	s := minsat.New(4)
+	// "No abstraction without parameter 1 can prove the query."
+	s.Block(nil, uset.New(1))
+	// "No abstraction with 1 but without 3 can prove it either."
+	s.Block(uset.New(1), uset.New(3))
+	model, ok := s.Minimum()
+	fmt.Println(ok, model)
+	// Output: true {1,3}
+}

@@ -1,0 +1,347 @@
+// Package minsat finds minimum-cost models of CNF formulas over boolean
+// parameter variables. TRACER (§5) maintains the viable abstraction set as
+// a conjunction of blocking clauses learned from the backward meta-analysis
+// and repeatedly needs a *minimum* abstraction from it (line 8 of Alg 1):
+// the model with the fewest true variables, which corresponds to the
+// cheapest abstraction under both clients' cost orders (|p| for type-state,
+// number of L-mapped sites for thread-escape).
+//
+// The solver is an exact branch-and-bound DPLL with unit propagation. Only
+// variables mentioned in clauses are branched on; every unmentioned
+// variable is false in the returned model, so the solver scales with the
+// number of learned clauses rather than with the (possibly huge) parameter
+// space. Ties are broken deterministically: among minimum-cost models the
+// lexicographically smallest (false < true, by variable index) is returned.
+package minsat
+
+import (
+	"sort"
+
+	"tracer/internal/uset"
+)
+
+// Lit is a literal: a variable index with a sign.
+type Lit struct {
+	Var int
+	Neg bool
+}
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// Solver accumulates clauses and answers minimum-model queries.
+type Solver struct {
+	n       int
+	clauses []Clause
+	keys    map[string]bool
+}
+
+// New returns a solver over variables 0..n-1.
+func New(n int) *Solver {
+	return &Solver{n: n, keys: make(map[string]bool)}
+}
+
+// NumVars reports the size of the variable universe.
+func (s *Solver) NumVars() int { return s.n }
+
+// Clone returns an independent copy of the solver's clause set. TRACER's
+// multi-query driver clones solvers when a query group splits (§6).
+func (s *Solver) Clone() *Solver {
+	out := New(s.n)
+	out.clauses = append([]Clause(nil), s.clauses...)
+	for k := range s.keys {
+		out.keys[k] = true
+	}
+	return out
+}
+
+// Signature is a canonical identity of the clause set; query groups are
+// keyed by it (two queries share a group iff their unviable abstraction
+// sets — hence their clauses — coincide).
+func (s *Solver) Signature() string {
+	ks := make([]string, 0, len(s.keys))
+	for k := range s.keys {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	b := make([]byte, 0, 16*len(ks))
+	for _, k := range ks {
+		b = append(b, k...)
+		b = append(b, ';')
+	}
+	return string(b)
+}
+
+// NumClauses reports how many (deduplicated) clauses have been added.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// Add inserts a clause. Duplicate clauses (after canonicalization) are
+// ignored. Adding an empty clause makes the formula unsatisfiable.
+func (s *Solver) Add(c Clause) {
+	canon := canonicalize(c)
+	if canon == nil {
+		return // tautology
+	}
+	k := key(canon)
+	if s.keys[k] {
+		return
+	}
+	s.keys[k] = true
+	s.clauses = append(s.clauses, canon)
+}
+
+// Block adds the blocking clause for a cube: "no abstraction with all of
+// pos on and all of neg off", i.e. the clause ⋁{¬x | x ∈ pos} ∨ ⋁{x | x ∈ neg}.
+// An empty cube blocks every abstraction (adds the empty clause).
+func (s *Solver) Block(pos, neg uset.Set) {
+	c := make(Clause, 0, pos.Len()+neg.Len())
+	for _, v := range pos.Elems() {
+		c = append(c, Lit{Var: v, Neg: true})
+	}
+	for _, v := range neg.Elems() {
+		c = append(c, Lit{Var: v})
+	}
+	s.Add(c)
+}
+
+// canonicalize sorts, dedups, and detects tautologies (returns nil for a
+// tautological clause, which can be dropped; an empty non-nil clause is
+// falsity).
+func canonicalize(c Clause) Clause {
+	out := make(Clause, len(c))
+	copy(out, c)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Var != out[j].Var {
+			return out[i].Var < out[j].Var
+		}
+		return !out[i].Neg && out[j].Neg
+	})
+	dedup := out[:0]
+	for i, l := range out {
+		if i > 0 && l == out[i-1] {
+			continue
+		}
+		if i > 0 && l.Var == out[i-1].Var && l.Neg != out[i-1].Neg {
+			return nil // x ∨ ¬x
+		}
+		dedup = append(dedup, l)
+	}
+	if len(dedup) == 0 {
+		return Clause{} // preserve "empty clause = false"
+	}
+	return dedup
+}
+
+func key(c Clause) string {
+	b := make([]byte, 0, len(c)*4)
+	for _, l := range c {
+		if l.Neg {
+			b = append(b, '-')
+		}
+		b = appendInt(b, l.Var)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// value is a three-valued assignment.
+type value int8
+
+const (
+	unassigned value = iota
+	vFalse
+	vTrue
+)
+
+// Minimum returns a minimum-cost model of the accumulated clauses as the
+// set of true variables, or ok=false if the formula is unsatisfiable.
+func (s *Solver) Minimum() (model uset.Set, ok bool) {
+	// Variables mentioned in clauses, in increasing order.
+	mentioned := map[int]bool{}
+	for _, c := range s.clauses {
+		if len(c) == 0 {
+			return nil, false
+		}
+		for _, l := range c {
+			mentioned[l.Var] = true
+		}
+	}
+	vars := make([]int, 0, len(mentioned))
+	for v := range mentioned {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+
+	assign := make(map[int]value, len(vars))
+	best := -1
+	var bestModel []int
+
+	var search func(idx, cost int)
+	// propagate applies unit propagation; it returns the list of variables
+	// it assigned (for undo), the number it set true, and whether a
+	// conflict arose.
+	propagate := func() (trail []int, setTrue int, conflict bool) {
+		for changed := true; changed; {
+			changed = false
+			for _, c := range s.clauses {
+				unassignedCount := 0
+				var unit Lit
+				satisfied := false
+				for _, l := range c {
+					switch assign[l.Var] {
+					case unassigned:
+						unassignedCount++
+						unit = l
+					case vTrue:
+						if !l.Neg {
+							satisfied = true
+						}
+					case vFalse:
+						if l.Neg {
+							satisfied = true
+						}
+					}
+					if satisfied {
+						break
+					}
+				}
+				if satisfied {
+					continue
+				}
+				switch unassignedCount {
+				case 0:
+					return trail, setTrue, true
+				case 1:
+					if unit.Neg {
+						assign[unit.Var] = vFalse
+					} else {
+						assign[unit.Var] = vTrue
+						setTrue++
+					}
+					trail = append(trail, unit.Var)
+					changed = true
+				}
+			}
+		}
+		return trail, setTrue, false
+	}
+
+	// lowerBound counts pairwise variable-disjoint unsatisfied clauses whose
+	// unassigned literals are all positive: each forces at least one more
+	// true variable, so their count is an admissible bound.
+	lowerBound := func() int {
+		used := map[int]bool{}
+		lb := 0
+	clauseLoop:
+		for _, c := range s.clauses {
+			positives := c[:0:0]
+			for _, l := range c {
+				switch assign[l.Var] {
+				case vTrue:
+					if !l.Neg {
+						continue clauseLoop // satisfied
+					}
+				case vFalse:
+					if l.Neg {
+						continue clauseLoop // satisfied
+					}
+				case unassigned:
+					if l.Neg {
+						continue clauseLoop // satisfiable for free
+					}
+					positives = append(positives, l)
+				}
+			}
+			for _, l := range positives {
+				if used[l.Var] {
+					continue clauseLoop // overlaps a counted clause
+				}
+			}
+			for _, l := range positives {
+				used[l.Var] = true
+			}
+			lb++
+		}
+		return lb
+	}
+
+	search = func(idx, cost int) {
+		if best >= 0 && cost >= best {
+			return // bound: cannot improve
+		}
+		trail, extraTrue, conflict := propagate()
+		defer func() {
+			for _, v := range trail {
+				delete(assign, v)
+			}
+		}()
+		cost += extraTrue
+		if conflict || (best >= 0 && cost >= best) {
+			return
+		}
+		if best >= 0 && cost+lowerBound() >= best {
+			return
+		}
+		// Find next unassigned mentioned variable.
+		for idx < len(vars) && assign[vars[idx]] != unassigned {
+			idx++
+		}
+		if idx == len(vars) {
+			// All mentioned variables assigned and no conflict: model found.
+			if best < 0 || cost < best {
+				best = cost
+				bestModel = bestModel[:0]
+				for v, val := range assign {
+					if val == vTrue {
+						bestModel = append(bestModel, v)
+					}
+				}
+			}
+			return
+		}
+		v := vars[idx]
+		assign[v] = vFalse // cheap branch first → lexicographically least
+		search(idx+1, cost)
+		delete(assign, v)
+		assign[v] = vTrue
+		search(idx+1, cost+1)
+		delete(assign, v)
+	}
+	search(0, 0)
+	if best < 0 {
+		return nil, false
+	}
+	return uset.New(bestModel...), true
+}
+
+// Satisfies reports whether the model (set of true variables) satisfies all
+// accumulated clauses.
+func (s *Solver) Satisfies(model uset.Set) bool {
+	for _, c := range s.clauses {
+		sat := false
+		for _, l := range c {
+			if model.Has(l.Var) != l.Neg {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}

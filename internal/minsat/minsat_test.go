@@ -1,0 +1,192 @@
+package minsat
+
+import (
+	"math/rand"
+	"testing"
+
+	"tracer/internal/uset"
+)
+
+// bruteMinimum enumerates all assignments over n variables and returns the
+// minimum-cost, lexicographically-least model, or ok=false when UNSAT.
+func bruteMinimum(s *Solver, n int) (uset.Set, bool) {
+	bestCost := -1
+	var best uset.Set
+	for bits := 0; bits < 1<<n; bits++ {
+		var model uset.Set
+		cost := 0
+		for v := 0; v < n; v++ {
+			if bits&(1<<v) != 0 {
+				model = model.Add(v)
+				cost++
+			}
+		}
+		if !s.Satisfies(model) {
+			continue
+		}
+		if bestCost < 0 || cost < bestCost || (cost == bestCost && lexLess(model, best, n)) {
+			bestCost = cost
+			best = model
+		}
+	}
+	return best, bestCost >= 0
+}
+
+// lexLess orders models by false<true per variable index.
+func lexLess(a, b uset.Set, n int) bool {
+	for v := 0; v < n; v++ {
+		av, bv := a.Has(v), b.Has(v)
+		if av != bv {
+			return !av // a has false where b has true → a smaller
+		}
+	}
+	return false
+}
+
+// TestMinimumAgainstBruteForce: random clause sets over small universes.
+func TestMinimumAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 8
+	for trial := 0; trial < 300; trial++ {
+		s := New(n)
+		nc := rng.Intn(10)
+		for i := 0; i < nc; i++ {
+			var c Clause
+			for len(c) == 0 {
+				for v := 0; v < n; v++ {
+					if rng.Intn(4) == 0 {
+						c = append(c, Lit{Var: v, Neg: rng.Intn(2) == 0})
+					}
+				}
+			}
+			s.Add(c)
+		}
+		got, ok := s.Minimum()
+		want, wantOK := bruteMinimum(s, n)
+		if ok != wantOK {
+			t.Fatalf("trial %d: sat=%v want %v", trial, ok, wantOK)
+		}
+		if !ok {
+			continue
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("trial %d: cost %d want %d (got %v want %v)", trial, got.Len(), want.Len(), got, want)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: model %v, want lexicographically-least %v", trial, got, want)
+		}
+	}
+}
+
+// TestEmptyFormula: no clauses means the empty (all-false) model.
+func TestEmptyFormula(t *testing.T) {
+	s := New(100)
+	m, ok := s.Minimum()
+	if !ok || !m.Empty() {
+		t.Fatalf("Minimum() = %v, %v; want empty model", m, ok)
+	}
+}
+
+// TestUnsat: the empty clause makes the formula unsatisfiable.
+func TestUnsat(t *testing.T) {
+	s := New(4)
+	s.Block(nil, nil) // blocks every abstraction
+	if _, ok := s.Minimum(); ok {
+		t.Fatal("expected UNSAT")
+	}
+}
+
+// TestBlockSemantics: Block(pos, neg) excludes exactly the cube.
+func TestBlockSemantics(t *testing.T) {
+	s := New(3)
+	s.Block(uset.New(0), uset.New(1)) // block {p | 0∈p, 1∉p}
+	inCube := uset.New(0, 2)
+	if s.Satisfies(inCube) {
+		t.Fatalf("%v should be blocked", inCube)
+	}
+	outside := []uset.Set{nil, uset.New(1), uset.New(0, 1), uset.New(2)}
+	for _, m := range outside {
+		if !s.Satisfies(m) {
+			t.Fatalf("%v should be allowed", m)
+		}
+	}
+	m, ok := s.Minimum()
+	if !ok || !m.Empty() {
+		t.Fatalf("minimum = %v, want {}", m)
+	}
+}
+
+// TestTautologyAndDuplicates: x∨¬x is dropped; duplicates are not recounted.
+func TestTautologyAndDuplicates(t *testing.T) {
+	s := New(2)
+	s.Add(Clause{{Var: 0}, {Var: 0, Neg: true}})
+	if s.NumClauses() != 0 {
+		t.Fatalf("tautology kept: %d clauses", s.NumClauses())
+	}
+	s.Add(Clause{{Var: 0}})
+	s.Add(Clause{{Var: 0}, {Var: 0}})
+	if s.NumClauses() != 1 {
+		t.Fatalf("duplicate clause kept: %d clauses", s.NumClauses())
+	}
+}
+
+// TestCloneIndependence: clones do not share clause growth.
+func TestCloneIndependence(t *testing.T) {
+	s := New(4)
+	s.Add(Clause{{Var: 0}})
+	c := s.Clone()
+	c.Add(Clause{{Var: 1}})
+	if s.NumClauses() != 1 || c.NumClauses() != 2 {
+		t.Fatalf("clone shares state: %d / %d", s.NumClauses(), c.NumClauses())
+	}
+	if s.Signature() == c.Signature() {
+		t.Fatal("signatures should differ after divergence")
+	}
+	d := s.Clone()
+	if d.Signature() != s.Signature() {
+		t.Fatal("clone signature should match original")
+	}
+}
+
+// TestSignatureOrderIndependent: the signature canonicalizes clause order.
+func TestSignatureOrderIndependent(t *testing.T) {
+	a := New(4)
+	a.Add(Clause{{Var: 0}})
+	a.Add(Clause{{Var: 1, Neg: true}})
+	b := New(4)
+	b.Add(Clause{{Var: 1, Neg: true}})
+	b.Add(Clause{{Var: 0}})
+	if a.Signature() != b.Signature() {
+		t.Fatalf("signatures differ: %q vs %q", a.Signature(), b.Signature())
+	}
+}
+
+// TestChainForcing: the TRACER-shaped chain (each cube forces the next
+// variable) yields the all-on minimum.
+func TestChainForcing(t *testing.T) {
+	const n = 12
+	s := New(n)
+	s.Block(nil, uset.New(0))
+	for i := 0; i < n-1; i++ {
+		s.Block(uset.New(i), uset.New(i+1))
+	}
+	m, ok := s.Minimum()
+	if !ok {
+		t.Fatal("unexpectedly unsat")
+	}
+	if m.Len() != n {
+		t.Fatalf("minimum cost %d, want %d", m.Len(), n)
+	}
+}
+
+// TestMinimumCostTieBreak: among equal-cost models the lexicographically
+// least is chosen, with false < true compared at the lowest variable index
+// first — so satisfying x0 ∨ x2 by x2 beats doing so by x0.
+func TestMinimumCostTieBreak(t *testing.T) {
+	s := New(3)
+	s.Add(Clause{{Var: 0}, {Var: 2}}) // x0 ∨ x2
+	m, ok := s.Minimum()
+	if !ok || !m.Equal(uset.New(2)) {
+		t.Fatalf("minimum = %v, want {2}", m)
+	}
+}

@@ -1,0 +1,249 @@
+// Package pointsto implements a 0-CFA (context-insensitive,
+// flow-insensitive) Andersen-style may-points-to analysis over the mini-IR,
+// with an on-the-fly call graph. It plays the role of Chord's 0-CFA
+// call-graph analysis in the paper's evaluation (§6): it resolves virtual
+// dispatch for the lowering pass and answers the "may v point to h" queries
+// that gate the type-state client and drive query generation.
+//
+// Fields are field-based: one points-to summary per field name across all
+// objects, matching the thread-escape analysis's field abstraction.
+package pointsto
+
+import (
+	"fmt"
+	"sort"
+
+	"tracer/internal/intern"
+	"tracer/internal/ir"
+	"tracer/internal/uset"
+)
+
+// Result holds the fixpoint of the analysis.
+type Result struct {
+	prog *ir.Program
+	// Sites interns allocation-site names to parameter indices shared with
+	// the escape analysis.
+	Sites *intern.Strings
+
+	siteClass map[int]map[string]bool // site → class names allocated there
+	varPts    map[varKey]uset.Set
+	globalPts map[string]uset.Set
+	fieldPts  map[string]uset.Set
+	reachable map[*ir.Method]bool
+	targets   map[*ir.CallStmt][]*ir.Method
+}
+
+type varKey struct {
+	m *ir.Method
+	v string
+}
+
+// Analyze runs the analysis from Main.main to fixpoint.
+func Analyze(prog *ir.Program) (*Result, error) {
+	main := prog.Main()
+	if main == nil {
+		return nil, fmt.Errorf("pointsto: program has no Main.main entry method")
+	}
+	r := &Result{
+		prog:      prog,
+		Sites:     intern.NewStrings(),
+		siteClass: map[int]map[string]bool{},
+		varPts:    map[varKey]uset.Set{},
+		globalPts: map[string]uset.Set{},
+		fieldPts:  map[string]uset.Set{},
+		reachable: map[*ir.Method]bool{main: true},
+		targets:   map[*ir.CallStmt][]*ir.Method{},
+	}
+	// Pre-intern every site in source order so indices are stable even for
+	// code that turns out to be unreachable.
+	for _, m := range prog.Methods() {
+		walk(m.Body, func(s ir.Stmt) {
+			if n, ok := s.(*ir.NewStmt); ok {
+				id := r.Sites.ID(n.Site)
+				if r.siteClass[id] == nil {
+					r.siteClass[id] = map[string]bool{}
+				}
+				r.siteClass[id][n.Class] = true
+			}
+		})
+	}
+	r.solve()
+	return r, nil
+}
+
+// walk visits statements recursively.
+func walk(body []ir.Stmt, f func(ir.Stmt)) {
+	for _, s := range body {
+		f(s)
+		switch s := s.(type) {
+		case *ir.IfStmt:
+			walk(s.Then, f)
+			walk(s.Else, f)
+		case *ir.LoopStmt:
+			walk(s.Body, f)
+		}
+	}
+}
+
+func (r *Result) addVar(k varKey, sites uset.Set) bool {
+	merged := r.varPts[k].Union(sites)
+	if merged.Len() == r.varPts[k].Len() {
+		return false
+	}
+	r.varPts[k] = merged
+	return true
+}
+
+func (r *Result) solve() {
+	for changed := true; changed; {
+		changed = false
+		// Iterate over a stable snapshot of reachable methods; newly
+		// discovered methods are picked up on the next sweep.
+		var ms []*ir.Method
+		for m := range r.reachable {
+			ms = append(ms, m)
+		}
+		sort.Slice(ms, func(i, j int) bool { return ms[i].QualName() < ms[j].QualName() })
+		for _, m := range ms {
+			if m.Native {
+				continue
+			}
+			walk(m.Body, func(s ir.Stmt) {
+				if r.processStmt(m, s) {
+					changed = true
+				}
+			})
+		}
+	}
+}
+
+func (r *Result) processStmt(m *ir.Method, s ir.Stmt) bool {
+	changed := false
+	pts := func(v string) uset.Set { return r.varPts[varKey{m, v}] }
+	switch s := s.(type) {
+	case *ir.NewStmt:
+		changed = r.addVar(varKey{m, s.Dst}, uset.New(r.Sites.ID(s.Site)))
+	case *ir.MoveStmt:
+		changed = r.addVar(varKey{m, s.Dst}, pts(s.Src))
+	case *ir.GlobalGet:
+		changed = r.addVar(varKey{m, s.Dst}, r.globalPts[s.Global])
+	case *ir.GlobalPut:
+		merged := r.globalPts[s.Global].Union(pts(s.Src))
+		if merged.Len() != r.globalPts[s.Global].Len() {
+			r.globalPts[s.Global] = merged
+			changed = true
+		}
+	case *ir.LoadStmt:
+		changed = r.addVar(varKey{m, s.Dst}, r.fieldPts[s.Field])
+	case *ir.StoreStmt:
+		merged := r.fieldPts[s.Field].Union(pts(s.Src))
+		if merged.Len() != r.fieldPts[s.Field].Len() {
+			r.fieldPts[s.Field] = merged
+			changed = true
+		}
+	case *ir.CallStmt:
+		changed = r.processCall(m, s)
+	}
+	return changed
+}
+
+// processCall resolves virtual dispatch per receiver site and wires
+// parameter, receiver, and return-value constraints.
+func (r *Result) processCall(m *ir.Method, s *ir.CallStmt) bool {
+	changed := false
+	recv := r.varPts[varKey{m, s.Recv}]
+	seen := map[*ir.Method]bool{}
+	var tgts []*ir.Method
+	for _, h := range recv.Elems() {
+		for className := range r.siteClass[h] {
+			cls := r.prog.ClassByName(className)
+			if cls == nil {
+				continue
+			}
+			callee := cls.LookupMethod(s.Method)
+			if callee == nil {
+				continue
+			}
+			if !seen[callee] {
+				seen[callee] = true
+				tgts = append(tgts, callee)
+			}
+			if !r.reachable[callee] {
+				r.reachable[callee] = true
+				changed = true
+			}
+			if callee.Native {
+				continue
+			}
+			// Receiver: only the sites whose dispatch lands on callee.
+			if r.addVar(varKey{callee, "this"}, uset.New(h)) {
+				changed = true
+			}
+			for i, p := range callee.Params {
+				if i < len(s.Args) {
+					if r.addVar(varKey{callee, p}, r.varPts[varKey{m, s.Args[i]}]) {
+						changed = true
+					}
+				}
+			}
+			if s.Dst != "" {
+				if ret := returnVar(callee); ret != "" {
+					if r.addVar(varKey{m, s.Dst}, r.varPts[varKey{callee, ret}]) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(tgts, func(i, j int) bool { return tgts[i].QualName() < tgts[j].QualName() })
+	r.targets[s] = tgts
+	return changed
+}
+
+// returnVar returns the variable a method returns, or "".
+func returnVar(m *ir.Method) string {
+	if len(m.Body) == 0 {
+		return ""
+	}
+	if ret, ok := m.Body[len(m.Body)-1].(*ir.ReturnStmt); ok {
+		return ret.Src
+	}
+	return ""
+}
+
+// PointsTo returns the site set a local of a method may point to.
+func (r *Result) PointsTo(m *ir.Method, v string) uset.Set { return r.varPts[varKey{m, v}] }
+
+// GlobalPointsTo returns the site set a global may point to.
+func (r *Result) GlobalPointsTo(g string) uset.Set { return r.globalPts[g] }
+
+// FieldPointsTo returns the field-based summary for field f.
+func (r *Result) FieldPointsTo(f string) uset.Set { return r.fieldPts[f] }
+
+// MayPoint reports whether local v of method m may point to site h.
+func (r *Result) MayPoint(m *ir.Method, v string, site string) bool {
+	id, ok := r.Sites.Lookup(site)
+	if !ok {
+		return false
+	}
+	return r.varPts[varKey{m, v}].Has(id)
+}
+
+// Targets returns the resolved callees of a call statement, sorted.
+func (r *Result) Targets(s *ir.CallStmt) []*ir.Method { return r.targets[s] }
+
+// Reachable reports whether m is reachable from the entry method.
+func (r *Result) Reachable(m *ir.Method) bool { return r.reachable[m] }
+
+// ReachableMethods returns all reachable methods sorted by qualified name.
+func (r *Result) ReachableMethods() []*ir.Method {
+	var out []*ir.Method
+	for m := range r.reachable {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].QualName() < out[j].QualName() })
+	return out
+}
+
+// NumSites reports the number of allocation sites in the program.
+func (r *Result) NumSites() int { return r.Sites.Len() }

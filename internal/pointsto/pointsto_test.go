@@ -1,0 +1,239 @@
+package pointsto
+
+import (
+	"testing"
+
+	"tracer/internal/ir"
+)
+
+func analyze(t *testing.T, src string) (*ir.Program, *Result) {
+	t.Helper()
+	prog := ir.MustParse(src)
+	res, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, res
+}
+
+func sites(t *testing.T, r *Result, names ...string) map[string]int {
+	t.Helper()
+	out := map[string]int{}
+	for _, n := range names {
+		id, ok := r.Sites.Lookup(n)
+		if !ok {
+			t.Fatalf("site %s not interned", n)
+		}
+		out[n] = id
+	}
+	return out
+}
+
+func TestBasicFlow(t *testing.T) {
+	prog, r := analyze(t, `
+class Main {
+  method main(this) {
+    var a, b
+    a = new Main @ h1
+    b = a
+  }
+}
+`)
+	main := prog.Main()
+	ids := sites(t, r, "h1")
+	if !r.PointsTo(main, "a").Has(ids["h1"]) || !r.PointsTo(main, "b").Has(ids["h1"]) {
+		t.Fatal("copy flow missing")
+	}
+	if !r.MayPoint(main, "b", "h1") || r.MayPoint(main, "b", "nope") {
+		t.Fatal("MayPoint wrong")
+	}
+}
+
+func TestGlobalsAndFields(t *testing.T) {
+	prog, r := analyze(t, `
+global G
+class Box { field val }
+class Main {
+  method main(this) {
+    var a, b, c, d
+    a = new Box @ hA
+    G = a
+    b = G
+    b.val = a
+    c = new Box @ hC
+    d = c.val
+  }
+}
+`)
+	main := prog.Main()
+	ids := sites(t, r, "hA")
+	if !r.GlobalPointsTo("G").Has(ids["hA"]) {
+		t.Fatal("global flow missing")
+	}
+	if !r.PointsTo(main, "b").Has(ids["hA"]) {
+		t.Fatal("global read missing")
+	}
+	// Field-based: a store through any base reaches loads through any base.
+	if !r.FieldPointsTo("val").Has(ids["hA"]) {
+		t.Fatal("field store missing")
+	}
+	if !r.PointsTo(main, "d").Has(ids["hA"]) {
+		t.Fatal("field load missing (field-based semantics)")
+	}
+}
+
+func TestVirtualDispatch(t *testing.T) {
+	prog, r := analyze(t, `
+class Base {
+  method who(this) {
+    var x
+    x = new Base @ hBase
+    return x
+  }
+}
+class Derived extends Base {
+  method who(this) {
+    var y
+    y = new Derived @ hDerived
+    return y
+  }
+}
+class Main {
+  method main(this) {
+    var o, w
+    o = new Derived @ h1
+    w = o.who()
+  }
+}
+`)
+	main := prog.Main()
+	ids := sites(t, r, "hDerived")
+	w := r.PointsTo(main, "w")
+	if !w.Has(ids["hDerived"]) {
+		t.Fatal("override's return value missing")
+	}
+	if base, ok := r.Sites.Lookup("hBase"); ok && w.Has(base) {
+		t.Fatal("dispatch imprecision: Base.who should not be called on a Derived-only receiver")
+	}
+	derivedWho := prog.ClassByName("Derived").LookupMethod("who")
+	baseWho := prog.ClassByName("Base").LookupMethod("who")
+	if !r.Reachable(derivedWho) {
+		t.Fatal("Derived.who unreachable")
+	}
+	if r.Reachable(baseWho) {
+		t.Fatal("Base.who should be unreachable")
+	}
+}
+
+func TestInheritedMethodReceiver(t *testing.T) {
+	prog, r := analyze(t, `
+class Base {
+  method self(this) {
+    return this
+  }
+}
+class Derived extends Base { }
+class Main {
+  method main(this) {
+    var o, s
+    o = new Derived @ hD
+    s = o.self()
+  }
+}
+`)
+	main := prog.Main()
+	ids := sites(t, r, "hD")
+	if !r.PointsTo(main, "s").Has(ids["hD"]) {
+		t.Fatal("receiver flow through inherited method missing")
+	}
+}
+
+func TestParameterBinding(t *testing.T) {
+	prog, r := analyze(t, `
+class Sink {
+  method take(this, p, q) {
+    var keep
+    keep = q
+  }
+}
+class Main {
+  method main(this) {
+    var s, a, b
+    s = new Sink @ hS
+    a = new Main @ hA
+    b = new Main @ hB
+    s.take(a, b)
+  }
+}
+`)
+	take := prog.ClassByName("Sink").LookupMethod("take")
+	ids := sites(t, r, "hA", "hB")
+	if !r.PointsTo(take, "p").Has(ids["hA"]) || r.PointsTo(take, "p").Has(ids["hB"]) {
+		t.Fatalf("p = %v", r.PointsTo(take, "p"))
+	}
+	if !r.PointsTo(take, "keep").Has(ids["hB"]) {
+		t.Fatalf("keep = %v", r.PointsTo(take, "keep"))
+	}
+}
+
+func TestUnreachableCodeNotAnalyzed(t *testing.T) {
+	prog, r := analyze(t, `
+class Dead {
+  method never(this) {
+    var z
+    z = new Dead @ hDead
+  }
+}
+class Main {
+  method main(this) { }
+}
+`)
+	dead := prog.ClassByName("Dead").LookupMethod("never")
+	if r.Reachable(dead) {
+		t.Fatal("Dead.never should be unreachable")
+	}
+	// Its site is still interned (stable IDs) but flows nowhere.
+	ids := sites(t, r, "hDead")
+	if r.PointsTo(dead, "z").Has(ids["hDead"]) {
+		t.Fatal("unreachable method was analyzed")
+	}
+	if len(r.ReachableMethods()) != 1 {
+		t.Fatalf("reachable = %v", r.ReachableMethods())
+	}
+}
+
+func TestMissingMain(t *testing.T) {
+	prog := ir.MustParse(`class A { }`)
+	if _, err := Analyze(prog); err == nil {
+		t.Fatal("expected error for missing Main.main")
+	}
+}
+
+func TestOnTheFlyCallGraph(t *testing.T) {
+	// Reaching deep requires discovering each call target from the
+	// previous one's points-to facts.
+	prog, r := analyze(t, `
+class A { method step(this, n) {
+    n.step2(n)
+  } }
+class B { method step2(this, n) {
+    var x
+    x = new B @ hDeep
+  } }
+class Main {
+  method main(this) {
+    var a, b
+    a = new A @ hA
+    b = new B @ hB
+    a.step(b)
+  }
+}
+`)
+	step2 := prog.ClassByName("B").LookupMethod("step2")
+	if !r.Reachable(step2) {
+		t.Fatal("transitively discovered callee missing")
+	}
+	if _, ok := r.Sites.Lookup("hDeep"); !ok {
+		t.Fatal("site of deep method not interned")
+	}
+}

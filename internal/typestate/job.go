@@ -1,0 +1,130 @@
+package typestate
+
+import (
+	"sort"
+
+	"tracer/internal/core"
+	"tracer/internal/dataflow"
+	"tracer/internal/formula"
+	"tracer/internal/lang"
+	"tracer/internal/meta"
+	"tracer/internal/uset"
+)
+
+// Job poses one type-state query on one program as a core.Problem. K is the
+// beam width of the meta-analysis's under-approximation (k in §4.1; the
+// paper uses k=5 for the evaluation and k=1 in the worked example). K ≤ 0
+// disables under-approximation.
+type Job struct {
+	A *Analysis
+	G *lang.CFG
+	Q Query
+	K int
+
+	wpCache *meta.WPCache
+}
+
+var _ core.Problem = (*Job)(nil)
+
+// NumParams returns the number of variables in the abstraction family 2^V.
+func (j *Job) NumParams() int { return j.A.Vars.Len() }
+
+// ParamName names parameter i (the variable it tracks).
+func (j *Job) ParamName(i int) string { return j.A.Vars.Value(i) }
+
+// Forward runs the forward analysis under abstraction p and checks the
+// query at every node it covers, returning a witness trace for a failing
+// state.
+func (j *Job) Forward(p uset.Set) core.Outcome {
+	res := dataflow.Solve(j.G, j.A.Initial(), j.A.Transfer(p))
+	node, bad, ok := FindFailure(j.A, res, j.Q)
+	if !ok {
+		return core.Outcome{Proved: true, Steps: res.Steps}
+	}
+	return core.Outcome{Trace: res.Witness(node, bad), Steps: res.Steps}
+}
+
+// FindFailure scans the query's nodes in a solved result for a violating
+// state, returning a deterministic choice. It is shared with the batch
+// driver, which reuses one forward run across many queries.
+func FindFailure(a *Analysis, res *dataflow.Result[State], q Query) (node int, bad State, ok bool) {
+	for _, n := range q.Nodes {
+		var cands []State
+		for _, d := range res.States(n) {
+			if !q.Holds(d) {
+				cands = append(cands, d)
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		sort.Slice(cands, func(x, y int) bool {
+			dx, dy := cands[x], cands[y]
+			if dx.Top != dy.Top {
+				return dx.Top
+			}
+			if dx.TS != dy.TS {
+				return dx.TS < dy.TS
+			}
+			return dx.VS < dy.VS
+		})
+		return n, cands[0], true
+	}
+	return 0, State{}, false
+}
+
+// Client builds the meta-analysis client for abstraction p. Weakest
+// preconditions do not depend on p, so all clients of this job share one
+// memoization cache.
+func (j *Job) Client(p uset.Set) *meta.Client[State] {
+	if j.wpCache == nil {
+		j.wpCache = meta.NewWPCache()
+	}
+	return &meta.Client[State]{
+		WP:     j.A.WP,
+		Theory: Theory{},
+		Eval:   func(l formula.Lit, d State) bool { return j.A.EvalLit(l, p, d) },
+		K:      j.K,
+		Cache:  j.wpCache,
+	}
+}
+
+// Backward runs the meta-analysis over the counterexample trace and
+// extracts the parameter cubes of abstractions guaranteed to fail.
+func (j *Job) Backward(p uset.Set, t lang.Trace) []core.ParamCube {
+	dI := j.A.Initial()
+	states := dataflow.StatesAlong(t, dI, j.A.Transfer(p))
+	dnf := meta.Run(j.Client(p), t, states, j.A.NotQ(j.Q))
+	return j.Cubes(dnf, dI)
+}
+
+// Cubes projects a failure-condition DNF onto parameter cubes: each
+// disjunct whose state literals hold at dI describes the abstractions
+// {p' | p' ⊇ Pos, p' ∩ Neg = ∅} that inevitably fail (line 14 of Alg 1).
+func (j *Job) Cubes(dnf formula.DNF, dI State) []core.ParamCube {
+	var out []core.ParamCube
+	for _, conj := range dnf {
+		var pos, neg uset.Set
+		ok := true
+		for _, l := range conj.Lits() {
+			if pp, isParam := l.P.(PParam); isParam {
+				id := j.A.varID(pp.X)
+				if l.Neg {
+					neg = neg.Add(id)
+				} else {
+					pos = pos.Add(id)
+				}
+				continue
+			}
+			// State literal: its truth at dI is independent of p'.
+			if !j.A.EvalLit(l, nil, dI) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, core.ParamCube{Pos: pos, Neg: neg})
+		}
+	}
+	return out
+}
