@@ -1,0 +1,21 @@
+# Tier-1 gate: everything a PR must keep green (see ROADMAP.md).
+.PHONY: check fmt vet build test bench
+
+check: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test -race ./...
+
+# Scaled-down run of every table/figure benchmark plus micro-benchmarks.
+bench:
+	go test -bench=. -benchmem -run xxx .

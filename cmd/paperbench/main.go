@@ -7,27 +7,101 @@
 //
 // Without -only it runs everything, in the paper's order. Results that share
 // the same (benchmark, client, k) run are computed once and cached.
+//
+// Observability (see internal/obs and ARCHITECTURE.md):
+//
+//	-bench-json BENCH_paperbench.json
+//	                       write per-experiment wall times and aggregated
+//	                       solver metrics in the github-action-benchmark
+//	                       {name, value, unit} JSON shape ("" disables); the
+//	                       BENCH_*.json series accumulates the repo's perf
+//	                       trajectory across PRs
+//	-trace events.ndjson   write the per-query structured event stream
+//	-metrics               print aggregated counters/gauges/timers at exit
+//	-cpuprofile cpu.pprof  capture a pprof CPU profile of the whole run
+//	-memprofile mem.pprof  write a pprof heap profile at exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"tracer/internal/bench"
+	"tracer/internal/obs"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	k := flag.Int("k", 5, "beam width k of the backward meta-analysis")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-query wall-clock budget")
 	iters := flag.Int("iters", 200, "per-query CEGAR iteration cap")
 	workers := flag.Int("workers", 1, "concurrent query resolutions (0/1 = sequential)")
 	only := flag.String("only", "", "comma-separated subset: table1,fig12,fig13,table2,table3,table4,fig14")
+	benchJSON := flag.String("bench-json", "BENCH_paperbench.json", "write github-action-benchmark {name,value,unit} JSON to this file (\"\" disables)")
+	tracePath := flag.String("trace", "", "write NDJSON events of every CEGAR iteration to this file")
+	metrics := flag.Bool("metrics", false, "print aggregated counters/gauges/timers at exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 
-	opts := bench.RunOptions{K: *k, MaxIters: *iters, Timeout: *timeout, Workers: *workers}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench:", err)
+			}
+		}()
+	}
+
+	var sinks []obs.Recorder
+	if *tracePath != "" {
+		nd, err := obs.CreateNDJSON(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := nd.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench:", err)
+			}
+		}()
+		sinks = append(sinks, nd)
+	}
+	var agg *obs.Agg
+	if *benchJSON != "" || *metrics {
+		agg = obs.NewAgg()
+		sinks = append(sinks, agg)
+	}
+
+	opts := bench.RunOptions{K: *k, MaxIters: *iters, Timeout: *timeout, Workers: *workers,
+		Recorder: obs.Multi(sinks...)}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, s := range strings.Split(*only, ",") {
@@ -92,6 +166,7 @@ func main() {
 		}},
 	}
 
+	var entries []obs.BenchEntry
 	for _, e := range experiments {
 		if !sel(e.name) {
 			continue
@@ -99,10 +174,28 @@ func main() {
 		start := time.Now()
 		out, err := e.run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", e.name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", e.name, err)
 		}
+		wall := time.Since(start)
 		fmt.Println(out)
-		fmt.Printf("[%s regenerated in %v with k=%d, timeout=%v]\n\n", e.name, time.Since(start).Round(time.Millisecond), *k, *timeout)
+		fmt.Printf("[%s regenerated in %v with k=%d, timeout=%v]\n\n", e.name, wall.Round(time.Millisecond), *k, *timeout)
+		entries = append(entries, obs.BenchEntry{
+			Name:  "paperbench/" + e.name + "/wall",
+			Value: float64(wall) / float64(time.Millisecond),
+			Unit:  "ms",
+			Extra: fmt.Sprintf("k=%d timeout=%v iters=%d workers=%d", *k, *timeout, *iters, *workers),
+		})
 	}
+
+	if *benchJSON != "" {
+		entries = append(entries, agg.BenchEntries("paperbench/obs/")...)
+		if err := obs.WriteBenchJSON(*benchJSON, entries); err != nil {
+			return err
+		}
+		fmt.Printf("[benchmark data written to %s]\n", *benchJSON)
+	}
+	if *metrics {
+		fmt.Print(agg.Render())
+	}
+	return nil
 }

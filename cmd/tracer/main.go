@@ -12,28 +12,54 @@
 // The -property flag selects the automaton for explicit type-state queries:
 // "file" (open/close protocol) or "stress" (the paper's fictitious
 // evaluation property).
+//
+// Observability (see internal/obs and ARCHITECTURE.md):
+//
+//	-trace events.ndjson   write the structured event stream of every CEGAR
+//	                       iteration (iter_start, forward_done, backward_done,
+//	                       clause_learned, query_resolved) plus inline
+//	                       counter/gauge/timing records, one JSON object per
+//	                       line, tagged with the query name
+//	-metrics               print the aggregated counters, gauges, and timers
+//	                       after all queries resolve
+//	-cpuprofile cpu.pprof  capture a pprof CPU profile of the whole run
+//	-memprofile mem.pprof  write a pprof heap profile at exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
 	"tracer/internal/core"
 	"tracer/internal/driver"
 	"tracer/internal/explain"
+	"tracer/internal/obs"
 	"tracer/internal/typestate"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	k := flag.Int("k", 5, "beam width k of the backward meta-analysis")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-query wall-clock budget")
 	auto := flag.Bool("auto", false, "also answer pervasively generated queries (§6)")
 	engine := flag.String("engine", "inline", "forward engine: inline (context-sensitive inlining) or rhs (summary-based tabulation; supports recursion)")
 	explainFlag := flag.Bool("explain", false, "narrate each CEGAR iteration (trace with α/ψ annotations, as in Figs 1 and 6)")
 	property := flag.String("property", "file", "automaton for explicit type-state queries: file|stress")
+	tracePath := flag.String("trace", "", "write NDJSON events of every CEGAR iteration to this file")
+	metrics := flag.Bool("metrics", false, "print aggregated counters/gauges/timers after the run")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -42,8 +68,54 @@ func main() {
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fail(err)
+		return err
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tracer:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tracer:", err)
+			}
+		}()
+	}
+
+	var sinks []obs.Recorder
+	if *tracePath != "" {
+		nd, err := obs.CreateNDJSON(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := nd.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "tracer:", err)
+			}
+		}()
+		sinks = append(sinks, nd)
+	}
+	var agg *obs.Agg
+	if *metrics {
+		agg = obs.NewAgg()
+		sinks = append(sinks, agg)
+	}
+	rec := obs.Multi(sinks...)
 	opts := core.Options{MaxIters: 1000, Timeout: *timeout}
 
 	var prop *typestate.Property
@@ -53,95 +125,108 @@ func main() {
 	case "stress":
 		prop = typestate.StressProperty(nil)
 	default:
-		fail(fmt.Errorf("unknown -property %q", *property))
+		return fmt.Errorf("unknown -property %q", *property)
 	}
 
 	if *engine == "rhs" {
-		runRHS(string(src), prop, *k, opts)
-		return
-	}
-	prog, err := driver.Load(string(src))
-	if err != nil {
-		fail(err)
+		if err := runRHS(string(src), prop, *k, opts, rec); err != nil {
+			return err
+		}
+	} else {
+		if err := runInline(string(src), prop, *k, opts, rec, *auto, *explainFlag); err != nil {
+			return err
+		}
 	}
 
-	report := func(name string, job core.Problem, paramName func(i int) string) {
+	if agg != nil {
+		fmt.Print(agg.Render())
+	}
+	return nil
+}
+
+// runInline answers queries through the context-sensitive inlining engine.
+func runInline(src string, prop *typestate.Property, k int, opts core.Options, rec obs.Recorder, auto, explainFlag bool) error {
+	prog, err := driver.Load(src)
+	if err != nil {
+		return err
+	}
+
+	report := func(name string, job core.Problem, paramName func(i int) string) error {
+		qopts := opts
+		qopts.Recorder = obs.Tag(rec, name)
 		start := time.Now()
-		res, err := core.Solve(job, opts)
+		res, err := core.Solve(job, qopts)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		switch res.Status {
-		case core.Proved:
-			names := make([]string, 0, res.Abstraction.Len())
-			for _, i := range res.Abstraction.Elems() {
-				names = append(names, paramName(i))
-			}
-			fmt.Printf("%-40s PROVED    cheapest abstraction (|p|=%d): %v  [%d iterations, %v]\n",
-				name, res.Abstraction.Len(), names, res.Iterations, time.Since(start).Round(time.Millisecond))
-		case core.Impossible:
-			fmt.Printf("%-40s IMPOSSIBLE  no abstraction in the family proves it  [%d iterations, %v]\n",
-				name, res.Iterations, time.Since(start).Round(time.Millisecond))
-		default:
-			fmt.Printf("%-40s UNRESOLVED  budget exhausted after %d iterations\n", name, res.Iterations)
-		}
+		printResult(name, res, paramName, time.Since(start))
+		return nil
 	}
 
 	// Explicit queries.
-	tsJobs, err := prog.ExplicitTypestateJobs(prop, *k)
+	tsJobs, err := prog.ExplicitTypestateJobs(prop, k)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	for _, name := range sortedKeys(tsJobs) {
 		job := tsJobs[name]
-		if *explainFlag {
+		if explainFlag {
 			fmt.Printf("=== query %s ===\n", name)
 			if _, err := explain.ForTypestate(job, os.Stdout).Solve(opts); err != nil {
-				fail(err)
+				return err
 			}
 			fmt.Println()
 			continue
 		}
-		report("query "+name, job, job.ParamName)
+		if err := report("query "+name, job, job.ParamName); err != nil {
+			return err
+		}
 	}
-	escJobs := prog.ExplicitEscapeJobs(*k)
+	escJobs := prog.ExplicitEscapeJobs(k)
 	for _, name := range sortedKeys(escJobs) {
 		job := escJobs[name]
-		if *explainFlag {
+		if explainFlag {
 			fmt.Printf("=== query %s ===\n", name)
 			if _, err := explain.ForEscape(job, os.Stdout).Solve(opts); err != nil {
-				fail(err)
+				return err
 			}
 			fmt.Println()
 			continue
 		}
-		report("query "+name, job, job.ParamName)
+		if err := report("query "+name, job, job.ParamName); err != nil {
+			return err
+		}
 	}
 
-	if *auto {
-		stats := prog.ComputeStats(string(src))
+	if auto {
+		stats := prog.ComputeStats(src)
 		fmt.Printf("\nGenerated queries (N_ts=%d variables, N_esc=%d sites):\n", stats.TypestateParams, stats.EscapeParams)
 		for _, q := range prog.TypestateQueries() {
-			job := prog.TypestateJob(q, *k)
-			report(q.ID, job, job.ParamName)
+			job := prog.TypestateJob(q, k)
+			if err := report(q.ID, job, job.ParamName); err != nil {
+				return err
+			}
 		}
 		for _, q := range prog.EscapeQueries() {
-			job := prog.EscapeJob(q, *k)
-			report(q.ID, job, job.ParamName)
+			job := prog.EscapeJob(q, k)
+			if err := report(q.ID, job, job.ParamName); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // runRHS answers the program's explicit queries with the summary-based
 // tabulation backend, which also handles recursive call graphs.
-func runRHS(src string, prop *typestate.Property, k int, opts core.Options) {
+func runRHS(src string, prop *typestate.Property, k int, opts core.Options, rec obs.Recorder) error {
 	p, err := driver.LoadRHS(src)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	jobs, err := p.ExplicitJobs(prop, k)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	names := make([]string, 0, len(jobs))
 	for name := range jobs {
@@ -150,32 +235,42 @@ func runRHS(src string, prop *typestate.Property, k int, opts core.Options) {
 	sort.Strings(names)
 	for _, name := range names {
 		job := jobs[name]
-		start := time.Now()
-		res, err := core.Solve(job, opts)
-		if err != nil {
-			fail(err)
-		}
+		qopts := opts
+		qopts.Recorder = obs.Tag(rec, "query "+name)
 		paramName := func(i int) string { return fmt.Sprintf("p%d", i) }
 		switch j := job.(type) {
 		case *driver.RHSEscapeJob:
 			paramName = j.ParamName
+			j.Rec = qopts.Recorder
 		case *driver.RHSTypestateJob:
 			paramName = j.ParamName
+			j.Rec = qopts.Recorder
 		}
-		switch res.Status {
-		case core.Proved:
-			var params []string
-			for _, i := range res.Abstraction.Elems() {
-				params = append(params, paramName(i))
-			}
-			fmt.Printf("%-40s PROVED    cheapest abstraction (|p|=%d): %v  [%d iterations, %v]\n",
-				"query "+name, res.Abstraction.Len(), params, res.Iterations, time.Since(start).Round(time.Millisecond))
-		case core.Impossible:
-			fmt.Printf("%-40s IMPOSSIBLE  no abstraction in the family proves it  [%d iterations, %v]\n",
-				"query "+name, res.Iterations, time.Since(start).Round(time.Millisecond))
-		default:
-			fmt.Printf("%-40s UNRESOLVED  budget exhausted after %d iterations\n", "query "+name, res.Iterations)
+		start := time.Now()
+		res, err := core.Solve(job, qopts)
+		if err != nil {
+			return err
 		}
+		printResult("query "+name, res, paramName, time.Since(start))
+	}
+	return nil
+}
+
+// printResult renders one resolved query in the fixed-width report format.
+func printResult(name string, res core.Result, paramName func(i int) string, wall time.Duration) {
+	switch res.Status {
+	case core.Proved:
+		names := make([]string, 0, res.Abstraction.Len())
+		for _, i := range res.Abstraction.Elems() {
+			names = append(names, paramName(i))
+		}
+		fmt.Printf("%-40s PROVED    cheapest abstraction (|p|=%d): %v  [%d iterations, %v]\n",
+			name, res.Abstraction.Len(), names, res.Iterations, wall.Round(time.Millisecond))
+	case core.Impossible:
+		fmt.Printf("%-40s IMPOSSIBLE  no abstraction in the family proves it  [%d iterations, %v]\n",
+			name, res.Iterations, wall.Round(time.Millisecond))
+	default:
+		fmt.Printf("%-40s UNRESOLVED  budget exhausted after %d iterations\n", name, res.Iterations)
 	}
 }
 
@@ -186,9 +281,4 @@ func sortedKeys[V any](m map[string]*V) []string {
 	}
 	sort.Strings(out)
 	return out
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "tracer:", err)
-	os.Exit(1)
 }

@@ -7,6 +7,7 @@ import (
 
 	"tracer/internal/core"
 	"tracer/internal/driver"
+	"tracer/internal/obs"
 )
 
 // Client names the two client analyses.
@@ -28,6 +29,11 @@ type RunOptions struct {
 	// job owns its analysis instance). 0 or 1 means sequential. Per-query
 	// timings remain meaningful; total wall time shrinks.
 	Workers int
+	// Recorder receives the TRACER loop's structured telemetry, tagged with
+	// each query's ID (see internal/obs). It must be safe for concurrent
+	// use when Workers > 1. Note the run cache: cached results replay no
+	// events — set Fresh to re-record a previously computed run.
+	Recorder obs.Recorder
 }
 
 // DefaultRunOptions are the settings used to regenerate the paper's tables.
@@ -114,7 +120,7 @@ var (
 )
 
 func coreOpts(opts RunOptions) core.Options {
-	return core.Options{MaxIters: opts.MaxIters, Timeout: opts.Timeout}
+	return core.Options{MaxIters: opts.MaxIters, Timeout: opts.Timeout, Recorder: opts.Recorder}
 }
 
 func runTypestate(b *Benchmark, opts RunOptions, res *ClientResult) error {
@@ -177,8 +183,10 @@ func runAll(n int, opts RunOptions, res *ClientResult, job func(i int) (string, 
 }
 
 func solveOne(id string, job core.Problem, opts RunOptions) (QueryOutcome, error) {
+	copts := coreOpts(opts)
+	copts.Recorder = obs.Tag(opts.Recorder, id)
 	start := time.Now()
-	r, err := core.Solve(job, coreOpts(opts))
+	r, err := core.Solve(job, copts)
 	if err != nil {
 		return QueryOutcome{}, fmt.Errorf("query %s: %w", id, err)
 	}

@@ -3,9 +3,12 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"time"
 
 	"tracer/internal/lang"
 	"tracer/internal/minsat"
+	"tracer/internal/obs"
 	"tracer/internal/uset"
 )
 
@@ -60,57 +63,111 @@ type group struct {
 // participate in; queries exceeding it are Exhausted (the paper's timeout
 // bucket in Fig 12).
 func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
+	rec := opts.rec()
+	recording := rec.Enabled()
+	start := time.Now()
 	n := bp.NumQueries()
 	res := &BatchResult{Results: make([]Result, n)}
+	// resolved finalizes query q and emits its closing event; totals match
+	// the query's Result fields exactly.
+	resolved := func(q int, s Status) {
+		res.Results[q].Status = s
+		if recording {
+			rec.Record(obs.Event{
+				Kind: obs.QueryResolved, Query: strconv.Itoa(q), Status: s.String(),
+				Iter: res.Results[q].Iterations, Clauses: res.Results[q].Clauses,
+				AbsSize: res.Results[q].Abstraction.Len(),
+				WallNS:  int64(time.Since(start)),
+			})
+		}
+	}
 	groups := map[string]*group{}
 	root := &group{solver: minsat.New(bp.NumParams())}
+	if recording {
+		root.solver.Instrument(rec)
+	}
 	for q := 0; q < n; q++ {
 		root.queries = append(root.queries, q)
 	}
-	groups[root.solver.Signature()] = root
+	rootSig := root.solver.Signature()
+	groups[rootSig] = root
 	res.Stats.TotalGroups = 1
+	// sigs mirrors the keys of groups in sorted order, so the deterministic
+	// pick (smallest signature) is the head of the list instead of a full
+	// re-sort of every signature string each iteration.
+	sigs := []string{rootSig}
+	insertSig := func(sig string) {
+		i := sort.SearchStrings(sigs, sig)
+		sigs = append(sigs, "")
+		copy(sigs[i+1:], sigs[i:])
+		sigs[i] = sig
+	}
 
-	for len(groups) > 0 {
-		if len(groups) > res.Stats.PeakGroups {
-			res.Stats.PeakGroups = len(groups)
+	for len(sigs) > 0 {
+		if len(sigs) > res.Stats.PeakGroups {
+			res.Stats.PeakGroups = len(sigs)
 		}
-		// Deterministic pick: smallest signature.
-		var sigs []string
-		for s := range groups {
-			sigs = append(sigs, s)
-		}
-		sort.Strings(sigs)
 		g := groups[sigs[0]]
 		delete(groups, sigs[0])
+		sigs = sigs[1:]
 
 		p, ok := g.solver.Minimum()
 		if !ok {
 			for _, q := range g.queries {
-				res.Results[q].Status = Impossible
+				resolved(q, Impossible)
 			}
 			continue
 		}
+		if recording {
+			rec.Record(obs.Event{Kind: obs.IterStart, Iter: res.Stats.ForwardRuns + 1,
+				AbsSize: p.Len(), Clauses: g.solver.NumClauses(),
+				Queries: len(g.queries), Groups: len(sigs) + 1})
+		}
+		var phase time.Time
+		if recording {
+			phase = time.Now()
+		}
 		run := bp.RunForward(p)
 		res.Stats.ForwardRuns++
+		// The shared forward run is lazy: work happens inside Check,
+		// interleaved with per-query backward runs. backWall accumulates the
+		// backward share so ForwardDone reports forward-only wall time.
+		var backWall time.Duration
 		moved := map[string][]int{}
 		solvers := map[string]*minsat.Solver{}
 		for _, q := range g.queries {
 			res.Results[q].Iterations++
 			proved, trace := run.Check(q)
 			if proved {
-				res.Results[q].Status = Proved
 				res.Results[q].Abstraction = p
+				resolved(q, Proved)
 				continue
 			}
 			if res.Results[q].Iterations >= opts.maxIters() {
-				res.Results[q].Status = Exhausted
+				resolved(q, Exhausted)
 				continue
 			}
+			var bstart time.Time
+			if recording {
+				bstart = time.Now()
+			}
 			cubes := bp.Backward(q, p, trace)
+			if recording {
+				d := time.Since(bstart)
+				backWall += d
+				rec.Record(obs.Event{Kind: obs.BackwardDone, Query: strconv.Itoa(q),
+					Iter: res.Results[q].Iterations, AbsSize: p.Len(),
+					Cubes: len(cubes), WallNS: int64(d)})
+			}
 			next := g.solver.Clone()
 			covered := false
 			for _, c := range cubes {
+				before := next.NumClauses()
 				next.Block(c.Pos, c.Neg)
+				if recording && next.NumClauses() > before {
+					rec.Record(obs.Event{Kind: obs.ClauseLearned, Query: strconv.Itoa(q),
+						Iter: res.Results[q].Iterations, Clauses: next.NumClauses()})
+				}
 				if c.Contains(p) {
 					covered = true
 				}
@@ -126,13 +183,25 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 			}
 		}
 		res.Stats.TotalSteps += run.Steps()
+		if recording {
+			rec.Record(obs.Event{Kind: obs.ForwardDone, Iter: res.Stats.ForwardRuns,
+				AbsSize: p.Len(), Steps: run.Steps(), Queries: len(g.queries),
+				WallNS: int64(time.Since(phase) - backWall)})
+		}
+		born := 0
 		for sig, qs := range moved {
 			if existing, ok := groups[sig]; ok {
 				existing.queries = append(existing.queries, qs...)
 				continue
 			}
 			groups[sig] = &group{solver: solvers[sig], queries: qs}
+			insertSig(sig)
 			res.Stats.TotalGroups++
+			born++
+		}
+		if recording && len(moved) > 1 {
+			rec.Record(obs.Event{Kind: obs.GroupSplit, Iter: res.Stats.ForwardRuns,
+				Groups: len(sigs), Queries: born})
 		}
 	}
 	return res, nil

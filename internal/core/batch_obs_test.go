@@ -1,0 +1,100 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+
+	"tracer/internal/obs"
+	"tracer/internal/uset"
+)
+
+// TestSolveBatchEventReconciliation: the batch event stream's totals match
+// BatchStats and the per-query Results exactly.
+func TestSolveBatchEventReconciliation(t *testing.T) {
+	b := &mockBatch{problems: []*mockProblem{
+		{n: 8, need: uset.New(0), provable: true},
+		{n: 8, need: uset.New(0), provable: true},
+		{n: 8, need: uset.New(2, 4), provable: true},
+		{n: 8, provable: false},
+	}}
+	cap := obs.NewCapture()
+	res, err := SolveBatch(b, Options{Recorder: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	forwards := cap.Filter(obs.ForwardDone)
+	if len(forwards) != res.Stats.ForwardRuns {
+		t.Errorf("forward_done events = %d, want Stats.ForwardRuns = %d", len(forwards), res.Stats.ForwardRuns)
+	}
+	steps := 0
+	for _, e := range forwards {
+		steps += e.Steps
+	}
+	if steps != res.Stats.TotalSteps {
+		t.Errorf("forward_done steps sum = %d, want Stats.TotalSteps = %d", steps, res.Stats.TotalSteps)
+	}
+
+	finals := cap.Filter(obs.QueryResolved)
+	if len(finals) != len(res.Results) {
+		t.Fatalf("query_resolved events = %d, want %d", len(finals), len(res.Results))
+	}
+	seen := map[string]bool{}
+	for _, e := range finals {
+		if seen[e.Query] {
+			t.Errorf("query %s resolved twice", e.Query)
+		}
+		seen[e.Query] = true
+		q, err := strconv.Atoi(e.Query)
+		if err != nil {
+			t.Fatalf("query_resolved has non-numeric query %q", e.Query)
+		}
+		r := res.Results[q]
+		if e.Status != r.Status.String() || e.Iter != r.Iterations || e.Clauses != r.Clauses ||
+			e.AbsSize != r.Abstraction.Len() {
+			t.Errorf("query %d: event %+v does not match result %+v", q, e, r)
+		}
+	}
+
+	// Queries 0/1 stay together while 2 and 3 learn different clauses, so
+	// at least one redistribution is a real split.
+	if res.Stats.TotalGroups > 1 && len(cap.Filter(obs.GroupSplit)) == 0 {
+		t.Error("groups were created but no group_split event was emitted")
+	}
+}
+
+// TestSolveBatchPickOrderDeterministic: the sorted signature list preserves
+// the original smallest-signature pick order — two identical runs produce
+// identical event streams and stats.
+func TestSolveBatchPickOrderDeterministic(t *testing.T) {
+	run := func() ([]obs.Event, BatchStats) {
+		b := &mockBatch{problems: []*mockProblem{
+			{n: 8, need: uset.New(0), provable: true},
+			{n: 8, need: uset.New(1, 5), provable: true},
+			{n: 8, need: uset.New(2, 4), provable: true},
+			{n: 8, need: uset.New(3), provable: true},
+			{n: 8, provable: false},
+		}}
+		cap := obs.NewCapture()
+		res, err := SolveBatch(b, Options{Recorder: cap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cap.Events(), res.Stats
+	}
+	e1, s1 := run()
+	e2, s2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats differ across identical runs: %+v vs %+v", s1, s2)
+	}
+	if len(e1) != len(e2) {
+		t.Fatalf("event counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		a, b := e1[i], e2[i]
+		a.WallNS, b.WallNS = 0, 0 // wall times legitimately differ
+		if a != b {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"tracer/internal/lang"
 	"tracer/internal/minsat"
+	"tracer/internal/obs"
 	"tracer/internal/uset"
 )
 
@@ -102,6 +103,12 @@ type Options struct {
 	// the role of the paper's 1,000-minute budget: queries exceeding it are
 	// reported Exhausted ("could not be resolved", Fig 12).
 	Timeout time.Duration
+	// Recorder receives structured telemetry from the loop (see
+	// internal/obs): one IterStart/ForwardDone pair per forward run,
+	// BackwardDone and ClauseLearned while refining, and a final
+	// QueryResolved whose totals match the returned Result exactly. nil
+	// means no recording.
+	Recorder obs.Recorder
 }
 
 func (o Options) maxIters() int {
@@ -111,6 +118,8 @@ func (o Options) maxIters() int {
 	return o.MaxIters
 }
 
+func (o Options) rec() obs.Recorder { return obs.Default(o.Recorder) }
+
 // ErrNoProgress reports a meta-analysis that failed to eliminate the
 // abstraction whose run it analyzed; it indicates an unsound backward
 // transfer function and is returned rather than silently looping.
@@ -118,30 +127,69 @@ var ErrNoProgress = errors.New("core: backward meta-analysis did not eliminate t
 
 // Solve runs Algorithm 1 for a single query.
 func Solve(pr Problem, opts Options) (Result, error) {
+	rec := opts.rec()
+	recording := rec.Enabled()
 	solver := minsat.New(pr.NumParams())
+	if recording {
+		solver.Instrument(rec)
+	}
 	res := Result{}
 	start := time.Now()
+	resolved := func(s Status) Result {
+		res.Status = s
+		if recording {
+			rec.Record(obs.Event{
+				Kind: obs.QueryResolved, Status: s.String(),
+				Iter: res.Iterations, Clauses: res.Clauses,
+				Steps: res.ForwardSteps, AbsSize: res.Abstraction.Len(),
+				WallNS: int64(time.Since(start)),
+			})
+		}
+		return res
+	}
 	for res.Iterations < opts.maxIters() {
 		if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
 			break
 		}
 		p, ok := solver.Minimum()
 		if !ok {
-			res.Status = Impossible
-			return res, nil
+			return resolved(Impossible), nil
 		}
 		res.Iterations++
+		if recording {
+			rec.Record(obs.Event{Kind: obs.IterStart, Iter: res.Iterations,
+				AbsSize: p.Len(), Clauses: solver.NumClauses()})
+		}
+		var phase time.Time
+		if recording {
+			phase = time.Now()
+		}
 		out := pr.Forward(p)
 		res.ForwardSteps += out.Steps
+		if recording {
+			rec.Record(obs.Event{Kind: obs.ForwardDone, Iter: res.Iterations,
+				AbsSize: p.Len(), Steps: out.Steps, WallNS: int64(time.Since(phase))})
+		}
 		if out.Proved {
-			res.Status = Proved
 			res.Abstraction = p
-			return res, nil
+			return resolved(Proved), nil
+		}
+		if recording {
+			phase = time.Now()
 		}
 		cubes := pr.Backward(p, out.Trace)
+		if recording {
+			rec.Record(obs.Event{Kind: obs.BackwardDone, Iter: res.Iterations,
+				AbsSize: p.Len(), Cubes: len(cubes), WallNS: int64(time.Since(phase))})
+		}
 		covered := false
 		for _, c := range cubes {
+			before := solver.NumClauses()
 			solver.Block(c.Pos, c.Neg)
+			if recording && solver.NumClauses() > before {
+				rec.Record(obs.Event{Kind: obs.ClauseLearned, Iter: res.Iterations,
+					Clauses: solver.NumClauses()})
+			}
 			if c.Contains(p) {
 				covered = true
 			}
@@ -151,6 +199,5 @@ func Solve(pr Problem, opts Options) (Result, error) {
 			return res, fmt.Errorf("%w (p=%s)", ErrNoProgress, p)
 		}
 	}
-	res.Status = Exhausted
-	return res, nil
+	return resolved(Exhausted), nil
 }

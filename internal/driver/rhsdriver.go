@@ -9,6 +9,7 @@ import (
 	"tracer/internal/escape"
 	"tracer/internal/ir"
 	"tracer/internal/lang"
+	"tracer/internal/obs"
 	"tracer/internal/pointsto"
 	"tracer/internal/rhs"
 	"tracer/internal/typestate"
@@ -93,8 +94,9 @@ func rhsForward[D comparable](
 	points []rhs.Point,
 	holds func(d D) bool,
 	less func(a, b D) bool,
+	rec obs.Recorder,
 ) core.Outcome {
-	res := rhs.Solve(g, dI, tr)
+	res := rhs.SolveObs(g, dI, tr, rec)
 	for _, pt := range points {
 		var bad []D
 		for _, d := range res.States(pt.Method, pt.Node) {
@@ -119,6 +121,9 @@ type RHSEscapeJob struct {
 	Points []rhs.Point
 	V      string
 	K      int
+	// Rec, when set, receives the tabulation solver's per-run counters and
+	// timings (see rhs.SolveObs).
+	Rec obs.Recorder
 
 	inner *escape.Job
 }
@@ -142,7 +147,8 @@ func (j *RHSEscapeJob) Forward(p uset.Set) core.Outcome {
 	a := j.inner.A
 	return rhsForward(j.P.SP.G, a.Initial(), a.Transfer(p), j.Points,
 		func(d escape.State) bool { return a.Holds(j.inner.Q, d) },
-		func(x, y escape.State) bool { return x < y })
+		func(x, y escape.State) bool { return x < y },
+		j.Rec)
 }
 
 // Backward delegates to the standard escape job.
@@ -156,6 +162,9 @@ type RHSTypestateJob struct {
 	P      *RHSProgram
 	Points []rhs.Point
 	K      int
+	// Rec, when set, receives the tabulation solver's per-run counters and
+	// timings (see rhs.SolveObs).
+	Rec obs.Recorder
 
 	inner *typestate.Job
 }
@@ -189,7 +198,8 @@ func (j *RHSTypestateJob) Forward(p uset.Set) core.Outcome {
 				return x.TS < y.TS
 			}
 			return x.VS < y.VS
-		})
+		},
+		j.Rec)
 }
 
 // Backward delegates to the standard type-state job.

@@ -16,7 +16,9 @@ package minsat
 
 import (
 	"sort"
+	"time"
 
+	"tracer/internal/obs"
 	"tracer/internal/uset"
 )
 
@@ -34,7 +36,13 @@ type Solver struct {
 	n       int
 	clauses []Clause
 	keys    map[string]bool
+	rec     obs.Recorder // nil = no recording
 }
+
+// Instrument attaches an observability recorder: every Minimum call reports
+// its wall time (timer "minsat.minimum") and branch-and-bound search size
+// (counter "minsat.search_nodes"). Clones inherit the recorder.
+func (s *Solver) Instrument(rec obs.Recorder) { s.rec = rec }
 
 // New returns a solver over variables 0..n-1.
 func New(n int) *Solver {
@@ -48,6 +56,7 @@ func (s *Solver) NumVars() int { return s.n }
 // multi-query driver clones solvers when a query group splits (§6).
 func (s *Solver) Clone() *Solver {
 	out := New(s.n)
+	out.rec = s.rec
 	out.clauses = append([]Clause(nil), s.clauses...)
 	for k := range s.keys {
 		out.keys[k] = true
@@ -170,6 +179,14 @@ const (
 // Minimum returns a minimum-cost model of the accumulated clauses as the
 // set of true variables, or ok=false if the formula is unsatisfiable.
 func (s *Solver) Minimum() (model uset.Set, ok bool) {
+	nodes := 0
+	if s.rec != nil && s.rec.Enabled() {
+		start := time.Now()
+		defer func() {
+			s.rec.Timing("minsat.minimum", time.Since(start))
+			s.rec.Count("minsat.search_nodes", int64(nodes))
+		}()
+	}
 	// Variables mentioned in clauses, in increasing order.
 	mentioned := map[int]bool{}
 	for _, c := range s.clauses {
@@ -280,6 +297,7 @@ func (s *Solver) Minimum() (model uset.Set, ok bool) {
 	}
 
 	search = func(idx, cost int) {
+		nodes++
 		if best >= 0 && cost >= best {
 			return // bound: cannot improve
 		}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TimerStat summarizes the observations of one named timer.
+type TimerStat struct {
+	Count    int64
+	Total    time.Duration
+	Min, Max time.Duration
+}
+
+// Mean is the average observation (0 when empty).
+func (t TimerStat) Mean() time.Duration {
+	if t.Count == 0 {
+		return 0
+	}
+	return t.Total / time.Duration(t.Count)
+}
+
+// Agg is an aggregating in-memory Recorder: it keeps per-kind event counts
+// (plus per-kind wall-time and step sums), counter sums, gauge maxima, and
+// timer distributions, but not the events themselves (use Capture or NDJSON
+// to retain the stream).
+type Agg struct {
+	mu       sync.Mutex
+	events   map[EventKind]int64
+	counters map[string]int64
+	gauges   map[string]int64
+	timers   map[string]TimerStat
+}
+
+// NewAgg returns an empty aggregating sink.
+func NewAgg() *Agg {
+	return &Agg{
+		events:   map[EventKind]int64{},
+		counters: map[string]int64{},
+		gauges:   map[string]int64{},
+		timers:   map[string]TimerStat{},
+	}
+}
+
+func (a *Agg) Enabled() bool { return true }
+
+func (a *Agg) Record(e Event) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.events[e.Kind]++
+	if e.WallNS > 0 {
+		a.timing("event."+string(e.Kind), time.Duration(e.WallNS))
+	}
+	if e.Steps > 0 {
+		a.counters["event."+string(e.Kind)+".steps"] += int64(e.Steps)
+	}
+}
+
+func (a *Agg) Count(name string, delta int64) {
+	a.mu.Lock()
+	a.counters[name] += delta
+	a.mu.Unlock()
+}
+
+func (a *Agg) Gauge(name string, v int64) {
+	a.mu.Lock()
+	if cur, ok := a.gauges[name]; !ok || v > cur {
+		a.gauges[name] = v
+	}
+	a.mu.Unlock()
+}
+
+func (a *Agg) Timing(name string, d time.Duration) {
+	a.mu.Lock()
+	a.timing(name, d)
+	a.mu.Unlock()
+}
+
+// timing updates a timer; callers hold a.mu.
+func (a *Agg) timing(name string, d time.Duration) {
+	t := a.timers[name]
+	if t.Count == 0 || d < t.Min {
+		t.Min = d
+	}
+	if d > t.Max {
+		t.Max = d
+	}
+	t.Count++
+	t.Total += d
+	a.timers[name] = t
+}
+
+// Events reports how many events of the kind were recorded.
+func (a *Agg) Events(kind EventKind) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.events[kind]
+}
+
+// Counter reports the accumulated sum of the named counter.
+func (a *Agg) Counter(name string) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.counters[name]
+}
+
+// GaugeMax reports the maximum observation of the named gauge.
+func (a *Agg) GaugeMax(name string) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gauges[name]
+}
+
+// Timer reports the distribution summary of the named timer.
+func (a *Agg) Timer(name string) TimerStat {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.timers[name]
+}
+
+// Render formats every aggregate as an aligned, deterministic table.
+func (a *Agg) Render() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var b strings.Builder
+	section := func(title string) { fmt.Fprintf(&b, "%s\n", title) }
+
+	if len(a.events) > 0 {
+		section("events")
+		for _, k := range sortedKeys(a.events) {
+			fmt.Fprintf(&b, "  %-28s %d\n", k, a.events[EventKind(k)])
+		}
+	}
+	if len(a.counters) > 0 {
+		section("counters")
+		for _, k := range sortedKeys(a.counters) {
+			fmt.Fprintf(&b, "  %-28s %d\n", k, a.counters[k])
+		}
+	}
+	if len(a.gauges) > 0 {
+		section("gauges (max)")
+		for _, k := range sortedKeys(a.gauges) {
+			fmt.Fprintf(&b, "  %-28s %d\n", k, a.gauges[k])
+		}
+	}
+	if len(a.timers) > 0 {
+		section("timers")
+		for _, k := range sortedKeys(a.timers) {
+			t := a.timers[k]
+			fmt.Fprintf(&b, "  %-28s n=%-6d total=%-10v mean=%-10v min=%-10v max=%v\n",
+				k, t.Count, t.Total.Round(time.Microsecond), t.Mean().Round(time.Microsecond),
+				t.Min.Round(time.Microsecond), t.Max.Round(time.Microsecond))
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any, K ~string](m map[K]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, string(k))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Capture is a Recorder retaining the full event stream in memory, for
+// tests and programmatic reconciliation against solver counters. Counters,
+// gauges, and timings are folded into the stream the same way NDJSON
+// serializes them.
+type Capture struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewCapture returns an empty capturing sink.
+func NewCapture() *Capture { return &Capture{} }
+
+func (c *Capture) Enabled() bool { return true }
+
+func (c *Capture) Record(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+func (c *Capture) Count(name string, delta int64) {
+	c.Record(Event{Kind: CounterKind, Name: name, Value: delta})
+}
+
+func (c *Capture) Gauge(name string, v int64) {
+	c.Record(Event{Kind: GaugeKind, Name: name, Value: v})
+}
+
+func (c *Capture) Timing(name string, d time.Duration) {
+	c.Record(Event{Kind: TimingKind, Name: name, WallNS: int64(d)})
+}
+
+// Events returns a copy of the recorded stream, in record order.
+func (c *Capture) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Filter returns the recorded events of one kind, in record order.
+func (c *Capture) Filter(kind EventKind) []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Event
+	for _, e := range c.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}

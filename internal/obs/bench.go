@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// BenchEntry is one data point in the github-action-benchmark "customSmallerIsBetter"
+// JSON shape: an array of {name, value, unit} objects. BENCH_*.json files in
+// this shape accumulate the repo's perf trajectory across PRs.
+type BenchEntry struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	Extra string  `json:"extra,omitempty"`
+}
+
+// WriteBenchJSON writes entries as a github-action-benchmark JSON array.
+func WriteBenchJSON(path string, entries []BenchEntry) error {
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BenchEntries exports the aggregate state as benchmark data points under
+// the given name prefix: timers as total milliseconds (with count and mean
+// in Extra), counters as raw sums, and gauges as maxima.
+func (a *Agg) BenchEntries(prefix string) []BenchEntry {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []BenchEntry
+	for _, k := range sortedKeys(a.timers) {
+		t := a.timers[k]
+		out = append(out, BenchEntry{
+			Name:  prefix + k,
+			Value: float64(t.Total) / float64(time.Millisecond),
+			Unit:  "ms",
+			Extra: fmt.Sprintf("n=%d mean=%v", t.Count, t.Mean().Round(time.Microsecond)),
+		})
+	}
+	for _, k := range sortedKeys(a.counters) {
+		out = append(out, BenchEntry{Name: prefix + k, Value: float64(a.counters[k]), Unit: "count"})
+	}
+	for _, k := range sortedKeys(a.gauges) {
+		out = append(out, BenchEntry{Name: prefix + k, Value: float64(a.gauges[k]), Unit: "max"})
+	}
+	return out
+}

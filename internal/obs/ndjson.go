@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// NDJSON is a Recorder serializing every record as one JSON object per line
+// (newline-delimited JSON). Events are written as-is; Count, Gauge, and
+// Timing records appear inline with Kind counter/gauge/timing, so the file
+// is a faithful, ordered transcript of everything the solvers reported.
+type NDJSON struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	enc *json.Encoder
+	err error
+}
+
+// NewNDJSON wraps an io.Writer. The caller owns the writer; Close flushes
+// but does not close it.
+func NewNDJSON(w io.Writer) *NDJSON {
+	bw := bufio.NewWriter(w)
+	return &NDJSON{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// CreateNDJSON creates (truncating) the file at path and returns a sink
+// that owns it; Close flushes and closes the file.
+func CreateNDJSON(path string) (*NDJSON, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create trace file: %w", err)
+	}
+	n := NewNDJSON(f)
+	n.c = f
+	return n, nil
+}
+
+func (n *NDJSON) Enabled() bool { return true }
+
+func (n *NDJSON) Record(e Event) {
+	n.mu.Lock()
+	if n.err == nil {
+		n.err = n.enc.Encode(e)
+	}
+	n.mu.Unlock()
+}
+
+func (n *NDJSON) Count(name string, delta int64) {
+	n.Record(Event{Kind: CounterKind, Name: name, Value: delta})
+}
+
+func (n *NDJSON) Gauge(name string, v int64) {
+	n.Record(Event{Kind: GaugeKind, Name: name, Value: v})
+}
+
+func (n *NDJSON) Timing(name string, d time.Duration) {
+	n.Record(Event{Kind: TimingKind, Name: name, WallNS: int64(d)})
+}
+
+// Close flushes buffered lines (and closes the file when the sink owns
+// one), returning the first error seen while writing.
+func (n *NDJSON) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.w.Flush(); err != nil && n.err == nil {
+		n.err = err
+	}
+	if n.c != nil {
+		if err := n.c.Close(); err != nil && n.err == nil {
+			n.err = err
+		}
+		n.c = nil
+	}
+	return n.err
+}
+
+// ReadEvents parses an NDJSON stream back into events, preserving order.
+// Blank lines are skipped; a malformed line is an error.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadEventsFile parses the NDJSON trace file at path.
+func ReadEventsFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEvents(f)
+}

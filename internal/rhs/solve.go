@@ -2,9 +2,11 @@ package rhs
 
 import (
 	"fmt"
+	"time"
 
 	"tracer/internal/dataflow"
 	"tracer/internal/lang"
+	"tracer/internal/obs"
 )
 
 // peKey identifies a path edge ⟨dIn, n, d⟩ within method m: running the
@@ -64,13 +66,24 @@ type Result[D comparable] struct {
 	// well-founded witness parent.
 	firstIn map[ctxKey[D]]caller[D]
 	// Steps counts path-edge discoveries (the solver's cost measure).
-	Steps   int
-	order   int
-	rootDIn D
+	Steps int
+	// MaxWorklist is the worklist's high-water mark over the run.
+	MaxWorklist int
+	order       int
+	rootDIn     D
 }
 
 // Solve runs the tabulation from the main method's entry with fact dI.
 func Solve[D comparable](g *Graph, dI D, tr dataflow.Transfer[D]) *Result[D] {
+	return SolveObs(g, dI, tr, nil)
+}
+
+// SolveObs is Solve with an observability recorder: the run reports its
+// wall time (timer "rhs.solve"), path-edge discoveries (counter
+// "rhs.path_edges" — equal to Result.Steps), discovered procedure-summary
+// contexts (counter "rhs.contexts"), and the worklist high-water mark
+// (gauge "rhs.worklist_peak"). A nil recorder is Solve.
+func SolveObs[D comparable](g *Graph, dI D, tr dataflow.Transfer[D], rec obs.Recorder) *Result[D] {
 	r := &Result[D]{
 		g:         g,
 		tr:        tr,
@@ -79,6 +92,11 @@ func Solve[D comparable](g *Graph, dI D, tr dataflow.Transfer[D]) *Result[D] {
 		incoming:  map[ctxKey[D]][]caller[D]{},
 		firstIn:   map[ctxKey[D]]caller[D]{},
 		rootDIn:   dI,
+	}
+	recording := rec != nil && rec.Enabled()
+	var start time.Time
+	if recording {
+		start = time.Now()
 	}
 	var work []peKey[D]
 	propagate := func(k peKey[D], o origin[D]) {
@@ -90,6 +108,9 @@ func Solve[D comparable](g *Graph, dI D, tr dataflow.Transfer[D]) *Result[D] {
 		r.pe[k] = o
 		r.Steps++
 		work = append(work, k)
+		if len(work) > r.MaxWorklist {
+			r.MaxWorklist = len(work)
+		}
 	}
 	main := g.Methods[g.Main]
 	propagate(peKey[D]{g.Main, dI, main.Entry, dI}, origin[D]{kind: oRoot})
@@ -147,6 +168,12 @@ func Solve[D comparable](g *Graph, dI D, tr dataflow.Transfer[D]) *Result[D] {
 				}
 			}
 		}
+	}
+	if recording {
+		rec.Timing("rhs.solve", time.Since(start))
+		rec.Count("rhs.path_edges", int64(r.Steps))
+		rec.Count("rhs.contexts", int64(len(r.summaries)))
+		rec.Gauge("rhs.worklist_peak", int64(r.MaxWorklist))
 	}
 	return r
 }

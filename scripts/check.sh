@@ -1,0 +1,15 @@
+#!/bin/sh
+# Tier-1 gate (same as `make check`): format, vet, build, race-enabled tests.
+set -e
+cd "$(dirname "$0")/.."
+
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+	echo "gofmt needed on:"
+	echo "$out"
+	exit 1
+fi
+go vet ./...
+go build ./...
+go test -race ./...
+echo "check: OK"
