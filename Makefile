@@ -1,5 +1,5 @@
 # Tier-1 gate: everything a PR must keep green (see ROADMAP.md).
-.PHONY: check fmt vet build test bench
+.PHONY: check fmt vet build test bench bench-json
 
 check: fmt vet build test
 
@@ -19,3 +19,8 @@ test:
 # Scaled-down run of every table/figure benchmark plus micro-benchmarks.
 bench:
 	go test -bench=. -benchmem -run xxx .
+
+# Regenerate the checked-in perf-trajectory series (github-action-benchmark
+# shape). Scaled-down budget so it finishes in a couple of minutes.
+bench-json:
+	go run ./cmd/paperbench -iters 100 -timeout 1s -bench-json BENCH_paperbench.json

@@ -8,6 +8,7 @@ package tracer
 // complete tables.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -355,5 +356,73 @@ func BenchmarkSingleQuery(b *testing.B) {
 		if _, err := core.Solve(job, core.Options{MaxIters: 100, Timeout: time.Second}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// batchOpts is the budget for the batch-scheduler benchmarks. Unlike
+// benchOpts it sets no per-run timeout: SolveBatch enforces Timeout as a
+// whole-batch wall cap, and a 300ms cap would truncate the larger runs into
+// the Exhausted bucket instead of measuring them.
+func batchOpts(workers int) bench.RunOptions {
+	return bench.RunOptions{
+		K: 5, MaxIters: 100, MaxQueries: 24, Fresh: true, BatchWorkers: workers,
+	}
+}
+
+// BenchmarkSolveBatch measures the grouped multi-query solver across worker
+// counts. The scheduler's results are identical for every worker count (see
+// TestSolveBatchWorkerDeterminism); only wall time may differ, so the
+// speedup at Workers=4 over Workers=1 is the parallelism win on the host.
+// Forward-run phases and memo hits are reported from the first iteration.
+func BenchmarkSolveBatch(b *testing.B) {
+	cases := []struct {
+		idx    int
+		client bench.Client
+	}{
+		{0, bench.Escape},    // tsp
+		{0, bench.Typestate}, // tsp
+		{3, bench.Typestate}, // weblech
+	}
+	for _, tc := range cases {
+		bm := bench.MustLoad(bench.Suite()[tc.idx])
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/%s/workers=%d", bm.Config.Name, tc.client, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := bench.RunBatch(bm, tc.client, batchOpts(workers))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(res.Stats.ForwardRuns), "forward-runs")
+						b.ReportMetric(float64(res.Stats.FwdCacheHits), "memo-hits")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSolveBatchCache isolates the forward-run memo: the same batch
+// with the memo disabled re-executes every forward phase.
+func BenchmarkSolveBatchCache(b *testing.B) {
+	bm := bench.MustLoad(bench.Suite()[0]) // tsp
+	for _, tc := range []struct {
+		name string
+		size int
+	}{{"memo", 0}, {"nomemo", -1}} {
+		b.Run(tc.name, func(b *testing.B) {
+			opts := batchOpts(1)
+			opts.FwdCacheSize = tc.size
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunBatch(bm, bench.Escape, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(res.Stats.FwdCacheHits), "memo-hits")
+					b.ReportMetric(float64(res.Stats.FwdCacheMisses), "memo-misses")
+				}
+			}
+		})
 	}
 }

@@ -47,7 +47,8 @@ func run() error {
 	timeout := flag.Duration("timeout", 2*time.Second, "per-query wall-clock budget")
 	iters := flag.Int("iters", 200, "per-query CEGAR iteration cap")
 	workers := flag.Int("workers", 1, "concurrent query resolutions (0/1 = sequential)")
-	only := flag.String("only", "", "comma-separated subset: table1,fig12,fig13,table2,table3,table4,fig14")
+	batchWorkers := flag.Int("batch-workers", 1, "worker pool of the grouped batch solver; results are identical for every value")
+	only := flag.String("only", "", "comma-separated subset: table1,fig12,fig13,table2,table3,table4,fig14,batch")
 	benchJSON := flag.String("bench-json", "BENCH_paperbench.json", "write github-action-benchmark {name,value,unit} JSON to this file (\"\" disables)")
 	tracePath := flag.String("trace", "", "write NDJSON events of every CEGAR iteration to this file")
 	metrics := flag.Bool("metrics", false, "print aggregated counters/gauges/timers at exit")
@@ -101,7 +102,7 @@ func run() error {
 	}
 
 	opts := bench.RunOptions{K: *k, MaxIters: *iters, Timeout: *timeout, Workers: *workers,
-		Recorder: obs.Multi(sinks...)}
+		BatchWorkers: *batchWorkers, Recorder: obs.Multi(sinks...)}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, s := range strings.Split(*only, ",") {
@@ -163,6 +164,13 @@ func run() error {
 				return "", err
 			}
 			return bench.RenderFigure14(rows), nil
+		}},
+		{"batch", func() (string, error) {
+			rows, err := bench.BatchTable(opts)
+			if err != nil {
+				return "", err
+			}
+			return bench.RenderBatchTable(rows, *batchWorkers), nil
 		}},
 	}
 

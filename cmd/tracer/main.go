@@ -7,7 +7,12 @@
 //
 // Usage:
 //
-//	tracer [-k 5] [-timeout 5s] [-auto] [-property file] program.tir
+//	tracer [-k 5] [-timeout 5s] [-auto] [-batch] [-batch-workers 4] [-property file] program.tir
+//
+// With -auto -batch the generated queries go through the grouped
+// multi-query solver (§6): queries whose learned clause sets coincide share
+// forward runs, and -batch-workers schedules independent groups in
+// parallel. Results are identical for every worker count.
 //
 // The -property flag selects the automaton for explicit type-state queries:
 // "file" (open/close protocol) or "stress" (the paper's fictitious
@@ -53,6 +58,8 @@ func run() error {
 	k := flag.Int("k", 5, "beam width k of the backward meta-analysis")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-query wall-clock budget")
 	auto := flag.Bool("auto", false, "also answer pervasively generated queries (§6)")
+	batch := flag.Bool("batch", false, "resolve -auto queries through the grouped multi-query solver (§6) instead of one at a time")
+	batchWorkers := flag.Int("batch-workers", 1, "worker pool of the grouped solver; results are identical for every value")
 	engine := flag.String("engine", "inline", "forward engine: inline (context-sensitive inlining) or rhs (summary-based tabulation; supports recursion)")
 	explainFlag := flag.Bool("explain", false, "narrate each CEGAR iteration (trace with α/ψ annotations, as in Figs 1 and 6)")
 	property := flag.String("property", "file", "automaton for explicit type-state queries: file|stress")
@@ -128,12 +135,14 @@ func run() error {
 		return fmt.Errorf("unknown -property %q", *property)
 	}
 
+	opts.Workers = *batchWorkers
+
 	if *engine == "rhs" {
 		if err := runRHS(string(src), prop, *k, opts, rec); err != nil {
 			return err
 		}
 	} else {
-		if err := runInline(string(src), prop, *k, opts, rec, *auto, *explainFlag); err != nil {
+		if err := runInline(string(src), prop, *k, opts, rec, *auto, *batch, *explainFlag); err != nil {
 			return err
 		}
 	}
@@ -145,7 +154,7 @@ func run() error {
 }
 
 // runInline answers queries through the context-sensitive inlining engine.
-func runInline(src string, prop *typestate.Property, k int, opts core.Options, rec obs.Recorder, auto, explainFlag bool) error {
+func runInline(src string, prop *typestate.Property, k int, opts core.Options, rec obs.Recorder, auto, batch, explainFlag bool) error {
 	prog, err := driver.Load(src)
 	if err != nil {
 		return err
@@ -201,6 +210,9 @@ func runInline(src string, prop *typestate.Property, k int, opts core.Options, r
 	if auto {
 		stats := prog.ComputeStats(src)
 		fmt.Printf("\nGenerated queries (N_ts=%d variables, N_esc=%d sites):\n", stats.TypestateParams, stats.EscapeParams)
+		if batch {
+			return runBatch(prog, k, opts, rec)
+		}
 		for _, q := range prog.TypestateQueries() {
 			job := prog.TypestateJob(q, k)
 			if err := report(q.ID, job, job.ParamName); err != nil {
@@ -213,6 +225,56 @@ func runInline(src string, prop *typestate.Property, k int, opts core.Options, r
 				return err
 			}
 		}
+	}
+	return nil
+}
+
+// runBatch resolves the generated queries through the grouped multi-query
+// solver of §6: queries with identical learned-clause sets share forward
+// runs, and opts.Workers schedules independent groups in parallel.
+func runBatch(prog *driver.Program, k int, opts core.Options, rec obs.Recorder) error {
+	tsQueries := prog.TypestateQueries()
+	escQueries := prog.EscapeQueries()
+	type batchCase struct {
+		ids       []string
+		paramName func(i int) string
+		problem   core.BatchProblem
+	}
+	cases := []batchCase{}
+	if len(tsQueries) > 0 {
+		ids := make([]string, len(tsQueries))
+		for i, q := range tsQueries {
+			ids[i] = q.ID
+		}
+		job := prog.TypestateJob(tsQueries[0], k)
+		cases = append(cases, batchCase{ids, job.ParamName, driver.NewTypestateBatch(prog, tsQueries, k)})
+	}
+	if len(escQueries) > 0 {
+		ids := make([]string, len(escQueries))
+		for i, q := range escQueries {
+			ids[i] = q.ID
+		}
+		job := prog.EscapeJob(escQueries[0], k)
+		cases = append(cases, batchCase{ids, job.ParamName, driver.NewEscapeBatch(prog, escQueries, k)})
+	}
+	for _, c := range cases {
+		bopts := opts
+		bopts.Recorder = rec
+		if bopts.Timeout > 0 {
+			bopts.Timeout *= time.Duration(len(c.ids)) // opts.Timeout is per query
+		}
+		start := time.Now()
+		res, err := core.SolveBatch(c.problem, bopts)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		for i, r := range res.Results {
+			printResult(c.ids[i], r, c.paramName, wall/time.Duration(len(res.Results)))
+		}
+		fmt.Printf("[batch: %d queries, %d forward phases (%d memo hits), %d groups, %d rounds, %v]\n",
+			len(res.Results), res.Stats.ForwardRuns, res.Stats.FwdCacheHits,
+			res.Stats.TotalGroups, res.Stats.Rounds, wall.Round(time.Millisecond))
 	}
 	return nil
 }

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"tracer/internal/core"
+)
+
+// TestRunBatchWorkerDeterminism: on a real benchmark, the parallel batch
+// scheduler is bit-identical to the sequential run — same Results and same
+// BatchStats for every worker count — and the forward-run memo gets real
+// hits. Runs under the tier-1 -race gate, so it also exercises the
+// concurrent Check/Backward paths of both drivers.
+func TestRunBatchWorkerDeterminism(t *testing.T) {
+	b := MustLoad(Suite()[0]) // tsp
+	for _, cl := range []Client{Typestate, Escape} {
+		run := func(workers int) *core.BatchResult {
+			res, err := RunBatch(b, cl, RunOptions{
+				K: 5, MaxIters: 300, MaxQueries: 24, BatchWorkers: workers,
+			})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", cl, workers, err)
+			}
+			return res
+		}
+		base := run(1)
+		if base.Stats.FwdCacheHits == 0 {
+			t.Errorf("%s: forward-run memo saw no hits on tsp", cl)
+		}
+		got := run(4)
+		if !reflect.DeepEqual(got.Results, base.Results) {
+			t.Errorf("%s: Results differ between workers=4 and workers=1", cl)
+		}
+		if got.Stats != base.Stats {
+			t.Errorf("%s: Stats = %+v (workers=4), want %+v (workers=1)", cl, got.Stats, base.Stats)
+		}
+		t.Logf("%-13s queries=%d fwd=%d hits=%d misses=%d rounds=%d",
+			cl, len(base.Results), base.Stats.ForwardRuns,
+			base.Stats.FwdCacheHits, base.Stats.FwdCacheMisses, base.Stats.Rounds)
+	}
+}

@@ -29,6 +29,14 @@ type RunOptions struct {
 	// job owns its analysis instance). 0 or 1 means sequential. Per-query
 	// timings remain meaningful; total wall time shrinks.
 	Workers int
+	// BatchWorkers is the worker-pool size of the grouped multi-query
+	// solver (core.Options.Workers): RunBatch schedules independent query
+	// groups and per-query meta-analyses across it. Results are identical
+	// for every value.
+	BatchWorkers int
+	// FwdCacheSize is RunBatch's forward-run memo size
+	// (core.Options.FwdCacheSize): 0 = default, negative disables.
+	FwdCacheSize int
 	// Recorder receives the TRACER loop's structured telemetry, tagged with
 	// each query's ID (see internal/obs). It must be safe for concurrent
 	// use when Workers > 1. Note the run cache: cached results replay no
@@ -120,7 +128,10 @@ var (
 )
 
 func coreOpts(opts RunOptions) core.Options {
-	return core.Options{MaxIters: opts.MaxIters, Timeout: opts.Timeout, Recorder: opts.Recorder}
+	return core.Options{
+		MaxIters: opts.MaxIters, Timeout: opts.Timeout, Recorder: opts.Recorder,
+		Workers: opts.BatchWorkers, FwdCacheSize: opts.FwdCacheSize,
+	}
 }
 
 func runTypestate(b *Benchmark, opts RunOptions, res *ClientResult) error {

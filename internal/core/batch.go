@@ -18,6 +18,13 @@ import (
 // blocking clauses; queries in a group share forward analysis runs, and a
 // group splits when the meta-analysis learns different conditions for
 // different queries.
+//
+// SolveBatch schedules work across a pool of Options.Workers goroutines, so
+// implementations must tolerate concurrency: RunForward may be called
+// concurrently for distinct abstractions, each returned BatchRun must allow
+// concurrent Check calls (for distinct queries), and Backward must allow
+// concurrent calls for distinct queries. Both driver implementations satisfy
+// this by giving every run and every backward job its own analysis instance.
 type BatchProblem interface {
 	NumParams() int
 	NumQueries() int
@@ -40,10 +47,23 @@ type BatchRun interface {
 
 // BatchStats aggregates runner-level statistics.
 type BatchStats struct {
+	// ForwardRuns counts forward-run phases: one per distinct abstraction
+	// used per scheduling round (== the number of ForwardDone events). It
+	// equals the number of whole-program forward executions except when the
+	// cross-round memo serves a phase from an earlier round.
 	ForwardRuns int
 	PeakGroups  int
 	TotalGroups int // groups ever created (Table 4's "# groups" analogue)
 	TotalSteps  int
+	// Rounds counts scheduling rounds: each round runs every live group for
+	// one CEGAR iteration.
+	Rounds int
+	// FwdCacheHits / FwdCacheMisses count, per group iteration, whether the
+	// group's chosen abstraction was served by an already-available forward
+	// run (shared within the round or memoized from an earlier one) or
+	// required a fresh whole-program solve.
+	FwdCacheHits   int
+	FwdCacheMisses int
 }
 
 // BatchResult is the outcome of SolveBatch.
@@ -58,16 +78,85 @@ type group struct {
 	queries []int
 }
 
+// groupPlan is the per-round scheduling state of one live group.
+type groupPlan struct {
+	g      *group
+	minBuf *obs.Buffer // minsat telemetry from the parallel Minimum call
+	p      uset.Set
+	sat    bool
+	// ordinal is the global group-iteration number (IterStart.Iter); it is
+	// assigned sequentially in signature order, so it is deterministic.
+	ordinal int
+	task    *fwdTask
+	unitLo  int // index of this group's first unit in the round's unit list
+}
+
+// fwdTask is one forward-run phase of a round: a distinct abstraction chosen
+// by one or more groups, resolved to a fresh or memoized BatchRun.
+type fwdTask struct {
+	p       uset.Set
+	key     string
+	run     BatchRun
+	entry   *fwdEntry // non-nil when served by the cross-round memo
+	fresh   bool      // true when this phase executes RunForward
+	ordinal int       // ordinal of the first group using the run
+	queries int       // queries checked against the run this round
+	execNS  int64     // RunForward wall time (fresh tasks, recording only)
+	checkNS int64     // summed Check wall time (recording only)
+}
+
+// unit is one (group, query) check-and-refine step scheduled in a round.
+type unit struct {
+	pl *groupPlan
+	q  int
+}
+
+// unitKind classifies a unit's deterministic outcome.
+type unitKind uint8
+
+const (
+	uProved unitKind = iota
+	uExhausted
+	uMoved
+)
+
+// unitOut is the product of one unit. Everything the sequential merge needs
+// is captured here; the unit itself touches no shared state beyond its own
+// result slot.
+type unitOut struct {
+	kind    unitKind
+	next    *minsat.Solver // uMoved: the query's refined clause set
+	sig     string         // uMoved: next.Signature()
+	clauses int            // uMoved: next.NumClauses()
+	buf     *obs.Buffer    // backward/clause events, replayed by the merge
+	checkNS int64
+	err     error
+}
+
 // SolveBatch resolves every query, sharing forward runs within groups.
 // opts.MaxIters bounds the number of forward runs any single query may
-// participate in; queries exceeding it are Exhausted (the paper's timeout
-// bucket in Fig 12).
+// participate in and opts.Timeout caps total wall-clock time; queries
+// exceeding either budget are Exhausted (the paper's timeout bucket in
+// Fig 12).
+//
+// Scheduling is round-based: each round snapshots the live groups in sorted
+// signature order, computes their minimum abstractions concurrently, dedupes
+// the needed forward runs through an LRU memo keyed by the abstraction,
+// executes the missing runs concurrently, then checks every (group, query)
+// pair and runs its backward meta-analysis concurrently. All cross-query
+// interaction — cache lookups, event emission, stats, and regrouping — is
+// confined to sequential merge passes in signature order, so Results, Stats,
+// and the recorded event stream are identical for every Workers value.
 func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 	rec := opts.rec()
 	recording := rec.Enabled()
+	workers := opts.workers()
 	start := time.Now()
 	n := bp.NumQueries()
 	res := &BatchResult{Results: make([]Result, n)}
+	if n == 0 {
+		return res, nil
+	}
 	// resolved finalizes query q and emits its closing event; totals match
 	// the query's Result fields exactly.
 	resolved := func(q int, s Status) {
@@ -81,128 +170,261 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 			})
 		}
 	}
-	groups := map[string]*group{}
 	root := &group{solver: minsat.New(bp.NumParams())}
-	if recording {
-		root.solver.Instrument(rec)
-	}
 	for q := 0; q < n; q++ {
 		root.queries = append(root.queries, q)
 	}
-	rootSig := root.solver.Signature()
-	groups[rootSig] = root
+	groups := map[string]*group{root.solver.Signature(): root}
 	res.Stats.TotalGroups = 1
-	// sigs mirrors the keys of groups in sorted order, so the deterministic
-	// pick (smallest signature) is the head of the list instead of a full
-	// re-sort of every signature string each iteration.
-	sigs := []string{rootSig}
-	insertSig := func(sig string) {
-		i := sort.SearchStrings(sigs, sig)
-		sigs = append(sigs, "")
-		copy(sigs[i+1:], sigs[i:])
-		sigs[i] = sig
-	}
+	cache := newFwdCache(opts.fwdCacheSize())
+	ordinal := 0 // global group-iteration counter
 
-	for len(sigs) > 0 {
+	for len(groups) > 0 {
+		res.Stats.Rounds++
+		sigs := make([]string, 0, len(groups))
+		for sig := range groups {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
 		if len(sigs) > res.Stats.PeakGroups {
 			res.Stats.PeakGroups = len(sigs)
 		}
-		g := groups[sigs[0]]
-		delete(groups, sigs[0])
-		sigs = sigs[1:]
+		if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
+			for _, sig := range sigs {
+				for _, q := range groups[sig].queries {
+					resolved(q, Exhausted)
+				}
+			}
+			return res, nil
+		}
+		gl := make([]*group, len(sigs))
+		for i, sig := range sigs {
+			gl[i] = groups[sig]
+		}
 
-		p, ok := g.solver.Minimum()
-		if !ok {
-			for _, q := range g.queries {
-				resolved(q, Impossible)
-			}
-			continue
-		}
-		if recording {
-			rec.Record(obs.Event{Kind: obs.IterStart, Iter: res.Stats.ForwardRuns + 1,
-				AbsSize: p.Len(), Clauses: g.solver.NumClauses(),
-				Queries: len(g.queries), Groups: len(sigs) + 1})
-		}
-		var phase time.Time
-		if recording {
-			phase = time.Now()
-		}
-		run := bp.RunForward(p)
-		res.Stats.ForwardRuns++
-		// The shared forward run is lazy: work happens inside Check,
-		// interleaved with per-query backward runs. backWall accumulates the
-		// backward share so ForwardDone reports forward-only wall time.
-		var backWall time.Duration
-		moved := map[string][]int{}
-		solvers := map[string]*minsat.Solver{}
-		for _, q := range g.queries {
-			res.Results[q].Iterations++
-			proved, trace := run.Check(q)
-			if proved {
-				res.Results[q].Abstraction = p
-				resolved(q, Proved)
-				continue
-			}
-			if res.Results[q].Iterations >= opts.maxIters() {
-				resolved(q, Exhausted)
-				continue
-			}
-			var bstart time.Time
+		// Phase A (parallel): pick each group's minimum abstraction. Each
+		// solver records into its own buffer; nothing else is shared.
+		plans := make([]groupPlan, len(gl))
+		parallelFor(workers, len(gl), func(i int) {
+			pl := &plans[i]
+			pl.g = gl[i]
 			if recording {
-				bstart = time.Now()
+				pl.minBuf = obs.NewBuffer()
+				pl.g.solver.Instrument(pl.minBuf)
 			}
-			cubes := bp.Backward(q, p, trace)
-			if recording {
-				d := time.Since(bstart)
-				backWall += d
-				rec.Record(obs.Event{Kind: obs.BackwardDone, Query: strconv.Itoa(q),
-					Iter: res.Results[q].Iterations, AbsSize: p.Len(),
-					Cubes: len(cubes), WallNS: int64(d)})
+			pl.p, pl.sat = pl.g.solver.Minimum()
+		})
+
+		// Sequential pass (signature order): resolve unsatisfiable groups,
+		// assign iteration ordinals, and map each surviving group to a
+		// forward-run task via the abstraction-keyed memo.
+		var tasks []*fwdTask // distinct runs used this round, first-use order
+		roundTask := map[string]*fwdTask{}
+		var fresh []*fwdTask
+		var units []unit
+		for i := range plans {
+			pl := &plans[i]
+			if recording && pl.minBuf != nil {
+				pl.minBuf.ReplayTo(rec)
 			}
-			next := g.solver.Clone()
-			covered := false
-			for _, c := range cubes {
-				before := next.NumClauses()
-				next.Block(c.Pos, c.Neg)
-				if recording && next.NumClauses() > before {
-					rec.Record(obs.Event{Kind: obs.ClauseLearned, Query: strconv.Itoa(q),
-						Iter: res.Results[q].Iterations, Clauses: next.NumClauses()})
+			if !pl.sat {
+				for _, q := range pl.g.queries {
+					resolved(q, Impossible)
 				}
-				if c.Contains(p) {
-					covered = true
-				}
-			}
-			if !covered {
-				return nil, fmt.Errorf("%w (query %d, p=%s)", ErrNoProgress, q, p)
-			}
-			res.Results[q].Clauses = next.NumClauses()
-			sig := next.Signature()
-			moved[sig] = append(moved[sig], q)
-			if _, exists := solvers[sig]; !exists {
-				solvers[sig] = next
-			}
-		}
-		res.Stats.TotalSteps += run.Steps()
-		if recording {
-			rec.Record(obs.Event{Kind: obs.ForwardDone, Iter: res.Stats.ForwardRuns,
-				AbsSize: p.Len(), Steps: run.Steps(), Queries: len(g.queries),
-				WallNS: int64(time.Since(phase) - backWall)})
-		}
-		born := 0
-		for sig, qs := range moved {
-			if existing, ok := groups[sig]; ok {
-				existing.queries = append(existing.queries, qs...)
 				continue
 			}
-			groups[sig] = &group{solver: solvers[sig], queries: qs}
-			insertSig(sig)
-			res.Stats.TotalGroups++
-			born++
+			ordinal++
+			pl.ordinal = ordinal
+			if recording {
+				rec.Record(obs.Event{Kind: obs.IterStart, Iter: pl.ordinal,
+					AbsSize: pl.p.Len(), Clauses: pl.g.solver.NumClauses(),
+					Queries: len(pl.g.queries), Groups: len(gl)})
+			}
+			key := pl.p.Key()
+			t := roundTask[key]
+			hit := true
+			if t == nil {
+				if e := cache.get(key); e != nil {
+					t = &fwdTask{p: pl.p, key: key, run: e.run, entry: e, ordinal: pl.ordinal}
+				} else {
+					hit = false
+					t = &fwdTask{p: pl.p, key: key, fresh: true, ordinal: pl.ordinal}
+					fresh = append(fresh, t)
+				}
+				roundTask[key] = t
+				tasks = append(tasks, t)
+			}
+			if hit {
+				res.Stats.FwdCacheHits++
+				if recording {
+					rec.Count(obs.BatchFwdCacheHit, 1)
+				}
+			} else {
+				res.Stats.FwdCacheMisses++
+				if recording {
+					rec.Count(obs.BatchFwdCacheMiss, 1)
+				}
+			}
+			t.queries += len(pl.g.queries)
+			pl.task = t
+			pl.unitLo = len(units)
+			for _, q := range pl.g.queries {
+				units = append(units, unit{pl: pl, q: q})
+			}
 		}
-		if recording && len(moved) > 1 {
-			rec.Record(obs.Event{Kind: obs.GroupSplit, Iter: res.Stats.ForwardRuns,
-				Groups: len(sigs), Queries: born})
+
+		// Phase B (parallel): execute the missing forward runs.
+		parallelFor(workers, len(fresh), func(i int) {
+			t := fresh[i]
+			var s time.Time
+			if recording {
+				s = time.Now()
+			}
+			t.run = bp.RunForward(t.p)
+			if recording {
+				t.execNS = int64(time.Since(s))
+			}
+		})
+
+		// Phase C (parallel): check every query against its group's run and
+		// refine its clause set from the counterexample. Each unit owns its
+		// result slot and buffers its events.
+		outs := make([]unitOut, len(units))
+		parallelFor(workers, len(units), func(i int) {
+			outs[i] = runUnit(bp, opts, res, units[i], recording)
+		})
+
+		// Sequential merge (signature order, then group query order): replay
+		// buffered events, finalize resolved queries, and redistribute moved
+		// queries into next-round groups.
+		next := map[string]*group{}
+		for i := range plans {
+			pl := &plans[i]
+			if !pl.sat {
+				continue
+			}
+			planSigs := map[string]bool{}
+			born := 0
+			for k, q := range pl.g.queries {
+				o := &outs[pl.unitLo+k]
+				if o.err != nil {
+					return nil, o.err
+				}
+				if o.buf != nil {
+					o.buf.ReplayTo(rec)
+				}
+				pl.task.checkNS += o.checkNS
+				switch o.kind {
+				case uProved:
+					res.Results[q].Abstraction = pl.p
+					resolved(q, Proved)
+				case uExhausted:
+					resolved(q, Exhausted)
+				case uMoved:
+					res.Results[q].Clauses = o.clauses
+					planSigs[o.sig] = true
+					g2 := next[o.sig]
+					if g2 == nil {
+						g2 = &group{solver: o.next}
+						next[o.sig] = g2
+						res.Stats.TotalGroups++
+						born++
+					}
+					g2.queries = append(g2.queries, q)
+				}
+			}
+			if recording && len(planSigs) > 1 {
+				rec.Record(obs.Event{Kind: obs.GroupSplit, Iter: pl.ordinal,
+					Groups: len(next), Queries: born})
+			}
 		}
+
+		// Close the round's forward-run phases in first-use order: charge
+		// each run's step delta (lazy runs accrue steps inside Check) and
+		// refresh the memo.
+		for _, t := range tasks {
+			steps := t.run.Steps()
+			prev := 0
+			if t.entry != nil {
+				prev = t.entry.lastSteps
+			}
+			res.Stats.TotalSteps += steps - prev
+			res.Stats.ForwardRuns++
+			if recording {
+				rec.Record(obs.Event{Kind: obs.ForwardDone, Iter: t.ordinal,
+					AbsSize: t.p.Len(), Steps: steps - prev, Queries: t.queries,
+					WallNS: t.execNS + t.checkNS})
+			}
+			if t.entry != nil {
+				t.entry.lastSteps = steps
+			} else {
+				cache.put(t.key, &fwdEntry{run: t.run, lastSteps: steps})
+			}
+		}
+		groups = next
 	}
 	return res, nil
+}
+
+// runUnit performs one query's check-and-refine step. It is a pure function
+// of deterministic inputs (the group's abstraction and clause set, the
+// query's forward run) plus the unit's exclusive result slot, so it is safe
+// and deterministic to run concurrently with other units.
+func runUnit(bp BatchProblem, opts Options, res *BatchResult, u unit, recording bool) unitOut {
+	pl, q := u.pl, u.q
+	var out unitOut
+	var buf obs.Recorder = obs.Nop{}
+	if recording {
+		out.buf = obs.NewBuffer()
+		buf = out.buf
+	}
+	res.Results[q].Iterations++
+	var cs time.Time
+	if recording {
+		cs = time.Now()
+	}
+	proved, trace := pl.task.run.Check(q)
+	if recording {
+		out.checkNS = int64(time.Since(cs))
+	}
+	if proved {
+		out.kind = uProved
+		return out
+	}
+	if res.Results[q].Iterations >= opts.maxIters() {
+		out.kind = uExhausted
+		return out
+	}
+	var bstart time.Time
+	if recording {
+		bstart = time.Now()
+	}
+	cubes := bp.Backward(q, pl.p, trace)
+	if recording {
+		buf.Record(obs.Event{Kind: obs.BackwardDone, Query: strconv.Itoa(q),
+			Iter: res.Results[q].Iterations, AbsSize: pl.p.Len(),
+			Cubes: len(cubes), WallNS: int64(time.Since(bstart))})
+	}
+	next := pl.g.solver.Clone()
+	covered := false
+	for _, c := range cubes {
+		before := next.NumClauses()
+		next.Block(c.Pos, c.Neg)
+		if recording && next.NumClauses() > before {
+			buf.Record(obs.Event{Kind: obs.ClauseLearned, Query: strconv.Itoa(q),
+				Iter: res.Results[q].Iterations, Clauses: next.NumClauses()})
+		}
+		if c.Contains(pl.p) {
+			covered = true
+		}
+	}
+	if !covered {
+		out.err = fmt.Errorf("%w (query %d, p=%s)", ErrNoProgress, q, pl.p)
+		return out
+	}
+	out.kind = uMoved
+	out.next = next
+	out.clauses = next.NumClauses()
+	out.sig = next.Signature()
+	return out
 }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs f(0..n-1) across at most workers goroutines and waits for
+// all of them. With workers <= 1 it degenerates to a plain loop on the
+// calling goroutine (no goroutines spawned), so the sequential batch path
+// has zero scheduling overhead. Work is handed out by an atomic counter, so
+// the assignment of indices to goroutines is nondeterministic — callers must
+// make each f(i) a pure function of its inputs writing only to slot i.
+func parallelFor(workers, n int, f func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// fwdEntry is one memoized forward run. lastSteps remembers the run's step
+// count as of the last round that used it: forward runs are lazy (typestate
+// work happens inside Check), so a memoized run can keep accruing steps
+// across rounds, and each round charges only the delta to TotalSteps.
+type fwdEntry struct {
+	run       BatchRun
+	lastSteps int
+}
+
+// fwdCache is a small LRU memo of forward runs keyed by the canonical
+// abstraction key. It is only touched from the scheduler's sequential merge
+// phases, so it needs no locking; determinism follows from those phases
+// processing groups in sorted-signature order.
+type fwdCache struct {
+	cap     int
+	entries map[string]*fwdEntry
+	order   []string // least recently used first
+}
+
+func newFwdCache(cap int) *fwdCache {
+	return &fwdCache{cap: cap, entries: map[string]*fwdEntry{}}
+}
+
+// get returns the entry for key (refreshing its recency) or nil.
+func (c *fwdCache) get(key string) *fwdEntry {
+	if c.cap <= 0 {
+		return nil
+	}
+	e := c.entries[key]
+	if e != nil {
+		c.touch(key)
+	}
+	return e
+}
+
+// put inserts an entry, evicting the least recently used one on overflow.
+func (c *fwdCache) put(key string, e *fwdEntry) {
+	if c.cap <= 0 {
+		return
+	}
+	if _, ok := c.entries[key]; ok {
+		c.entries[key] = e
+		c.touch(key)
+		return
+	}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	if len(c.order) > c.cap {
+		delete(c.entries, c.order[0])
+		c.order = append(c.order[:0], c.order[1:]...)
+	}
+}
+
+func (c *fwdCache) touch(key string) {
+	for i, k := range c.order {
+		if k == key {
+			copy(c.order[i:], c.order[i+1:])
+			c.order[len(c.order)-1] = key
+			return
+		}
+	}
+}

@@ -109,6 +109,19 @@ type Options struct {
 	// QueryResolved whose totals match the returned Result exactly. nil
 	// means no recording.
 	Recorder obs.Recorder
+	// Workers is the size of SolveBatch's worker pool: independent query
+	// groups (and the per-query meta-analyses within a group) are scheduled
+	// concurrently across it. 0 or 1 means sequential. Results, stats, and
+	// the recorded event stream are identical for every value. Ignored by
+	// the single-query Solve.
+	Workers int
+	// FwdCacheSize bounds SolveBatch's LRU memo of forward runs keyed by
+	// the abstraction: groups converging on the same minimum abstraction
+	// reuse one whole-program solve. 0 means the default (16); negative
+	// disables cross-round memoization (runs are still shared by groups
+	// picking the same abstraction within a scheduling round). Ignored by
+	// the single-query Solve.
+	FwdCacheSize int
 }
 
 func (o Options) maxIters() int {
@@ -116,6 +129,23 @@ func (o Options) maxIters() int {
 		return 1000
 	}
 	return o.MaxIters
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+func (o Options) fwdCacheSize() int {
+	switch {
+	case o.FwdCacheSize == 0:
+		return 16
+	case o.FwdCacheSize < 0:
+		return 0
+	}
+	return o.FwdCacheSize
 }
 
 func (o Options) rec() obs.Recorder { return obs.Default(o.Recorder) }

@@ -1,6 +1,8 @@
 package driver
 
 import (
+	"sync"
+
 	"tracer/internal/core"
 	"tracer/internal/dataflow"
 	"tracer/internal/escape"
@@ -12,6 +14,12 @@ import (
 // EscapeBatch runs all generated thread-escape queries of a program through
 // core.SolveBatch. The thread-escape analysis is query-independent, so a
 // group's queries genuinely share one forward run.
+//
+// The batch is safe for the concurrent access pattern of the parallel
+// scheduler: every forward run and every query's backward job owns a fresh
+// analysis instance (interned state IDs are only meaningful within one
+// instance, and interning mutates the instance), while the parameter
+// universe is the program's site list, identical across instances.
 type EscapeBatch struct {
 	P       *Program
 	Queries []EscQuery
@@ -22,15 +30,12 @@ type EscapeBatch struct {
 
 var _ core.BatchProblem = (*EscapeBatch)(nil)
 
-// NewEscapeBatch builds the batch problem over the given queries. All jobs
-// share the batch's single analysis instance: interned state IDs are only
-// meaningful within one instance, and the batch runs sequentially.
+// NewEscapeBatch builds the batch problem over the given queries.
 func NewEscapeBatch(p *Program, queries []EscQuery, k int) *EscapeBatch {
 	b := &EscapeBatch{P: p, Queries: queries, K: k}
-	a := p.EscapeAnalysis()
 	for _, q := range queries {
 		b.jobs = append(b.jobs, &escape.Job{
-			A: a,
+			A: p.FreshEscapeAnalysis(),
 			G: p.Low.G,
 			Q: escape.Query{Nodes: q.Nodes, V: q.Var},
 			K: k,
@@ -39,24 +44,29 @@ func NewEscapeBatch(p *Program, queries []EscQuery, k int) *EscapeBatch {
 	return b
 }
 
-func (b *EscapeBatch) NumParams() int  { return b.P.EscapeAnalysis().Sites.Len() }
+func (b *EscapeBatch) NumParams() int  { return len(b.P.Sites) }
 func (b *EscapeBatch) NumQueries() int { return len(b.Queries) }
 
-// RunForward solves the whole program once under p.
+// RunForward solves the whole program once under p. The run carries the
+// analysis instance that produced it: checks must resolve interned state
+// IDs against that instance.
 func (b *EscapeBatch) RunForward(p uset.Set) core.BatchRun {
-	a := b.P.EscapeAnalysis()
+	a := b.P.FreshEscapeAnalysis()
 	res := dataflow.Solve(b.P.Low.G, a.Initial(), a.Transfer(p))
-	return &escapeRun{b: b, res: res}
+	return &escapeRun{b: b, a: a, res: res}
 }
 
 type escapeRun struct {
 	b   *EscapeBatch
+	a   *escape.Analysis
 	res *dataflow.Result[escape.State]
 }
 
+// Check is safe for concurrent calls: the solved result and its analysis
+// are read-only once RunForward returns.
 func (r *escapeRun) Check(q int) (bool, lang.Trace) {
 	job := r.b.jobs[q]
-	node, bad, found := escape.FindFailure(job.A, r.res, job.Q)
+	node, bad, found := escape.FindFailure(r.a, r.res, job.Q)
 	if !found {
 		return true, nil
 	}
@@ -65,42 +75,43 @@ func (r *escapeRun) Check(q int) (bool, lang.Trace) {
 
 func (r *escapeRun) Steps() int { return r.res.Steps }
 
-// Backward delegates to the per-query job.
+// Backward delegates to the per-query job; distinct queries may run
+// concurrently because each job owns its analysis and WP cache.
 func (b *EscapeBatch) Backward(q int, p uset.Set, t lang.Trace) []core.ParamCube {
 	return b.jobs[q].Backward(p, t)
 }
 
 // TypestateBatch runs all generated type-state queries through
-// core.SolveBatch. Queries tracking the same allocation site share an
-// analysis instance, and a shared forward run solves lazily per site (the
+// core.SolveBatch. Queries tracking the same allocation site share a
+// forward solve, and a shared forward run solves lazily per site (the
 // paper's implementation tracks a separate abstract object per site within
 // one tabulation run; per-site solves over the same graph are equivalent).
+//
+// Like EscapeBatch, every run and every backward job owns fresh analysis
+// instances so the parallel scheduler's concurrent Check/Backward calls
+// never share an intern table.
 type TypestateBatch struct {
 	P       *Program
 	Queries []TSQuery
 	K       int
 
-	analyses map[string]*typestate.Analysis
-	jobs     []*typestate.Job
+	prop *typestate.Property
+	jobs []*typestate.Job
 }
 
 var _ core.BatchProblem = (*TypestateBatch)(nil)
 
 // NewTypestateBatch builds the batch problem over the given queries.
 func NewTypestateBatch(p *Program, queries []TSQuery, k int) *TypestateBatch {
-	b := &TypestateBatch{P: p, Queries: queries, K: k, analyses: map[string]*typestate.Analysis{}}
-	prop := typestate.StressProperty(p.stressMethods)
+	b := &TypestateBatch{P: p, Queries: queries, K: k}
+	b.prop = typestate.StressProperty(p.stressMethods)
 	for _, q := range queries {
-		a := b.analyses[q.Site]
-		if a == nil {
-			a = typestate.New(prop, q.Site, p.Vars)
-			a.MayPoint = p.MayPoint(q.Site)
-			b.analyses[q.Site] = a
-		}
+		a := typestate.New(b.prop, q.Site, p.Vars)
+		a.MayPoint = p.MayPoint(q.Site)
 		b.jobs = append(b.jobs, &typestate.Job{
 			A: a,
 			G: p.Low.G,
-			Q: typestate.Query{Nodes: q.Nodes, Want: uset.Bits(0).Add(prop.Init)},
+			Q: typestate.Query{Nodes: q.Nodes, Want: uset.Bits(0).Add(b.prop.Init)},
 			K: k,
 		})
 	}
@@ -112,40 +123,67 @@ func (b *TypestateBatch) NumQueries() int { return len(b.Queries) }
 
 // RunForward returns a run that solves per tracked site on demand.
 func (b *TypestateBatch) RunForward(p uset.Set) core.BatchRun {
-	return &typestateRun{b: b, p: p, perSite: map[string]*dataflow.Result[typestate.State]{}}
+	return &typestateRun{b: b, p: p, perSite: map[string]*siteCell{}}
+}
+
+// siteCell holds one site's lazily-computed solve within a run. The cell's
+// once gate lets concurrent checks of same-site queries wait for a single
+// solve; a and res are immutable after the gate opens.
+type siteCell struct {
+	once sync.Once
+	a    *typestate.Analysis
+	res  *dataflow.Result[typestate.State]
 }
 
 type typestateRun struct {
-	b       *TypestateBatch
-	p       uset.Set
-	perSite map[string]*dataflow.Result[typestate.State]
+	b *TypestateBatch
+	p uset.Set
+
+	mu      sync.Mutex // guards perSite and steps
+	perSite map[string]*siteCell
 	steps   int
 }
 
-func (r *typestateRun) solve(site string) *dataflow.Result[typestate.State] {
-	if res, ok := r.perSite[site]; ok {
-		return res
+func (r *typestateRun) solve(site string) *siteCell {
+	r.mu.Lock()
+	c := r.perSite[site]
+	if c == nil {
+		c = &siteCell{}
+		r.perSite[site] = c
 	}
-	a := r.b.analyses[site]
-	res := dataflow.Solve(r.b.P.Low.G, a.Initial(), a.Transfer(r.p))
-	r.perSite[site] = res
-	r.steps += res.Steps
-	return res
+	r.mu.Unlock()
+	c.once.Do(func() {
+		a := typestate.New(r.b.prop, site, r.b.P.Vars)
+		a.MayPoint = r.b.P.MayPoint(site)
+		c.a = a
+		c.res = dataflow.Solve(r.b.P.Low.G, a.Initial(), a.Transfer(r.p))
+		r.mu.Lock()
+		r.steps += c.res.Steps
+		r.mu.Unlock()
+	})
+	return c
 }
 
+// Check is safe for concurrent calls with distinct queries; same-site
+// queries share one solve through the cell's once gate.
 func (r *typestateRun) Check(q int) (bool, lang.Trace) {
 	job := r.b.jobs[q]
-	res := r.solve(r.b.Queries[q].Site)
-	node, bad, found := typestate.FindFailure(job.A, res, job.Q)
+	c := r.solve(r.b.Queries[q].Site)
+	node, bad, found := typestate.FindFailure(c.a, c.res, job.Q)
 	if !found {
 		return true, nil
 	}
-	return false, res.Witness(node, bad)
+	return false, c.res.Witness(node, bad)
 }
 
-func (r *typestateRun) Steps() int { return r.steps }
+func (r *typestateRun) Steps() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.steps
+}
 
-// Backward delegates to the per-query job.
+// Backward delegates to the per-query job; distinct queries may run
+// concurrently because each job owns its analysis and WP cache.
 func (b *TypestateBatch) Backward(q int, p uset.Set, t lang.Trace) []core.ParamCube {
 	return b.jobs[q].Backward(p, t)
 }

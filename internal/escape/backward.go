@@ -42,20 +42,6 @@ func (p PSite) String() string  { return p.H + "." + p.O.String() }
 func (p PLocal) String() string { return p.V + "." + p.O.String() }
 func (p PField) String() string { return p.F + "." + p.O.String() }
 
-// subject returns an identity for the constrained entity, so the theory can
-// detect that two literals speak about the same site/local/field.
-func subject(p formula.Prim) (string, Value, bool) {
-	switch p := p.(type) {
-	case PSite:
-		return "h:" + p.H, p.O, true
-	case PLocal:
-		return "v:" + p.V, p.O, true
-	case PField:
-		return "f:" + p.F, p.O, true
-	}
-	return "", 0, false
-}
-
 // Theory is the literal theory of the thread-escape meta-analysis.
 type Theory struct{}
 
@@ -93,15 +79,26 @@ func (Theory) NegLit(l formula.Lit) (formula.DNF, bool) {
 // highly incomplete checker the paper describes for this analysis).
 func (Theory) Implies(a, b formula.Lit) bool { return a == b }
 
-// Contradicts: two positive literals about the same subject with different
-// values are mutually exclusive.
+// Contradicts: two positive literals about the same subject (site, local,
+// or field) with different values are mutually exclusive. The comparison is
+// allocation-free — unsat pruning calls this on every literal pair of every
+// candidate disjunct, making it the meta-analysis's hottest path.
 func (Theory) Contradicts(a, b formula.Lit) bool {
 	if a.Neg || b.Neg {
 		return false
 	}
-	sa, oa, oka := subject(a.P)
-	sb, ob, okb := subject(b.P)
-	return oka && okb && sa == sb && oa != ob
+	switch pa := a.P.(type) {
+	case PSite:
+		pb, ok := b.P.(PSite)
+		return ok && pa.H == pb.H && pa.O != pb.O
+	case PLocal:
+		pb, ok := b.P.(PLocal)
+		return ok && pa.V == pb.V && pa.O != pb.O
+	case PField:
+		pb, ok := b.P.(PField)
+		return ok && pa.F == pb.F && pa.O != pb.O
+	}
+	return false
 }
 
 // EvalLit evaluates a literal at abstraction p (set of L-mapped site

@@ -31,12 +31,19 @@ type Lit struct {
 // Clause is a disjunction of literals.
 type Clause []Lit
 
-// Solver accumulates clauses and answers minimum-model queries.
+// Solver accumulates clauses and answers minimum-model queries. A Solver is
+// not safe for concurrent use; concurrent callers (the parallel batch
+// scheduler) must Clone one solver per goroutine.
 type Solver struct {
 	n       int
 	clauses []Clause
 	keys    map[string]bool
 	rec     obs.Recorder // nil = no recording
+	// sig caches Signature(); Add invalidates it. Signature is called once
+	// per query per batch iteration, so recomputing the sorted join of every
+	// clause key each time was a measurable cost on large clause sets.
+	sig   string
+	sigOK bool
 }
 
 // Instrument attaches an observability recorder: every Minimum call reports
@@ -61,13 +68,18 @@ func (s *Solver) Clone() *Solver {
 	for k := range s.keys {
 		out.keys[k] = true
 	}
+	out.sig, out.sigOK = s.sig, s.sigOK
 	return out
 }
 
 // Signature is a canonical identity of the clause set; query groups are
 // keyed by it (two queries share a group iff their unviable abstraction
-// sets — hence their clauses — coincide).
+// sets — hence their clauses — coincide). The result is cached until the
+// next clause insertion.
 func (s *Solver) Signature() string {
+	if s.sigOK {
+		return s.sig
+	}
 	ks := make([]string, 0, len(s.keys))
 	for k := range s.keys {
 		ks = append(ks, k)
@@ -78,7 +90,8 @@ func (s *Solver) Signature() string {
 		b = append(b, k...)
 		b = append(b, ';')
 	}
-	return string(b)
+	s.sig, s.sigOK = string(b), true
+	return s.sig
 }
 
 // NumClauses reports how many (deduplicated) clauses have been added.
@@ -97,6 +110,7 @@ func (s *Solver) Add(c Clause) {
 	}
 	s.keys[k] = true
 	s.clauses = append(s.clauses, canon)
+	s.sig, s.sigOK = "", false
 }
 
 // Block adds the blocking clause for a cube: "no abstraction with all of

@@ -1,0 +1,68 @@
+package minsat
+
+import (
+	"testing"
+
+	"tracer/internal/uset"
+)
+
+// TestSignatureCacheInvalidation: the cached signature stays canonical
+// through every Clone/Block/Add interleaving — a cached value must never
+// survive a clause insertion, and a clone must not share its parent's
+// cache slot.
+func TestSignatureCacheInvalidation(t *testing.T) {
+	fresh := func(build func(s *Solver)) string {
+		s := New(8)
+		build(s)
+		return s.Signature()
+	}
+
+	s := New(8)
+	s.Block(uset.New(), uset.New(0))
+	sig1 := s.Signature()
+	if want := fresh(func(f *Solver) { f.Block(uset.New(), uset.New(0)) }); sig1 != want {
+		t.Fatalf("signature %q, want %q", sig1, want)
+	}
+
+	// Block after a cached Signature must invalidate the cache.
+	s.Block(uset.New(1), uset.New(2))
+	sig2 := s.Signature()
+	if sig2 == sig1 {
+		t.Fatal("signature unchanged after Block: stale cache")
+	}
+	if want := fresh(func(f *Solver) {
+		f.Block(uset.New(), uset.New(0))
+		f.Block(uset.New(1), uset.New(2))
+	}); sig2 != want {
+		t.Fatalf("signature %q, want %q", sig2, want)
+	}
+
+	// A clone inherits the cached value but diverges independently.
+	c := s.Clone()
+	if c.Signature() != sig2 {
+		t.Fatalf("clone signature %q, want %q", c.Signature(), sig2)
+	}
+	c.Block(uset.New(), uset.New(3))
+	if c.Signature() == sig2 {
+		t.Fatal("clone signature unchanged after Block: stale cache")
+	}
+	if s.Signature() != sig2 {
+		t.Fatal("parent signature changed by clone's Block")
+	}
+
+	// Re-adding an existing clause is a no-op and must not disturb the
+	// canonical form (cached or not).
+	s.Block(uset.New(1), uset.New(2))
+	if s.Signature() != sig2 {
+		t.Fatal("duplicate Block changed the signature")
+	}
+
+	// Clauses added in a different order still converge on one signature.
+	r := New(8)
+	r.Block(uset.New(1), uset.New(2))
+	_ = r.Signature() // populate the cache mid-build
+	r.Block(uset.New(), uset.New(0))
+	if r.Signature() != sig2 {
+		t.Fatalf("order-permuted signature %q, want %q", r.Signature(), sig2)
+	}
+}

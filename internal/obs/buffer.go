@@ -1,0 +1,78 @@
+package obs
+
+import "time"
+
+// Counter names recorded by core.SolveBatch's forward-run memo (see the
+// "Concurrency model" section of ARCHITECTURE.md). A hit means a group's
+// chosen abstraction was served by an already-available forward run (shared
+// within the round or memoized from an earlier round); a miss means a fresh
+// whole-program forward solve was executed.
+const (
+	BatchFwdCacheHit  = "batch.fwd_cache_hit"
+	BatchFwdCacheMiss = "batch.fwd_cache_miss"
+)
+
+// opKind discriminates the buffered record types.
+type opKind uint8
+
+const (
+	opEvent opKind = iota
+	opCount
+	opGauge
+	opTiming
+)
+
+// op is one buffered record.
+type op struct {
+	kind opKind
+	e    Event
+	name string
+	v    int64
+	d    time.Duration
+}
+
+// Buffer is a Recorder that retains records in order for later replay into
+// another sink. The parallel batch scheduler gives each concurrent work
+// unit its own Buffer and replays them in a deterministic merge order, so
+// the observable event stream is independent of goroutine interleaving.
+//
+// A Buffer is NOT safe for concurrent use: it is meant to be owned by a
+// single goroutine and replayed after that goroutine has finished (with a
+// happens-before edge between the two, e.g. a WaitGroup).
+type Buffer struct {
+	ops []op
+}
+
+// NewBuffer returns an empty buffer.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+func (b *Buffer) Enabled() bool  { return true }
+func (b *Buffer) Record(e Event) { b.ops = append(b.ops, op{kind: opEvent, e: e}) }
+func (b *Buffer) Count(name string, delta int64) {
+	b.ops = append(b.ops, op{kind: opCount, name: name, v: delta})
+}
+func (b *Buffer) Gauge(name string, v int64) {
+	b.ops = append(b.ops, op{kind: opGauge, name: name, v: v})
+}
+func (b *Buffer) Timing(name string, d time.Duration) {
+	b.ops = append(b.ops, op{kind: opTiming, name: name, d: d})
+}
+
+// Len reports how many records are buffered.
+func (b *Buffer) Len() int { return len(b.ops) }
+
+// ReplayTo forwards every buffered record, in order, to r.
+func (b *Buffer) ReplayTo(r Recorder) {
+	for _, o := range b.ops {
+		switch o.kind {
+		case opEvent:
+			r.Record(o.e)
+		case opCount:
+			r.Count(o.name, o.v)
+		case opGauge:
+			r.Gauge(o.name, o.v)
+		case opTiming:
+			r.Timing(o.name, o.d)
+		}
+	}
+}

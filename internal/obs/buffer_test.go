@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBufferReplayOrder: a Buffer forwards every record kind to the target
+// sink in insertion order.
+func TestBufferReplayOrder(t *testing.T) {
+	b := NewBuffer()
+	if !b.Enabled() {
+		t.Fatal("buffer must report enabled")
+	}
+	b.Record(Event{Kind: IterStart, Iter: 1})
+	b.Count("c", 2)
+	b.Gauge("g", 7)
+	b.Timing("t", 3*time.Millisecond)
+	b.Record(Event{Kind: ForwardDone, Iter: 1, Steps: 5})
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", b.Len())
+	}
+
+	cap := NewCapture()
+	b.ReplayTo(cap)
+	got := cap.Events()
+	want := []Event{
+		{Kind: IterStart, Iter: 1},
+		{Kind: CounterKind, Name: "c", Value: 2},
+		{Kind: GaugeKind, Name: "g", Value: 7},
+		{Kind: TimingKind, Name: "t", WallNS: int64(3 * time.Millisecond)},
+		{Kind: ForwardDone, Iter: 1, Steps: 5},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Replay is repeatable: buffers are snapshots, not queues.
+	cap2 := NewCapture()
+	b.ReplayTo(cap2)
+	if len(cap2.Events()) != len(want) {
+		t.Fatalf("second replay produced %d records, want %d", len(cap2.Events()), len(want))
+	}
+}

@@ -54,12 +54,31 @@ type caller[D comparable] struct {
 	edge *Edge    // the call edge taken (From = pe.n)
 }
 
+// nodeKey addresses one node of one method in the node index.
+type nodeKey struct {
+	m, n int
+}
+
+// nodeFacts indexes the facts reaching one (method, node) pair. It is built
+// incrementally during tabulation so that States/Has/Witness answer in time
+// proportional to the answer instead of scanning the full path-edge map —
+// the batch driver calls them once per query per CEGAR iteration.
+type nodeFacts[D comparable] struct {
+	// facts lists the distinct facts in discovery order.
+	facts []D
+	// first maps each fact to the earliest-discovered path edge carrying it;
+	// discovery order is monotone in origin.order, so the first edge seen is
+	// the minimum-order one, which Witness must pick.
+	first map[D]peKey[D]
+}
+
 // Result is the tabulation fixpoint with provenance.
 type Result[D comparable] struct {
 	g  *Graph
 	tr dataflow.Transfer[D]
 
 	pe        map[peKey[D]]origin[D]
+	index     map[nodeKey]*nodeFacts[D]
 	summaries map[ctxKey[D]]map[D]bool
 	incoming  map[ctxKey[D]][]caller[D]
 	// firstIn is the first caller recorded for a context: the canonical,
@@ -88,6 +107,7 @@ func SolveObs[D comparable](g *Graph, dI D, tr dataflow.Transfer[D], rec obs.Rec
 		g:         g,
 		tr:        tr,
 		pe:        map[peKey[D]]origin[D]{},
+		index:     map[nodeKey]*nodeFacts[D]{},
 		summaries: map[ctxKey[D]]map[D]bool{},
 		incoming:  map[ctxKey[D]][]caller[D]{},
 		firstIn:   map[ctxKey[D]]caller[D]{},
@@ -106,6 +126,16 @@ func SolveObs[D comparable](g *Graph, dI D, tr dataflow.Transfer[D], rec obs.Rec
 		o.order = r.order
 		r.order++
 		r.pe[k] = o
+		nk := nodeKey{k.m, k.n}
+		nf := r.index[nk]
+		if nf == nil {
+			nf = &nodeFacts[D]{first: map[D]peKey[D]{}}
+			r.index[nk] = nf
+		}
+		if _, known := nf.first[k.d]; !known {
+			nf.first[k.d] = k
+			nf.facts = append(nf.facts, k.d)
+		}
 		r.Steps++
 		work = append(work, k)
 		if len(work) > r.MaxWorklist {
@@ -179,27 +209,23 @@ func SolveObs[D comparable](g *Graph, dI D, tr dataflow.Transfer[D], rec obs.Rec
 }
 
 // States returns the facts reaching node n of method m, across all calling
-// contexts.
+// contexts, in discovery order.
 func (r *Result[D]) States(m, n int) []D {
-	seen := map[D]bool{}
-	var out []D
-	for k := range r.pe {
-		if k.m == m && k.n == n && !seen[k.d] {
-			seen[k.d] = true
-			out = append(out, k.d)
-		}
+	nf := r.index[nodeKey{m, n}]
+	if nf == nil {
+		return nil
 	}
-	return out
+	return append([]D(nil), nf.facts...)
 }
 
 // Has reports whether fact d reaches node n of method m in some context.
 func (r *Result[D]) Has(m, n int, d D) bool {
-	for k := range r.pe {
-		if k.m == m && k.n == n && k.d == d {
-			return true
-		}
+	nf := r.index[nodeKey{m, n}]
+	if nf == nil {
+		return false
 	}
-	return false
+	_, ok := nf.first[d]
+	return ok
 }
 
 // Witness reconstructs a whole-program abstract counterexample trace from
@@ -208,22 +234,15 @@ func (r *Result[D]) Has(m, n int, d D) bool {
 // traces the backward meta-analysis consumes. The earliest-discovered path
 // edge is chosen, making the result deterministic.
 func (r *Result[D]) Witness(m, n int, d D) lang.Trace {
-	var best *peKey[D]
-	bestOrder := -1
-	for k := range r.pe {
-		if k.m == m && k.n == n && k.d == d {
-			o := r.pe[k]
-			if bestOrder < 0 || o.order < bestOrder {
-				kk := k
-				best = &kk
-				bestOrder = o.order
-			}
-		}
-	}
-	if best == nil {
+	nf := r.index[nodeKey{m, n}]
+	if nf == nil {
 		panic(fmt.Sprintf("rhs: no witness for fact %v at method %d node %d", d, m, n))
 	}
-	return r.fullTrace(*best)
+	best, ok := nf.first[d]
+	if !ok {
+		panic(fmt.Sprintf("rhs: no witness for fact %v at method %d node %d", d, m, n))
+	}
+	return r.fullTrace(best)
 }
 
 // relTrace reconstructs the trace of a path edge relative to its method's
