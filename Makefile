@@ -1,5 +1,5 @@
 # Tier-1 gate: everything a PR must keep green (see ROADMAP.md).
-.PHONY: check fmt vet build test bench bench-json
+.PHONY: check fmt vet build test bench bench-json chaos
 
 check: fmt vet build test
 
@@ -15,6 +15,16 @@ build:
 
 test:
 	go test -race ./...
+
+# Fault-injection suite: the deterministic chaos tests (panic isolation,
+# budget trips, worker-count determinism, and the seeded sweep) under -race,
+# plus a seeded chaos run of the tracer CLI on a real program.
+chaos:
+	go test -race -count=1 -run 'Chaos|PanicIsolation|DeadlineMidPhase|PartialStats' \
+		./internal/core/ -v
+	go test -race -count=1 ./internal/faultinject/ ./internal/budget/ -v
+	go run ./cmd/benchgen -dir /tmp -name tsp
+	go run ./cmd/tracer -chaos-seed 7 -chaos-rate 0.2 -auto -batch -batch-workers 4 /tmp/tsp.tir
 
 # Scaled-down run of every table/figure benchmark plus micro-benchmarks.
 bench:

@@ -179,7 +179,7 @@ func BenchmarkAblationUnderApprox(b *testing.B) {
 	// backward pass has room to blow up.
 	best, bestLen := -1, 0
 	for i, q := range queries {
-		out := bm.Prog.EscapeJob(q, 5).Forward(nil)
+		out := bm.Prog.EscapeJob(q, 5).Forward(nil, nil)
 		if !out.Proved && len(out.Trace) > bestLen {
 			best, bestLen = i, len(out.Trace)
 		}
@@ -193,7 +193,7 @@ func BenchmarkAblationUnderApprox(b *testing.B) {
 	}{{"k=1", 1}, {"k=5", 5}, {"off", 0}} {
 		b.Run(cfg.name, func(b *testing.B) {
 			job := bm.Prog.EscapeJob(queries[best], cfg.k)
-			out := job.Forward(nil)
+			out := job.Forward(nil, nil)
 			// The un-approximated backward pass blows up doubly
 			// exponentially on full traces (the paper reports timeouts on
 			// every query of even the smallest benchmark), so all variants
@@ -231,7 +231,7 @@ func BenchmarkForwardTypestate(b *testing.B) {
 	job := bm.Prog.TypestateJob(queries[0], 5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		job.Forward(nil)
+		job.Forward(nil, nil)
 	}
 }
 
@@ -243,7 +243,7 @@ func BenchmarkForwardEscape(b *testing.B) {
 	job := bm.Prog.EscapeJob(queries[0], 5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		job.Forward(nil)
+		job.Forward(nil, nil)
 	}
 }
 
@@ -253,13 +253,13 @@ func BenchmarkBackwardMeta(b *testing.B) {
 	bm := bench.MustLoad(bench.Suite()[3]) // weblech
 	queries := bm.Prog.EscapeQueries()
 	job := bm.Prog.EscapeJob(queries[0], 5)
-	out := job.Forward(nil)
+	out := job.Forward(nil, nil)
 	if out.Proved {
 		b.Skip("query proven under the empty abstraction")
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		job.Backward(nil, out.Trace)
+		job.Backward(nil, nil, out.Trace)
 	}
 }
 
@@ -277,7 +277,7 @@ func BenchmarkEngines(b *testing.B) {
 		job := bm.Prog.EscapeJob(queries[0], 5)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			job.Forward(nil)
+			job.Forward(nil, nil)
 		}
 	})
 	b.Run("rhs", func(b *testing.B) {
@@ -285,7 +285,7 @@ func BenchmarkEngines(b *testing.B) {
 		job := rhsProg.EscapeJob(queries[0], 5)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			job.Forward(nil)
+			job.Forward(nil, nil)
 		}
 	})
 }

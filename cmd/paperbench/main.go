@@ -23,9 +23,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -101,8 +103,13 @@ func run() error {
 		sinks = append(sinks, agg)
 	}
 
+	// SIGINT cancels the in-flight experiment cooperatively; the loop below
+	// then stops scheduling new experiments, so the bench JSON and NDJSON
+	// trace of the completed ones are still written.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	opts := bench.RunOptions{K: *k, MaxIters: *iters, Timeout: *timeout, Workers: *workers,
-		BatchWorkers: *batchWorkers, Recorder: obs.Multi(sinks...)}
+		BatchWorkers: *batchWorkers, Recorder: obs.Multi(sinks...), Context: ctx}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, s := range strings.Split(*only, ",") {
@@ -178,6 +185,10 @@ func run() error {
 	for _, e := range experiments {
 		if !sel(e.name) {
 			continue
+		}
+		if ctx.Err() != nil {
+			fmt.Printf("[interrupted: skipping %s and later experiments]\n\n", e.name)
+			break
 		}
 		start := time.Now()
 		out, err := e.run()

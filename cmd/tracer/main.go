@@ -22,19 +22,34 @@
 //
 //	-trace events.ndjson   write the structured event stream of every CEGAR
 //	                       iteration (iter_start, forward_done, backward_done,
-//	                       clause_learned, query_resolved) plus inline
+//	                       clause_learned, query_resolved, and the failure
+//	                       events budget_trip / panic_recovered) plus inline
 //	                       counter/gauge/timing records, one JSON object per
 //	                       line, tagged with the query name
 //	-metrics               print the aggregated counters, gauges, and timers
 //	                       after all queries resolve
 //	-cpuprofile cpu.pprof  capture a pprof CPU profile of the whole run
 //	-memprofile mem.pprof  write a pprof heap profile at exit
+//
+// Failure model (see ARCHITECTURE.md "Failure model & cancellation"):
+//
+//	SIGINT                 cancels the solve cooperatively: in-flight phases
+//	                       abort at their next budget poll, unresolved
+//	                       queries report UNRESOLVED, and the NDJSON trace is
+//	                       flushed before exit
+//	-chaos-seed N          enable deterministic fault injection: panics,
+//	                       delays, and budget trips fire pseudo-randomly at
+//	                       the solver's hook points, reproducibly in the seed
+//	                       (0 disables; see internal/faultinject)
+//	-chaos-rate R          fraction of hook points that fire (default 0.05)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -43,6 +58,7 @@ import (
 	"tracer/internal/core"
 	"tracer/internal/driver"
 	"tracer/internal/explain"
+	"tracer/internal/faultinject"
 	"tracer/internal/obs"
 	"tracer/internal/typestate"
 )
@@ -67,6 +83,8 @@ func run() error {
 	metrics := flag.Bool("metrics", false, "print aggregated counters/gauges/timers after the run")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	chaosSeed := flag.Int64("chaos-seed", 0, "enable deterministic fault injection with this seed (0 = off)")
+	chaosRate := flag.Float64("chaos-rate", 0.05, "fraction of hook points that fire under -chaos-seed")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -123,7 +141,16 @@ func run() error {
 		sinks = append(sinks, agg)
 	}
 	rec := obs.Multi(sinks...)
-	opts := core.Options{MaxIters: 1000, Timeout: *timeout}
+	// SIGINT cancels cooperatively: in-flight phases abort at their next
+	// budget poll, partial results are printed, and the deferred NDJSON
+	// close above still flushes the trace.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts := core.Options{MaxIters: 1000, Timeout: *timeout, Context: ctx}
+	if *chaosSeed != 0 {
+		opts.Inject = faultinject.Seeded(*chaosSeed, *chaosRate)
+		fmt.Printf("[chaos: injecting faults at ~%.0f%% of hook points, seed %d]\n", *chaosRate*100, *chaosSeed)
+	}
 
 	var prop *typestate.Property
 	switch *property {
@@ -331,6 +358,8 @@ func printResult(name string, res core.Result, paramName func(i int) string, wal
 	case core.Impossible:
 		fmt.Printf("%-40s IMPOSSIBLE  no abstraction in the family proves it  [%d iterations, %v]\n",
 			name, res.Iterations, wall.Round(time.Millisecond))
+	case core.Failed:
+		fmt.Printf("%-40s FAILED      %s  [%d iterations]\n", name, res.Failure, res.Iterations)
 	default:
 		fmt.Printf("%-40s UNRESOLVED  budget exhausted after %d iterations\n", name, res.Iterations)
 	}

@@ -15,6 +15,7 @@ package main
 import (
 	"fmt"
 
+	"tracer/internal/budget"
 	"tracer/internal/core"
 	"tracer/internal/dataflow"
 	"tracer/internal/lang"
@@ -79,21 +80,21 @@ type verboseProblem struct {
 
 func (v *verboseProblem) NumParams() int { return v.job.NumParams() }
 
-func (v *verboseProblem) Forward(p uset.Set) core.Outcome {
+func (v *verboseProblem) Forward(b *budget.Budget, p uset.Set) core.Outcome {
 	*v.iter++
 	names := []string{}
 	for _, x := range p.Elems() {
 		names = append(names, v.a.Vars.Value(x))
 	}
 	fmt.Printf("\niteration %d: running forward analysis with p = %v\n", *v.iter, names)
-	out := v.job.Forward(p)
+	out := v.job.Forward(b, p)
 	if out.Proved {
 		fmt.Println("  query proven")
 	}
 	return out
 }
 
-func (v *verboseProblem) Backward(p uset.Set, t lang.Trace) []core.ParamCube {
+func (v *verboseProblem) Backward(_ *budget.Budget, p uset.Set, t lang.Trace) []core.ParamCube {
 	dI := v.a.Initial()
 	states := dataflow.StatesAlong(t, dI, v.a.Transfer(p))
 	ann := meta.RunAnnotated(v.job.Client(p), t, states, v.a.NotQ(v.job.Q))

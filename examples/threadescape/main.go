@@ -16,6 +16,7 @@ package main
 import (
 	"fmt"
 
+	"tracer/internal/budget"
 	"tracer/internal/core"
 	"tracer/internal/dataflow"
 	"tracer/internal/escape"
@@ -75,7 +76,7 @@ type verbose struct {
 
 func (v *verbose) NumParams() int { return v.job.NumParams() }
 
-func (v *verbose) Forward(p uset.Set) core.Outcome {
+func (v *verbose) Forward(b *budget.Budget, p uset.Set) core.Outcome {
 	*v.iter++
 	mapped := []string{}
 	for i := 0; i < v.a.Sites.Len(); i++ {
@@ -86,14 +87,14 @@ func (v *verbose) Forward(p uset.Set) core.Outcome {
 		mapped = append(mapped, fmt.Sprintf("%s↦%s", v.a.Sites.Value(i), o))
 	}
 	fmt.Printf("\niteration %d: forward analysis with p = %v\n", *v.iter, mapped)
-	out := v.job.Forward(p)
+	out := v.job.Forward(b, p)
 	if out.Proved {
 		fmt.Println("  query proven")
 	}
 	return out
 }
 
-func (v *verbose) Backward(p uset.Set, t lang.Trace) []core.ParamCube {
+func (v *verbose) Backward(_ *budget.Budget, p uset.Set, t lang.Trace) []core.ParamCube {
 	dI := v.a.Initial()
 	states := dataflow.StatesAlong(t, dI, v.a.Transfer(p))
 	ann := meta.RunAnnotated(v.job.Client(p), t, states, v.a.NotQ(v.job.Q))

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -37,6 +38,11 @@ type RunOptions struct {
 	// FwdCacheSize is RunBatch's forward-run memo size
 	// (core.Options.FwdCacheSize): 0 = default, negative disables.
 	FwdCacheSize int
+	// Context, when non-nil, cancels in-flight solves cooperatively
+	// (core.Options.Context); unresolved queries report Exhausted with
+	// partial stats. paperbench wires a signal.NotifyContext here so SIGINT
+	// still flushes the bench JSON.
+	Context context.Context
 	// Recorder receives the TRACER loop's structured telemetry, tagged with
 	// each query's ID (see internal/obs). It must be safe for concurrent
 	// use when Workers > 1. Note the run cache: cached results replay no
@@ -129,8 +135,9 @@ var (
 
 func coreOpts(opts RunOptions) core.Options {
 	return core.Options{
-		MaxIters: opts.MaxIters, Timeout: opts.Timeout, Recorder: opts.Recorder,
-		Workers: opts.BatchWorkers, FwdCacheSize: opts.FwdCacheSize,
+		MaxIters: opts.MaxIters, Timeout: opts.Timeout, Context: opts.Context,
+		Recorder: opts.Recorder,
+		Workers:  opts.BatchWorkers, FwdCacheSize: opts.FwdCacheSize,
 	}
 }
 

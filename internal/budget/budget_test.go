@@ -1,0 +1,150 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestNilBudget: a nil *Budget never trips and all methods are safe.
+func TestNilBudget(t *testing.T) {
+	var b *Budget
+	for i := 0; i < 3*pollInterval; i++ {
+		if !b.Poll() {
+			t.Fatal("nil budget tripped on Poll")
+		}
+	}
+	if !b.Check() {
+		t.Fatal("nil budget tripped on Check")
+	}
+	b.Trip(Injected) // must not panic
+	if b.Tripped() || b.Cause() != None || b.Steps() != 0 || b.Err() != nil {
+		t.Fatal("nil budget reports a trip")
+	}
+}
+
+// TestUnlimitedBudget: a budget with no limits never trips on its own but
+// still accepts explicit trips.
+func TestUnlimitedBudget(t *testing.T) {
+	b := New(nil, time.Time{}, 0)
+	for i := 0; i < 3*pollInterval; i++ {
+		if !b.Poll() {
+			t.Fatalf("unlimited budget tripped at step %d (cause %v)", i, b.Cause())
+		}
+	}
+	if b.Steps() != 3*pollInterval {
+		t.Fatalf("Steps = %d, want %d", b.Steps(), 3*pollInterval)
+	}
+	b.Trip(Injected)
+	if !b.Tripped() || b.Cause() != Injected {
+		t.Fatalf("cause = %v, want injected", b.Cause())
+	}
+	if b.Poll() || b.Check() {
+		t.Fatal("tripped budget still allows work")
+	}
+}
+
+// TestStepQuota: the quota is enforced on the very next Poll, independent of
+// the slow-path interval, and the overshoot is at most one step.
+func TestStepQuota(t *testing.T) {
+	const quota = 10 // far below pollInterval: quota checks are per-call
+	b := New(nil, time.Time{}, quota)
+	polls := 0
+	for b.Poll() {
+		polls++
+		if polls > quota {
+			t.Fatalf("quota %d exceeded: %d successful polls", quota, polls)
+		}
+	}
+	if polls != quota {
+		t.Fatalf("polls = %d, want %d", polls, quota)
+	}
+	if b.Cause() != Steps {
+		t.Fatalf("cause = %v, want steps", b.Cause())
+	}
+}
+
+// TestDeadline: an already-expired deadline is observed within one polling
+// interval on the amortized path and immediately on Check.
+func TestDeadline(t *testing.T) {
+	past := time.Now().Add(-time.Hour)
+
+	b := New(nil, past, 0)
+	polls := 0
+	for b.Poll() {
+		polls++
+		if polls > pollInterval {
+			t.Fatalf("expired deadline not observed within %d polls", pollInterval)
+		}
+	}
+	if b.Cause() != Deadline {
+		t.Fatalf("cause = %v, want deadline", b.Cause())
+	}
+
+	b2 := New(nil, past, 0)
+	if b2.Check() {
+		t.Fatal("Check did not observe an expired deadline immediately")
+	}
+	if b2.Cause() != Deadline {
+		t.Fatalf("cause = %v, want deadline", b2.Cause())
+	}
+}
+
+// TestContextCancel: cancellation is observed on the slow path and takes
+// precedence over a later-checked deadline.
+func TestContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := New(ctx, time.Now().Add(-time.Hour), 0)
+	if b.Check() {
+		t.Fatal("Check did not observe a canceled context")
+	}
+	if b.Cause() != Canceled {
+		t.Fatalf("cause = %v, want canceled (context is consulted before the clock)", b.Cause())
+	}
+}
+
+// TestFirstCauseWins: the trip cause is sticky.
+func TestFirstCauseWins(t *testing.T) {
+	b := New(nil, time.Time{}, 1)
+	b.Trip(Injected)
+	b.Poll() // would trip Steps if the cause were not sticky
+	b.Poll()
+	if b.Cause() != Injected {
+		t.Fatalf("cause = %v, want injected (first cause wins)", b.Cause())
+	}
+	b.Trip(Deadline)
+	if b.Cause() != Injected {
+		t.Fatalf("cause = %v after second Trip, want injected", b.Cause())
+	}
+}
+
+// TestErr: Err is nil before a trip and wraps ErrBudget after.
+func TestErr(t *testing.T) {
+	b := New(nil, time.Time{}, 0)
+	if b.Err() != nil {
+		t.Fatalf("Err = %v before trip, want nil", b.Err())
+	}
+	b.Trip(Steps)
+	err := b.Err()
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("Err = %v, want wrapping ErrBudget", err)
+	}
+	if err.Error() != "budget exhausted: steps" {
+		t.Fatalf("Err.Error() = %q", err.Error())
+	}
+}
+
+// TestCauseString pins the cause names used in budget_trip events.
+func TestCauseString(t *testing.T) {
+	want := map[Cause]string{
+		None: "none", Canceled: "canceled", Deadline: "deadline",
+		Steps: "steps", Injected: "injected", Cause(99): "unknown",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Cause(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}

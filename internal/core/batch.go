@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"time"
 
+	"tracer/internal/budget"
+	"tracer/internal/faultinject"
 	"tracer/internal/lang"
 	"tracer/internal/minsat"
 	"tracer/internal/obs"
@@ -25,15 +27,21 @@ import (
 // concurrent Check calls (for distinct queries), and Backward must allow
 // concurrent calls for distinct queries. Both driver implementations satisfy
 // this by giving every run and every backward job its own analysis instance.
+//
+// Both phases receive the batch's cooperative budget b (nil when the batch
+// is unbudgeted), under the same contract as Problem: pass it down to the
+// inner loops, and on a mid-phase trip return early with a partial,
+// never-falsely-proved result. Runs returned by RunForward should capture b
+// so lazily computed Checks stay interruptible.
 type BatchProblem interface {
 	NumParams() int
 	NumQueries() int
 	// RunForward runs the forward analysis once under abstraction p,
 	// returning a handle that answers per-query checks (lazily, so clients
 	// whose queries need per-site runs only pay for the sites asked).
-	RunForward(p uset.Set) BatchRun
+	RunForward(b *budget.Budget, p uset.Set) BatchRun
 	// Backward analyzes query q's counterexample under p, as in Problem.
-	Backward(q int, p uset.Set, t lang.Trace) []ParamCube
+	Backward(b *budget.Budget, q int, p uset.Set, t lang.Trace) []ParamCube
 }
 
 // BatchRun is one (shared) forward run.
@@ -84,6 +92,12 @@ type groupPlan struct {
 	minBuf *obs.Buffer // minsat telemetry from the parallel Minimum call
 	p      uset.Set
 	sat    bool
+	// panicked is set when the group's Minimum phase panicked; the whole
+	// group resolves Failed and schedules no further work this round.
+	panicked *panicInfo
+	// live marks plans that survived the sequential pass (satisfiable, no
+	// panic) and therefore own a task and a unit range.
+	live bool
 	// ordinal is the global group-iteration number (IterStart.Iter); it is
 	// assigned sequentially in signature order, so it is deterministic.
 	ordinal int
@@ -94,15 +108,20 @@ type groupPlan struct {
 // fwdTask is one forward-run phase of a round: a distinct abstraction chosen
 // by one or more groups, resolved to a fresh or memoized BatchRun.
 type fwdTask struct {
-	p       uset.Set
-	key     string
-	run     BatchRun
-	entry   *fwdEntry // non-nil when served by the cross-round memo
-	fresh   bool      // true when this phase executes RunForward
-	ordinal int       // ordinal of the first group using the run
-	queries int       // queries checked against the run this round
-	execNS  int64     // RunForward wall time (fresh tasks, recording only)
-	checkNS int64     // summed Check wall time (recording only)
+	p     uset.Set
+	key   string
+	run   BatchRun
+	entry *fwdEntry // non-nil when served by the cross-round memo
+	fresh bool      // true when this phase executes RunForward
+	// panicked is set when the RunForward phase panicked; every query in
+	// every group sharing the task resolves Failed, and the task is neither
+	// charged nor memoized.
+	panicked  *panicInfo
+	ordinal   int   // ordinal of the first group using the run
+	queries   int   // queries checked against the run this round
+	stepDelta int   // steps charged to this phase at task close
+	execNS    int64 // RunForward wall time (fresh tasks, recording only)
+	checkNS   int64 // summed Check wall time (recording only)
 }
 
 // unit is one (group, query) check-and-refine step scheduled in a round.
@@ -118,6 +137,7 @@ const (
 	uProved unitKind = iota
 	uExhausted
 	uMoved
+	uFailed
 )
 
 // unitOut is the product of one unit. Everything the sequential merge needs
@@ -130,14 +150,31 @@ type unitOut struct {
 	clauses int            // uMoved: next.NumClauses()
 	buf     *obs.Buffer    // backward/clause events, replayed by the merge
 	checkNS int64
-	err     error
+	// fail describes a uFailed unit; taskFail marks it as inherited from
+	// the task's RunForward panic (reported once at task close) rather than
+	// the unit's own backward phase.
+	fail     *panicInfo
+	taskFail bool
+	err      error // no-progress: the meta-analysis did not eliminate p
 }
 
 // SolveBatch resolves every query, sharing forward runs within groups.
 // opts.MaxIters bounds the number of forward runs any single query may
-// participate in and opts.Timeout caps total wall-clock time; queries
-// exceeding either budget are Exhausted (the paper's timeout bucket in
-// Fig 12).
+// participate in; opts.Timeout, opts.Context, and opts.MaxSteps bound the
+// whole batch through one shared cooperative budget. When the budget trips
+// — even in the middle of a minimum search, forward run, or backward
+// expansion — the in-flight phase aborts at its next poll, a budget_trip
+// event is emitted, and every still-unresolved query resolves Exhausted
+// carrying its accumulated partial stats (iterations, clauses, and forward
+// steps so far), reconciling with its terminal query_resolved event.
+//
+// A panic in any phase is recovered at the phase boundary and confined to
+// the smallest query set that depends on the panicked computation: the
+// group (minimum phase), the queries sharing the run (forward phase), or
+// the single query (backward phase). Affected queries resolve Failed
+// (Result.Failure/Stack carry the cause) after a panic_recovered event;
+// sibling groups keep resolving, and SolveBatch returns a nil error. The
+// no-progress condition likewise fails only the affected query.
 //
 // Scheduling is round-based: each round snapshots the live groups in sorted
 // signature order, computes their minimum abstractions concurrently, dedupes
@@ -146,12 +183,17 @@ type unitOut struct {
 // pair and runs its backward meta-analysis concurrently. All cross-query
 // interaction — cache lookups, event emission, stats, and regrouping — is
 // confined to sequential merge passes in signature order, so Results, Stats,
-// and the recorded event stream are identical for every Workers value.
+// and the recorded event stream are identical for every Workers value (the
+// one exception: a budget tripping mid-round is observed at a
+// scheduling-dependent point, so which queries still resolve normally in
+// that round can vary; panic confinement and fault injection do not vary).
 func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 	rec := opts.rec()
 	recording := rec.Enabled()
 	workers := opts.workers()
 	start := time.Now()
+	bud := opts.newBudget(start)
+	inj := opts.Inject
 	n := bp.NumQueries()
 	res := &BatchResult{Results: make([]Result, n)}
 	if n == 0 {
@@ -165,9 +207,33 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 			rec.Record(obs.Event{
 				Kind: obs.QueryResolved, Query: strconv.Itoa(q), Status: s.String(),
 				Iter: res.Results[q].Iterations, Clauses: res.Results[q].Clauses,
+				Steps:   res.Results[q].ForwardSteps,
 				AbsSize: res.Results[q].Abstraction.Len(),
 				WallNS:  int64(time.Since(start)),
 			})
+		}
+	}
+	// recordPanic emits the single panic_recovered event for one recovered
+	// panic (query set only for panics confined to one query's unit).
+	recordPanic := func(query string, iter int, pi *panicInfo) {
+		if recording {
+			rec.Record(obs.Event{Kind: obs.PanicRecovered, Query: query,
+				Iter: iter, Name: pi.msg})
+			rec.Count(obs.CorePanicRecovered, 1)
+		}
+	}
+	failQuery := func(q int, pi *panicInfo) {
+		res.Results[q].Failure = pi.msg
+		res.Results[q].Stack = pi.stack
+		resolved(q, Failed)
+	}
+	// tripEvent emits the batch's single budget_trip event; every code path
+	// calling it returns immediately after resolving the remaining queries.
+	tripEvent := func() {
+		if recording {
+			rec.Record(obs.Event{Kind: obs.BudgetTrip,
+				Name: bud.Cause().String(), WallNS: int64(time.Since(start))})
+			rec.Count(obs.CoreBudgetTrip, 1)
 		}
 	}
 	root := &group{solver: minsat.New(bp.NumParams())}
@@ -181,6 +247,7 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 
 	for len(groups) > 0 {
 		res.Stats.Rounds++
+		round := res.Stats.Rounds - 1 // 0-based, for fault-injection keys
 		sigs := make([]string, 0, len(groups))
 		for sig := range groups {
 			sigs = append(sigs, sig)
@@ -189,7 +256,8 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 		if len(sigs) > res.Stats.PeakGroups {
 			res.Stats.PeakGroups = len(sigs)
 		}
-		if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
+		if !bud.Check() {
+			tripEvent()
 			for _, sig := range sigs {
 				for _, q := range groups[sig].queries {
 					resolved(q, Exhausted)
@@ -203,21 +271,51 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 		}
 
 		// Phase A (parallel): pick each group's minimum abstraction. Each
-		// solver records into its own buffer; nothing else is shared.
+		// solver records into its own buffer; nothing else is shared. A
+		// panicking worker marks only its own plan.
 		plans := make([]groupPlan, len(gl))
+		for i := range plans {
+			plans[i].g = gl[i]
+		}
 		parallelFor(workers, len(gl), func(i int) {
 			pl := &plans[i]
-			pl.g = gl[i]
+			defer func() {
+				if r := recover(); r != nil {
+					pl.panicked = capturePanic(r)
+				}
+			}()
 			if recording {
 				pl.minBuf = obs.NewBuffer()
 				pl.g.solver.Instrument(pl.minBuf)
 			}
-			pl.p, pl.sat = pl.g.solver.Minimum()
+			inj.At(bud, faultinject.SiteMinimum, fmt.Sprintf("r%d.g%d", round, i))
+			pl.p, pl.sat = pl.g.solver.MinimumBudget(bud)
 		})
+		// A trip during phase A makes every !sat plan ambiguous (an aborted
+		// search also reports unsatisfiable), so resolve the whole round as
+		// Exhausted rather than risk a false Impossible.
+		if bud.Tripped() {
+			tripEvent()
+			for i := range plans {
+				pl := &plans[i]
+				if pl.panicked != nil {
+					recordPanic("", 0, pl.panicked)
+					for _, q := range pl.g.queries {
+						failQuery(q, pl.panicked)
+					}
+					continue
+				}
+				for _, q := range pl.g.queries {
+					resolved(q, Exhausted)
+				}
+			}
+			return res, nil
+		}
 
-		// Sequential pass (signature order): resolve unsatisfiable groups,
-		// assign iteration ordinals, and map each surviving group to a
-		// forward-run task via the abstraction-keyed memo.
+		// Sequential pass (signature order): resolve panicked and
+		// unsatisfiable groups, assign iteration ordinals, and map each
+		// surviving group to a forward-run task via the abstraction-keyed
+		// memo.
 		var tasks []*fwdTask // distinct runs used this round, first-use order
 		roundTask := map[string]*fwdTask{}
 		var fresh []*fwdTask
@@ -227,6 +325,13 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 			if recording && pl.minBuf != nil {
 				pl.minBuf.ReplayTo(rec)
 			}
+			if pl.panicked != nil {
+				recordPanic("", 0, pl.panicked)
+				for _, q := range pl.g.queries {
+					failQuery(q, pl.panicked)
+				}
+				continue
+			}
 			if !pl.sat {
 				for _, q := range pl.g.queries {
 					resolved(q, Impossible)
@@ -235,6 +340,7 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 			}
 			ordinal++
 			pl.ordinal = ordinal
+			pl.live = true
 			if recording {
 				rec.Record(obs.Event{Kind: obs.IterStart, Iter: pl.ordinal,
 					AbsSize: pl.p.Len(), Clauses: pl.g.solver.NumClauses(),
@@ -273,14 +379,21 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 			}
 		}
 
-		// Phase B (parallel): execute the missing forward runs.
+		// Phase B (parallel): execute the missing forward runs. A panicking
+		// run marks only its own task.
 		parallelFor(workers, len(fresh), func(i int) {
 			t := fresh[i]
+			defer func() {
+				if r := recover(); r != nil {
+					t.panicked = capturePanic(r)
+				}
+			}()
 			var s time.Time
 			if recording {
 				s = time.Now()
 			}
-			t.run = bp.RunForward(t.p)
+			inj.At(bud, faultinject.SiteForward, fmt.Sprintf("r%d.%s", round, t.key))
+			t.run = bp.RunForward(bud, t.p)
 			if recording {
 				t.execNS = int64(time.Since(s))
 			}
@@ -288,11 +401,103 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 
 		// Phase C (parallel): check every query against its group's run and
 		// refine its clause set from the counterexample. Each unit owns its
-		// result slot and buffers its events.
-		outs := make([]unitOut, len(units))
-		parallelFor(workers, len(units), func(i int) {
-			outs[i] = runUnit(bp, opts, res, units[i], recording)
-		})
+		// result slot and buffers its events; a panicking unit fails only
+		// its own query. Skipped entirely if the budget tripped during the
+		// forward phase — the runs are partial and their checks worthless.
+		var outs []unitOut
+		if !bud.Tripped() {
+			outs = make([]unitOut, len(units))
+			parallelFor(workers, len(units), func(i int) {
+				outs[i] = runUnit(bp, opts, res, units[i], recording, bud, inj, round)
+			})
+		}
+
+		// Close the round's forward-run phases in first-use order: charge
+		// each run's step delta (lazy runs accrue steps inside Check, so this
+		// runs after phase C), refresh the memo, and report forward panics
+		// once per task. Per-query ForwardSteps mirror the single-query
+		// solver: every query sharing a run is charged the run's delta.
+		for i := range units {
+			if outs != nil {
+				units[i].pl.task.checkNS += outs[i].checkNS
+			}
+		}
+		trippedRound := bud.Tripped()
+		for _, t := range tasks {
+			if t.panicked != nil {
+				recordPanic("", t.ordinal, t.panicked)
+				continue
+			}
+			if t.run == nil {
+				continue
+			}
+			steps := t.run.Steps()
+			prev := 0
+			if t.entry != nil {
+				prev = t.entry.lastSteps
+			}
+			t.stepDelta = steps - prev
+			res.Stats.TotalSteps += t.stepDelta
+			res.Stats.ForwardRuns++
+			if recording {
+				rec.Record(obs.Event{Kind: obs.ForwardDone, Iter: t.ordinal,
+					AbsSize: t.p.Len(), Steps: t.stepDelta, Queries: t.queries,
+					WallNS: t.execNS + t.checkNS})
+			}
+			// A partial (tripped) run must not poison later rounds or a
+			// future batch round via the memo.
+			if trippedRound {
+				continue
+			}
+			if t.entry != nil {
+				t.entry.lastSteps = steps
+			} else {
+				cache.put(t.key, &fwdEntry{run: t.run, lastSteps: steps})
+			}
+		}
+		for i := range plans {
+			pl := &plans[i]
+			if !pl.live || pl.task.panicked != nil {
+				continue
+			}
+			for _, q := range pl.g.queries {
+				res.Results[q].ForwardSteps += pl.task.stepDelta
+			}
+		}
+
+		// A budget trip during phase B or C invalidates the round's
+		// outcomes (partial runs can look proved, partial cube sets look
+		// like no progress): resolve every live query Exhausted — except
+		// those whose phase genuinely panicked, which stay Failed.
+		if trippedRound {
+			tripEvent()
+			for i := range plans {
+				pl := &plans[i]
+				if !pl.live {
+					continue
+				}
+				for k, q := range pl.g.queries {
+					var fail *panicInfo
+					taskFail := true
+					if outs != nil {
+						if o := &outs[pl.unitLo+k]; o.kind == uFailed {
+							fail, taskFail = o.fail, o.taskFail
+						}
+					} else {
+						fail = pl.task.panicked
+					}
+					if fail != nil {
+						if !taskFail {
+							recordPanic(strconv.Itoa(q), pl.ordinal, fail)
+						}
+						failQuery(q, fail)
+						continue
+					}
+					resolved(q, Exhausted)
+				}
+			}
+			return res, nil
+		}
 
 		// Sequential merge (signature order, then group query order): replay
 		// buffered events, finalize resolved queries, and redistribute moved
@@ -300,26 +505,33 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 		next := map[string]*group{}
 		for i := range plans {
 			pl := &plans[i]
-			if !pl.sat {
+			if !pl.live {
 				continue
 			}
 			planSigs := map[string]bool{}
 			born := 0
 			for k, q := range pl.g.queries {
 				o := &outs[pl.unitLo+k]
-				if o.err != nil {
-					return nil, o.err
-				}
 				if o.buf != nil {
 					o.buf.ReplayTo(rec)
 				}
-				pl.task.checkNS += o.checkNS
 				switch o.kind {
 				case uProved:
 					res.Results[q].Abstraction = pl.p
 					resolved(q, Proved)
 				case uExhausted:
 					resolved(q, Exhausted)
+				case uFailed:
+					if o.err != nil {
+						// No-progress: fail the query, keep the batch.
+						res.Results[q].Failure = o.err.Error()
+						resolved(q, Failed)
+						continue
+					}
+					if !o.taskFail {
+						recordPanic(strconv.Itoa(q), pl.ordinal, o.fail)
+					}
+					failQuery(q, o.fail)
 				case uMoved:
 					res.Results[q].Clauses = o.clauses
 					planSigs[o.sig] = true
@@ -338,29 +550,6 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 					Groups: len(next), Queries: born})
 			}
 		}
-
-		// Close the round's forward-run phases in first-use order: charge
-		// each run's step delta (lazy runs accrue steps inside Check) and
-		// refresh the memo.
-		for _, t := range tasks {
-			steps := t.run.Steps()
-			prev := 0
-			if t.entry != nil {
-				prev = t.entry.lastSteps
-			}
-			res.Stats.TotalSteps += steps - prev
-			res.Stats.ForwardRuns++
-			if recording {
-				rec.Record(obs.Event{Kind: obs.ForwardDone, Iter: t.ordinal,
-					AbsSize: t.p.Len(), Steps: steps - prev, Queries: t.queries,
-					WallNS: t.execNS + t.checkNS})
-			}
-			if t.entry != nil {
-				t.entry.lastSteps = steps
-			} else {
-				cache.put(t.key, &fwdEntry{run: t.run, lastSteps: steps})
-			}
-		}
 		groups = next
 	}
 	return res, nil
@@ -369,16 +558,31 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 // runUnit performs one query's check-and-refine step. It is a pure function
 // of deterministic inputs (the group's abstraction and clause set, the
 // query's forward run) plus the unit's exclusive result slot, so it is safe
-// and deterministic to run concurrently with other units.
-func runUnit(bp BatchProblem, opts Options, res *BatchResult, u unit, recording bool) unitOut {
+// and deterministic to run concurrently with other units. A panic anywhere
+// inside — including one injected at the backward hook — is converted into
+// a uFailed outcome for this query alone.
+func runUnit(bp BatchProblem, opts Options, res *BatchResult, u unit, recording bool, bud *budget.Budget, inj *faultinject.Injector, round int) (out unitOut) {
 	pl, q := u.pl, u.q
-	var out unitOut
+	res.Results[q].Iterations++
+	if pl.task.panicked != nil || pl.task.run == nil {
+		out.kind = uFailed
+		out.taskFail = true
+		out.fail = pl.task.panicked
+		if out.fail == nil {
+			out.fail = &panicInfo{msg: "forward run unavailable"}
+		}
+		return out
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			out = unitOut{kind: uFailed, fail: capturePanic(r), buf: out.buf, checkNS: out.checkNS}
+		}
+	}()
 	var buf obs.Recorder = obs.Nop{}
 	if recording {
 		out.buf = obs.NewBuffer()
 		buf = out.buf
 	}
-	res.Results[q].Iterations++
 	var cs time.Time
 	if recording {
 		cs = time.Now()
@@ -399,7 +603,8 @@ func runUnit(bp BatchProblem, opts Options, res *BatchResult, u unit, recording 
 	if recording {
 		bstart = time.Now()
 	}
-	cubes := bp.Backward(q, pl.p, trace)
+	inj.At(bud, faultinject.SiteBackward, fmt.Sprintf("r%d.q%d", round, q))
+	cubes := bp.Backward(bud, q, pl.p, trace)
 	if recording {
 		buf.Record(obs.Event{Kind: obs.BackwardDone, Query: strconv.Itoa(q),
 			Iter: res.Results[q].Iterations, AbsSize: pl.p.Len(),
@@ -419,6 +624,13 @@ func runUnit(bp BatchProblem, opts Options, res *BatchResult, u unit, recording 
 		}
 	}
 	if !covered {
+		// A tripped backward walk legitimately returns cubes not covering
+		// p; the merge discards the round, so don't report no-progress.
+		if bud.Tripped() {
+			out.kind = uExhausted
+			return out
+		}
+		out.kind = uFailed
 		out.err = fmt.Errorf("%w (query %d, p=%s)", ErrNoProgress, q, pl.p)
 		return out
 	}

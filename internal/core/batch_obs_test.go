@@ -51,7 +51,7 @@ func TestSolveBatchEventReconciliation(t *testing.T) {
 		}
 		r := res.Results[q]
 		if e.Status != r.Status.String() || e.Iter != r.Iterations || e.Clauses != r.Clauses ||
-			e.AbsSize != r.Abstraction.Len() {
+			e.AbsSize != r.Abstraction.Len() || e.Steps != r.ForwardSteps {
 			t.Errorf("query %d: event %+v does not match result %+v", q, e, r)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"tracer/internal/budget"
 	"tracer/internal/lang"
 	"tracer/internal/obs"
 	"tracer/internal/uset"
@@ -23,15 +24,15 @@ type parBatch struct {
 func (b *parBatch) NumParams() int  { return b.problems[0].n }
 func (b *parBatch) NumQueries() int { return len(b.problems) }
 
-func (b *parBatch) RunForward(p uset.Set) BatchRun {
+func (b *parBatch) RunForward(_ *budget.Budget, p uset.Set) BatchRun {
 	b.mu.Lock()
 	b.runs++
 	b.mu.Unlock()
 	return &parRun{b: b, p: p}
 }
 
-func (b *parBatch) Backward(q int, p uset.Set, t lang.Trace) []ParamCube {
-	return b.problems[q].Backward(p, t)
+func (b *parBatch) Backward(bud *budget.Budget, q int, p uset.Set, t lang.Trace) []ParamCube {
+	return b.problems[q].Backward(bud, p, t)
 }
 
 type parRun struct {
@@ -42,7 +43,7 @@ type parRun struct {
 func (r *parRun) Check(q int) (bool, lang.Trace) {
 	// Distinct queries own distinct problems, so no lock is needed here —
 	// the scheduler never checks the same query twice concurrently.
-	out := r.b.problems[q].Forward(r.p)
+	out := r.b.problems[q].Forward(nil, r.p)
 	return out.Proved, out.Trace
 }
 
@@ -96,11 +97,11 @@ func TestSolveBatchWorkerDeterminism(t *testing.T) {
 // abstraction, exercising the batch wall-clock cap.
 type slowBatch struct{ n, q int }
 
-func (b *slowBatch) NumParams() int                 { return b.n }
-func (b *slowBatch) NumQueries() int                { return b.q }
-func (b *slowBatch) RunForward(p uset.Set) BatchRun { return slowBatchRun{} }
+func (b *slowBatch) NumParams() int                                   { return b.n }
+func (b *slowBatch) NumQueries() int                                  { return b.q }
+func (b *slowBatch) RunForward(_ *budget.Budget, p uset.Set) BatchRun { return slowBatchRun{} }
 
-func (b *slowBatch) Backward(q int, p uset.Set, t lang.Trace) []ParamCube {
+func (b *slowBatch) Backward(_ *budget.Budget, q int, p uset.Set, t lang.Trace) []ParamCube {
 	var neg uset.Set
 	for v := 0; v < b.n; v++ {
 		if !p.Has(v) {
@@ -150,14 +151,14 @@ type hitBatch struct {
 func (b *hitBatch) NumParams() int  { return 4 }
 func (b *hitBatch) NumQueries() int { return 2 }
 
-func (b *hitBatch) RunForward(p uset.Set) BatchRun {
+func (b *hitBatch) RunForward(_ *budget.Budget, p uset.Set) BatchRun {
 	b.mu.Lock()
 	b.runs++
 	b.mu.Unlock()
 	return hitRun{p: p}
 }
 
-func (b *hitBatch) Backward(q int, p uset.Set, t lang.Trace) []ParamCube {
+func (b *hitBatch) Backward(_ *budget.Budget, q int, p uset.Set, t lang.Trace) []ParamCube {
 	if p.Empty() {
 		if q == 0 {
 			return []ParamCube{{Neg: uset.New(0)}, {Neg: uset.New(1)}}

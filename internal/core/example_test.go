@@ -3,6 +3,7 @@ package core_test
 import (
 	"fmt"
 
+	"tracer/internal/budget"
 	"tracer/internal/core"
 	"tracer/internal/lang"
 	"tracer/internal/uset"
@@ -15,14 +16,14 @@ type toyProblem struct{ need uset.Set }
 
 func (t *toyProblem) NumParams() int { return 3 }
 
-func (t *toyProblem) Forward(p uset.Set) core.Outcome {
+func (t *toyProblem) Forward(_ *budget.Budget, p uset.Set) core.Outcome {
 	if t.need.SubsetOf(p) {
 		return core.Outcome{Proved: true}
 	}
 	return core.Outcome{Trace: lang.Trace{lang.MoveNull{V: "x"}}}
 }
 
-func (t *toyProblem) Backward(p uset.Set, _ lang.Trace) []core.ParamCube {
+func (t *toyProblem) Backward(_ *budget.Budget, p uset.Set, _ lang.Trace) []core.ParamCube {
 	for _, v := range t.need.Elems() {
 		if !p.Has(v) {
 			return []core.ParamCube{{Neg: uset.New(v)}}

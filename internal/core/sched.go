@@ -1,9 +1,24 @@
 package core
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// panicInfo captures a recovered panic at the point of recovery: the
+// rendered panic value (deterministic for a given fault) and the goroutine
+// stack (diagnostic only — stacks embed goroutine IDs, so they are carried
+// in Result.Stack and never in the obs event stream).
+type panicInfo struct {
+	msg   string
+	stack string
+}
+
+func capturePanic(r any) *panicInfo {
+	return &panicInfo{msg: fmt.Sprint(r), stack: string(debug.Stack())}
+}
 
 // parallelFor runs f(0..n-1) across at most workers goroutines and waits for
 // all of them. With workers <= 1 it degenerates to a plain loop on the

@@ -12,10 +12,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"time"
 
+	"tracer/internal/budget"
+	"tracer/internal/faultinject"
 	"tracer/internal/lang"
 	"tracer/internal/minsat"
 	"tracer/internal/obs"
@@ -49,17 +53,26 @@ type Outcome struct {
 }
 
 // Problem is a single query posed to a parametric analysis.
+//
+// Both phases receive the solve's cooperative budget b (nil when the solve
+// is unbudgeted — implementations must tolerate nil, which the
+// budget.Budget methods do natively). A long-running phase is expected to
+// pass b down to its inner loops (dataflow.SolveBudget, rhs.SolveBudget,
+// meta.Client.Budget) and, when b trips mid-phase, to return early with a
+// partial result: an unproved Outcome (never a false Proved from a partial
+// fixpoint) or a possibly-empty cube set. The loop checks b.Tripped() after
+// each phase and discards tripped-phase results, resolving Exhausted.
 type Problem interface {
 	// NumParams is the number of boolean abstraction parameters N; the
 	// abstraction family is 2^N.
 	NumParams() int
 	// Forward runs the analysis instantiated at p and checks the query.
-	Forward(p uset.Set) Outcome
+	Forward(b *budget.Budget, p uset.Set) Outcome
 	// Backward runs the meta-analysis on a counterexample trace produced
 	// under abstraction p, returning cubes of abstractions that are
 	// guaranteed to fail the query. The cube set must cover p itself
 	// (Theorem 3 clause 1 guarantees this for a sound meta-analysis).
-	Backward(p uset.Set, t lang.Trace) []ParamCube
+	Backward(b *budget.Budget, p uset.Set, t lang.Trace) []ParamCube
 }
 
 // Status classifies how a query was resolved.
@@ -70,8 +83,14 @@ const (
 	Proved Status = iota
 	// Impossible: no abstraction in the family proves the query.
 	Impossible
-	// Exhausted: the iteration budget ran out (the paper's timeout bucket).
+	// Exhausted: a budget ran out — the iteration cap, the wall deadline,
+	// the step quota, or caller cancellation (the paper's timeout bucket).
 	Exhausted
+	// Failed: the query's own solving failed — a panic was recovered from
+	// one of its phases, or the meta-analysis made no progress. Failed is
+	// confined to the affected query; in SolveBatch sibling queries keep
+	// resolving normally.
+	Failed
 )
 
 func (s Status) String() string {
@@ -82,6 +101,8 @@ func (s Status) String() string {
 		return "impossible"
 	case Exhausted:
 		return "exhausted"
+	case Failed:
+		return "failed"
 	}
 	return "unknown"
 }
@@ -93,6 +114,14 @@ type Result struct {
 	Iterations   int      // forward analysis runs
 	Clauses      int      // blocking clauses learned
 	ForwardSteps int      // cumulative forward solver steps
+	// Failure describes why Status == Failed (the recovered panic value or
+	// the no-progress error); empty otherwise.
+	Failure string
+	// Stack is the goroutine stack captured at the recovered panic, when
+	// Failure stems from one. It is kept out of the obs event stream
+	// (stacks embed goroutine IDs, which would break the byte-identical
+	// determinism guarantee across worker counts).
+	Stack string
 }
 
 // Options tunes the TRACER loop.
@@ -101,8 +130,27 @@ type Options struct {
 	MaxIters int
 	// Timeout bounds wall-clock time per query; 0 means no limit. It plays
 	// the role of the paper's 1,000-minute budget: queries exceeding it are
-	// reported Exhausted ("could not be resolved", Fig 12).
+	// reported Exhausted ("could not be resolved", Fig 12). Enforcement is
+	// cooperative and mid-phase: every long-running loop polls the solve's
+	// budget, so a single pathological minimum search, forward run, or
+	// backward expansion is aborted within one polling interval of the
+	// deadline instead of overrunning it.
 	Timeout time.Duration
+	// Context, when non-nil, cancels the solve cooperatively: when the
+	// context is done, in-flight phases abort at their next budget poll and
+	// unresolved queries are reported Exhausted with their accumulated
+	// partial stats. The CLIs wire a signal.NotifyContext here so SIGINT
+	// flushes traces and prints partial results.
+	Context context.Context
+	// MaxSteps, when > 0, bounds the total budget polls of the solve (a
+	// machine-independent work quota across all phases: forward solver
+	// steps, minsat search nodes, backward expansion steps). Exceeding it
+	// resolves the remaining queries Exhausted.
+	MaxSteps int64
+	// Inject, when non-nil, fires deterministic faults (panics, delays,
+	// budget trips) at the loop's named hook points; see
+	// internal/faultinject. Production callers leave it nil.
+	Inject *faultinject.Injector
 	// Recorder receives structured telemetry from the loop (see
 	// internal/obs): one IterStart/ForwardDone pair per forward run,
 	// BackwardDone and ClauseLearned while refining, and a final
@@ -150,21 +198,48 @@ func (o Options) fwdCacheSize() int {
 
 func (o Options) rec() obs.Recorder { return obs.Default(o.Recorder) }
 
+// newBudget builds the solve's cooperative budget, or nil when nothing
+// bounds the solve (the common fully-trusted path keeps its zero-cost nil
+// polls). A fault injector forces a budget so injected trips have a place
+// to land.
+func (o Options) newBudget(start time.Time) *budget.Budget {
+	if o.Context == nil && o.Timeout <= 0 && o.MaxSteps <= 0 && o.Inject == nil {
+		return nil
+	}
+	var deadline time.Time
+	if o.Timeout > 0 {
+		deadline = start.Add(o.Timeout)
+	}
+	return budget.New(o.Context, deadline, o.MaxSteps)
+}
+
 // ErrNoProgress reports a meta-analysis that failed to eliminate the
 // abstraction whose run it analyzed; it indicates an unsound backward
 // transfer function and is returned rather than silently looping.
 var ErrNoProgress = errors.New("core: backward meta-analysis did not eliminate the current abstraction")
 
 // Solve runs Algorithm 1 for a single query.
-func Solve(pr Problem, opts Options) (Result, error) {
+//
+// Failure model: every exit emits exactly one terminal QueryResolved event.
+// A tripped budget (deadline, context cancellation, step quota, or injected
+// trip) aborts the current phase cooperatively and resolves Exhausted with
+// the accumulated partial stats, after a budget_trip event. A panic in any
+// phase is recovered here and resolves Failed (Result.Failure/Stack carry
+// the cause), after a panic_recovered event; Solve then returns a nil
+// error, so one poisoned query cannot crash a caller iterating many. The
+// no-progress condition also resolves Failed but still returns
+// ErrNoProgress, since it indicates an unsound backward transfer function
+// rather than a bad input.
+func Solve(pr Problem, opts Options) (res Result, err error) {
 	rec := opts.rec()
 	recording := rec.Enabled()
+	start := time.Now()
+	bud := opts.newBudget(start)
+	inj := opts.Inject
 	solver := minsat.New(pr.NumParams())
 	if recording {
 		solver.Instrument(rec)
 	}
-	res := Result{}
-	start := time.Now()
 	resolved := func(s Status) Result {
 		res.Status = s
 		if recording {
@@ -177,11 +252,39 @@ func Solve(pr Problem, opts Options) (Result, error) {
 		}
 		return res
 	}
-	for res.Iterations < opts.maxIters() {
-		if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
-			break
+	tripped := func() Result {
+		if recording {
+			rec.Record(obs.Event{Kind: obs.BudgetTrip, Iter: res.Iterations,
+				Name: bud.Cause().String(), WallNS: int64(time.Since(start))})
+			rec.Count(obs.CoreBudgetTrip, 1)
 		}
-		p, ok := solver.Minimum()
+		return resolved(Exhausted)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		res.Abstraction = nil
+		res.Failure = fmt.Sprint(r)
+		res.Stack = string(debug.Stack())
+		err = nil
+		if recording {
+			rec.Record(obs.Event{Kind: obs.PanicRecovered,
+				Iter: res.Iterations, Name: res.Failure})
+			rec.Count(obs.CorePanicRecovered, 1)
+		}
+		resolved(Failed)
+	}()
+	for res.Iterations < opts.maxIters() {
+		if !bud.Check() {
+			return tripped(), nil
+		}
+		inj.At(bud, faultinject.SiteMinimum, fmt.Sprintf("i%d", res.Iterations+1))
+		p, ok := solver.MinimumBudget(bud)
+		if bud.Tripped() {
+			return tripped(), nil
+		}
 		if !ok {
 			return resolved(Impossible), nil
 		}
@@ -194,11 +297,17 @@ func Solve(pr Problem, opts Options) (Result, error) {
 		if recording {
 			phase = time.Now()
 		}
-		out := pr.Forward(p)
+		inj.At(bud, faultinject.SiteForward, fmt.Sprintf("i%d", res.Iterations))
+		out := pr.Forward(bud, p)
 		res.ForwardSteps += out.Steps
 		if recording {
 			rec.Record(obs.Event{Kind: obs.ForwardDone, Iter: res.Iterations,
 				AbsSize: p.Len(), Steps: out.Steps, WallNS: int64(time.Since(phase))})
+		}
+		// A partial forward fixpoint can fail to reach the failing state and
+		// look "proved"; discard the outcome of a tripped run.
+		if bud.Tripped() {
+			return tripped(), nil
 		}
 		if out.Proved {
 			res.Abstraction = p
@@ -207,10 +316,16 @@ func Solve(pr Problem, opts Options) (Result, error) {
 		if recording {
 			phase = time.Now()
 		}
-		cubes := pr.Backward(p, out.Trace)
+		inj.At(bud, faultinject.SiteBackward, fmt.Sprintf("i%d", res.Iterations))
+		cubes := pr.Backward(bud, p, out.Trace)
 		if recording {
 			rec.Record(obs.Event{Kind: obs.BackwardDone, Iter: res.Iterations,
 				AbsSize: p.Len(), Cubes: len(cubes), WallNS: int64(time.Since(phase))})
+		}
+		// A truncated backward walk may return cubes not covering p; that is
+		// budget pressure, not unsoundness — don't report no-progress.
+		if bud.Tripped() {
+			return tripped(), nil
 		}
 		covered := false
 		for _, c := range cubes {
@@ -226,7 +341,9 @@ func Solve(pr Problem, opts Options) (Result, error) {
 		}
 		res.Clauses = solver.NumClauses()
 		if !covered {
-			return res, fmt.Errorf("%w (p=%s)", ErrNoProgress, p)
+			err := fmt.Errorf("%w (p=%s)", ErrNoProgress, p)
+			res.Failure = err.Error()
+			return resolved(Failed), err
 		}
 	}
 	return resolved(Exhausted), nil

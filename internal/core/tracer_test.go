@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"tracer/internal/budget"
 	"tracer/internal/lang"
 	"tracer/internal/uset"
 )
@@ -22,7 +23,7 @@ type mockProblem struct {
 
 func (m *mockProblem) NumParams() int { return m.n }
 
-func (m *mockProblem) Forward(p uset.Set) Outcome {
+func (m *mockProblem) Forward(_ *budget.Budget, p uset.Set) Outcome {
 	m.runs = append(m.runs, p)
 	if m.provable && m.need.SubsetOf(p) {
 		return Outcome{Proved: true, Steps: 1}
@@ -30,7 +31,7 @@ func (m *mockProblem) Forward(p uset.Set) Outcome {
 	return Outcome{Trace: lang.Trace{lang.MoveNull{V: "x"}}, Steps: 1}
 }
 
-func (m *mockProblem) Backward(p uset.Set, t lang.Trace) []ParamCube {
+func (m *mockProblem) Backward(_ *budget.Budget, p uset.Set, t lang.Trace) []ParamCube {
 	if !m.provable {
 		// Nothing can prove it: eliminate everything matching p exactly on
 		// the needed bits... the strongest sound statement is "everything".
@@ -88,7 +89,7 @@ func TestSolveImpossible(t *testing.T) {
 // to eliminate the current abstraction; Solve must refuse to loop.
 type noProgress struct{ mockProblem }
 
-func (n *noProgress) Backward(p uset.Set, t lang.Trace) []ParamCube {
+func (n *noProgress) Backward(_ *budget.Budget, p uset.Set, t lang.Trace) []ParamCube {
 	return []ParamCube{{Pos: uset.New(63)}} // never covers small p
 }
 
@@ -105,10 +106,10 @@ func TestSolveDetectsNoProgress(t *testing.T) {
 type slowProblem struct{ n int }
 
 func (s *slowProblem) NumParams() int { return s.n }
-func (s *slowProblem) Forward(p uset.Set) Outcome {
+func (s *slowProblem) Forward(_ *budget.Budget, p uset.Set) Outcome {
 	return Outcome{Trace: lang.Trace{lang.MoveNull{V: "x"}}}
 }
-func (s *slowProblem) Backward(p uset.Set, t lang.Trace) []ParamCube {
+func (s *slowProblem) Backward(_ *budget.Budget, p uset.Set, t lang.Trace) []ParamCube {
 	var neg uset.Set
 	for v := 0; v < s.n; v++ {
 		if !p.Has(v) {
@@ -174,20 +175,20 @@ type mockBatchRun struct {
 	p uset.Set
 }
 
-func (b *mockBatch) RunForward(p uset.Set) BatchRun {
+func (b *mockBatch) RunForward(_ *budget.Budget, p uset.Set) BatchRun {
 	b.runs++
 	return &mockBatchRun{b, p}
 }
 
 func (r *mockBatchRun) Check(q int) (bool, lang.Trace) {
-	out := r.b.problems[q].Forward(r.p)
+	out := r.b.problems[q].Forward(nil, r.p)
 	return out.Proved, out.Trace
 }
 
 func (r *mockBatchRun) Steps() int { return 1 }
 
-func (b *mockBatch) Backward(q int, p uset.Set, t lang.Trace) []ParamCube {
-	return b.problems[q].Backward(p, t)
+func (b *mockBatch) Backward(bud *budget.Budget, q int, p uset.Set, t lang.Trace) []ParamCube {
+	return b.problems[q].Backward(bud, p, t)
 }
 
 // TestSolveBatchMatchesIndividual: batch resolution returns the same

@@ -14,6 +14,7 @@ package dataflow
 import (
 	"fmt"
 
+	"tracer/internal/budget"
 	"tracer/internal/lang"
 )
 
@@ -153,6 +154,15 @@ func (r *Result[D]) Witness(n int, d D) lang.Trace {
 // is a chaotic worklist iteration; since D is finite for the analyses in
 // this repository, it terminates.
 func Solve[D comparable](g *lang.CFG, init D, tr Transfer[D]) *Result[D] {
+	return SolveBudget(g, init, tr, nil)
+}
+
+// SolveBudget is Solve under a cooperative budget: the worklist polls b once
+// per dequeued item and stops early when the budget trips, returning the
+// partial fixpoint computed so far. A partial result under-approximates the
+// reachable states, so callers must check b.Tripped() before trusting a
+// "no failing state found" scan of it. A nil budget never trips.
+func SolveBudget[D comparable](g *lang.CFG, init D, tr Transfer[D], b *budget.Budget) *Result[D] {
 	r := &Result[D]{g: g, tr: tr, states: make([]map[D]origin[D], g.Nodes)}
 	for i := range r.states {
 		r.states[i] = make(map[D]origin[D])
@@ -166,6 +176,9 @@ func Solve[D comparable](g *lang.CFG, init D, tr Transfer[D]) *Result[D] {
 	r.Steps++
 	work = append(work, item{g.Entry, init})
 	for len(work) > 0 {
+		if !b.Poll() {
+			break
+		}
 		it := work[len(work)-1]
 		work = work[:len(work)-1]
 		for _, ei := range g.Out[it.node] {

@@ -3,6 +3,7 @@ package driver
 import (
 	"sync"
 
+	"tracer/internal/budget"
 	"tracer/internal/core"
 	"tracer/internal/dataflow"
 	"tracer/internal/escape"
@@ -49,10 +50,11 @@ func (b *EscapeBatch) NumQueries() int { return len(b.Queries) }
 
 // RunForward solves the whole program once under p. The run carries the
 // analysis instance that produced it: checks must resolve interned state
-// IDs against that instance.
-func (b *EscapeBatch) RunForward(p uset.Set) core.BatchRun {
+// IDs against that instance. On a budget trip the run holds a partial
+// fixpoint; the scheduler discards that round's outcomes.
+func (b *EscapeBatch) RunForward(bud *budget.Budget, p uset.Set) core.BatchRun {
 	a := b.P.FreshEscapeAnalysis()
-	res := dataflow.Solve(b.P.Low.G, a.Initial(), a.Transfer(p))
+	res := dataflow.SolveBudget(b.P.Low.G, a.Initial(), a.Transfer(p), bud)
 	return &escapeRun{b: b, a: a, res: res}
 }
 
@@ -77,8 +79,8 @@ func (r *escapeRun) Steps() int { return r.res.Steps }
 
 // Backward delegates to the per-query job; distinct queries may run
 // concurrently because each job owns its analysis and WP cache.
-func (b *EscapeBatch) Backward(q int, p uset.Set, t lang.Trace) []core.ParamCube {
-	return b.jobs[q].Backward(p, t)
+func (b *EscapeBatch) Backward(bud *budget.Budget, q int, p uset.Set, t lang.Trace) []core.ParamCube {
+	return b.jobs[q].Backward(bud, p, t)
 }
 
 // TypestateBatch runs all generated type-state queries through
@@ -121,9 +123,11 @@ func NewTypestateBatch(p *Program, queries []TSQuery, k int) *TypestateBatch {
 func (b *TypestateBatch) NumParams() int  { return len(b.P.Vars) }
 func (b *TypestateBatch) NumQueries() int { return len(b.Queries) }
 
-// RunForward returns a run that solves per tracked site on demand.
-func (b *TypestateBatch) RunForward(p uset.Set) core.BatchRun {
-	return &typestateRun{b: b, p: p, perSite: map[string]*siteCell{}}
+// RunForward returns a run that solves per tracked site on demand. The run
+// captures the batch budget so lazy per-site solves (which happen inside
+// Check, possibly rounds later) stay interruptible.
+func (b *TypestateBatch) RunForward(bud *budget.Budget, p uset.Set) core.BatchRun {
+	return &typestateRun{b: b, bud: bud, p: p, perSite: map[string]*siteCell{}}
 }
 
 // siteCell holds one site's lazily-computed solve within a run. The cell's
@@ -136,8 +140,9 @@ type siteCell struct {
 }
 
 type typestateRun struct {
-	b *TypestateBatch
-	p uset.Set
+	b   *TypestateBatch
+	bud *budget.Budget
+	p   uset.Set
 
 	mu      sync.Mutex // guards perSite and steps
 	perSite map[string]*siteCell
@@ -156,7 +161,7 @@ func (r *typestateRun) solve(site string) *siteCell {
 		a := typestate.New(r.b.prop, site, r.b.P.Vars)
 		a.MayPoint = r.b.P.MayPoint(site)
 		c.a = a
-		c.res = dataflow.Solve(r.b.P.Low.G, a.Initial(), a.Transfer(r.p))
+		c.res = dataflow.SolveBudget(r.b.P.Low.G, a.Initial(), a.Transfer(r.p), r.bud)
 		r.mu.Lock()
 		r.steps += c.res.Steps
 		r.mu.Unlock()
@@ -184,6 +189,6 @@ func (r *typestateRun) Steps() int {
 
 // Backward delegates to the per-query job; distinct queries may run
 // concurrently because each job owns its analysis and WP cache.
-func (b *TypestateBatch) Backward(q int, p uset.Set, t lang.Trace) []core.ParamCube {
-	return b.jobs[q].Backward(p, t)
+func (b *TypestateBatch) Backward(bud *budget.Budget, q int, p uset.Set, t lang.Trace) []core.ParamCube {
+	return b.jobs[q].Backward(bud, p, t)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tracer/internal/budget"
 	"tracer/internal/core"
 	"tracer/internal/dataflow"
 	"tracer/internal/escape"
@@ -88,15 +89,21 @@ func (p *RHSProgram) mayPoint(h string) func(qv string) bool {
 }
 
 // rhsForward is the shared forward runner: solve the supergraph and scan
-// the query points for a violating fact.
+// the query points for a violating fact. A budget trip mid-tabulation
+// yields an unproved partial outcome (a partial tabulation's "no failure
+// found" is not a proof).
 func rhsForward[D comparable](
 	g *rhs.Graph, dI D, tr dataflow.Transfer[D],
 	points []rhs.Point,
 	holds func(d D) bool,
 	less func(a, b D) bool,
 	rec obs.Recorder,
+	bud *budget.Budget,
 ) core.Outcome {
-	res := rhs.SolveObs(g, dI, tr, rec)
+	res := rhs.SolveBudget(g, dI, tr, rec, bud)
+	if bud.Tripped() {
+		return core.Outcome{Steps: res.Steps}
+	}
 	for _, pt := range points {
 		var bad []D
 		for _, d := range res.States(pt.Method, pt.Node) {
@@ -143,17 +150,17 @@ func (j *RHSEscapeJob) NumParams() int         { return j.inner.A.Sites.Len() }
 func (j *RHSEscapeJob) ParamName(i int) string { return j.inner.A.Sites.Value(i) }
 
 // Forward solves the supergraph under abstraction p.
-func (j *RHSEscapeJob) Forward(p uset.Set) core.Outcome {
+func (j *RHSEscapeJob) Forward(b *budget.Budget, p uset.Set) core.Outcome {
 	a := j.inner.A
 	return rhsForward(j.P.SP.G, a.Initial(), a.Transfer(p), j.Points,
 		func(d escape.State) bool { return a.Holds(j.inner.Q, d) },
 		func(x, y escape.State) bool { return x < y },
-		j.Rec)
+		j.Rec, b)
 }
 
 // Backward delegates to the standard escape job.
-func (j *RHSEscapeJob) Backward(p uset.Set, t lang.Trace) []core.ParamCube {
-	return j.inner.Backward(p, t)
+func (j *RHSEscapeJob) Backward(b *budget.Budget, p uset.Set, t lang.Trace) []core.ParamCube {
+	return j.inner.Backward(b, p, t)
 }
 
 // RHSTypestateJob poses one type-state query against the tabulation
@@ -186,7 +193,7 @@ func (j *RHSTypestateJob) NumParams() int         { return j.inner.A.Vars.Len() 
 func (j *RHSTypestateJob) ParamName(i int) string { return j.inner.A.Vars.Value(i) }
 
 // Forward solves the supergraph under abstraction p.
-func (j *RHSTypestateJob) Forward(p uset.Set) core.Outcome {
+func (j *RHSTypestateJob) Forward(b *budget.Budget, p uset.Set) core.Outcome {
 	a := j.inner.A
 	return rhsForward(j.P.SP.G, a.Initial(), a.Transfer(p), j.Points,
 		func(d typestate.State) bool { return j.inner.Q.Holds(d) },
@@ -199,12 +206,12 @@ func (j *RHSTypestateJob) Forward(p uset.Set) core.Outcome {
 			}
 			return x.VS < y.VS
 		},
-		j.Rec)
+		j.Rec, b)
 }
 
 // Backward delegates to the standard type-state job.
-func (j *RHSTypestateJob) Backward(p uset.Set, t lang.Trace) []core.ParamCube {
-	return j.inner.Backward(p, t)
+func (j *RHSTypestateJob) Backward(b *budget.Budget, p uset.Set, t lang.Trace) []core.ParamCube {
+	return j.inner.Backward(b, p, t)
 }
 
 // RHSTSQuery is a generated type-state query for the tabulation backend.

@@ -42,7 +42,7 @@ func TestFigure6Forward(t *testing.T) {
 	job := &Job{A: a, G: g, Q: q, K: 1}
 
 	// (a)/(b1): p = [h1↦E, h2↦E], i.e. no L-mapped sites.
-	out := job.Forward(nil)
+	out := job.Forward(nil, nil)
 	if out.Proved {
 		t.Fatal("p = {} must fail local(u)")
 	}
@@ -61,7 +61,7 @@ func TestFigure6Forward(t *testing.T) {
 
 	// (b2): p = [h1↦L, h2↦E]: the store escapes everything.
 	p := a.abstraction("h1")
-	out = job.Forward(p)
+	out = job.Forward(nil, p)
 	if out.Proved {
 		t.Fatal("p = {h1} must fail local(u)")
 	}
@@ -88,8 +88,8 @@ func TestFigure6WithUnderApprox(t *testing.T) {
 	job := &Job{A: a, G: g, Q: q, K: 1}
 
 	// Iteration 1 cube: h1 must not be E, i.e. Neg = {h1}.
-	out := job.Forward(nil)
-	cubes := job.Backward(nil, out.Trace)
+	out := job.Forward(nil, nil)
+	cubes := job.Backward(nil, nil, out.Trace)
 	if len(cubes) != 1 {
 		t.Fatalf("iter 1 cubes = %v, want 1", cubes)
 	}
@@ -100,8 +100,8 @@ func TestFigure6WithUnderApprox(t *testing.T) {
 
 	// Iteration 2 cube: h1 L-mapped but h2 not, i.e. Pos={h1}, Neg={h2}.
 	p := a.abstraction("h1")
-	out = job.Forward(p)
-	cubes = job.Backward(p, out.Trace)
+	out = job.Forward(nil, p)
+	cubes = job.Backward(nil, p, out.Trace)
 	if len(cubes) != 1 {
 		t.Fatalf("iter 2 cubes = %v, want 1", cubes)
 	}
@@ -135,7 +135,7 @@ func TestFigure6WithoutUnderApprox(t *testing.T) {
 	q := Query{Nodes: []int{g.Exit}, V: "u"}
 	job := &Job{A: a, G: g, Q: q, K: 0}
 
-	out := job.Forward(nil)
+	out := job.Forward(nil, nil)
 	dI := a.Initial()
 	states := dataflow.StatesAlong(out.Trace, dI, a.Transfer(nil))
 	dnf := meta.Run(job.Client(nil), out.Trace, states, a.NotQ(q))
@@ -165,7 +165,7 @@ func TestFigure6FormulaAnnotations(t *testing.T) {
 	a, g := figure6(t)
 	q := Query{Nodes: []int{g.Exit}, V: "u"}
 	job := &Job{A: a, G: g, Q: q, K: 1}
-	out := job.Forward(nil)
+	out := job.Forward(nil, nil)
 	dI := a.Initial()
 	states := dataflow.StatesAlong(out.Trace, dI, a.Transfer(nil))
 	ann := meta.RunAnnotated(job.Client(nil), out.Trace, states, a.NotQ(q))

@@ -3,6 +3,7 @@ package escape
 import (
 	"sort"
 
+	"tracer/internal/budget"
 	"tracer/internal/core"
 	"tracer/internal/dataflow"
 	"tracer/internal/formula"
@@ -32,9 +33,13 @@ func (j *Job) NumParams() int { return j.A.Sites.Len() }
 func (j *Job) ParamName(i int) string { return j.A.Sites.Value(i) }
 
 // Forward runs the forward analysis under abstraction p and checks the
-// query at every node it covers.
-func (j *Job) Forward(p uset.Set) core.Outcome {
-	res := dataflow.Solve(j.G, j.A.Initial(), j.A.Transfer(p))
+// query at every node it covers. A budget trip mid-solve yields an unproved
+// partial outcome (a partial fixpoint's "no failure found" is not a proof).
+func (j *Job) Forward(b *budget.Budget, p uset.Set) core.Outcome {
+	res := dataflow.SolveBudget(j.G, j.A.Initial(), j.A.Transfer(p), b)
+	if b.Tripped() {
+		return core.Outcome{Steps: res.Steps}
+	}
 	node, bad, ok := FindFailure(j.A, res, j.Q)
 	if !ok {
 		return core.Outcome{Proved: true, Steps: res.Steps}
@@ -79,11 +84,17 @@ func (j *Job) Client(p uset.Set) *meta.Client[State] {
 }
 
 // Backward runs the meta-analysis over the counterexample trace and
-// extracts the parameter cubes of abstractions guaranteed to fail.
-func (j *Job) Backward(p uset.Set, t lang.Trace) []core.ParamCube {
+// extracts the parameter cubes of abstractions guaranteed to fail. A budget
+// trip mid-walk yields nil (a truncated condition is not sound).
+func (j *Job) Backward(b *budget.Budget, p uset.Set, t lang.Trace) []core.ParamCube {
 	dI := j.A.Initial()
 	states := dataflow.StatesAlong(t, dI, j.A.Transfer(p))
-	dnf := meta.Run(j.Client(p), t, states, j.A.NotQ(j.Q))
+	c := j.Client(p)
+	c.Budget = b
+	dnf := meta.Run(c, t, states, j.A.NotQ(j.Q))
+	if b.Tripped() {
+		return nil
+	}
 	return j.Cubes(dnf, dI)
 }
 

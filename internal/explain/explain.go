@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 
+	"tracer/internal/budget"
 	"tracer/internal/core"
 	"tracer/internal/dataflow"
 	"tracer/internal/formula"
@@ -62,10 +63,10 @@ func New[D comparable](inner core.Problem, w io.Writer, h Hooks[D]) *Problem[D] 
 func (p *Problem[D]) NumParams() int { return p.Inner.NumParams() }
 
 // Forward narrates the chosen abstraction, then delegates.
-func (p *Problem[D]) Forward(abs uset.Set) core.Outcome {
+func (p *Problem[D]) Forward(b *budget.Budget, abs uset.Set) core.Outcome {
 	p.iteration++
 	fmt.Fprintf(p.W, "\niteration %d: forward analysis with p = %s\n", p.iteration, p.H.FormatAbstraction(abs))
-	out := p.Inner.Forward(abs)
+	out := p.Inner.Forward(b, abs)
 	if out.Proved {
 		fmt.Fprintf(p.W, "  query proven\n")
 	}
@@ -75,7 +76,7 @@ func (p *Problem[D]) Forward(abs uset.Set) core.Outcome {
 // Backward recomputes the annotated backward pass for display, then
 // delegates to the inner problem for the actual cubes (which are identical
 // by construction; the meta-analysis is deterministic).
-func (p *Problem[D]) Backward(abs uset.Set, t lang.Trace) []core.ParamCube {
+func (p *Problem[D]) Backward(b *budget.Budget, abs uset.Set, t lang.Trace) []core.ParamCube {
 	states := dataflow.StatesAlong(t, p.H.Initial, p.H.Transfer(abs))
 	ann := meta.RunAnnotated(p.H.Client(abs), t, states, p.H.Post)
 	fmt.Fprintf(p.W, "  counterexample trace (α = forward state, ψ = failure condition):\n")
@@ -86,7 +87,7 @@ func (p *Problem[D]) Backward(abs uset.Set, t lang.Trace) []core.ParamCube {
 	for _, c := range p.H.Cubes(ann[0], p.H.Initial) {
 		fmt.Fprintf(p.W, "  eliminated: %s\n", p.H.DescribeCube(c))
 	}
-	return p.Inner.Backward(abs, t)
+	return p.Inner.Backward(b, abs, t)
 }
 
 // Solve runs TRACER on the narrated problem and prints the verdict.
@@ -101,6 +102,8 @@ func (p *Problem[D]) Solve(opts core.Options) (core.Result, error) {
 			p.H.FormatAbstraction(res.Abstraction), res.Iterations)
 	case core.Impossible:
 		fmt.Fprintf(p.W, "IMPOSSIBLE: no abstraction in the family proves the query (%d iterations)\n", res.Iterations)
+	case core.Failed:
+		fmt.Fprintf(p.W, "FAILED: %s (%d iterations)\n", res.Failure, res.Iterations)
 	default:
 		fmt.Fprintf(p.W, "UNRESOLVED: budget exhausted after %d iterations\n", res.Iterations)
 	}

@@ -12,6 +12,7 @@
 package meta
 
 import (
+	"tracer/internal/budget"
 	"tracer/internal/dataflow"
 	"tracer/internal/formula"
 	"tracer/internal/lang"
@@ -34,6 +35,12 @@ type Client[D comparable] struct {
 	// Cache optionally shares memoized weakest preconditions across clients
 	// (they depend only on the analysis, not on the abstraction p).
 	Cache *WPCache
+	// Budget, when non-nil, is polled during the backward walk (once per
+	// trace atom and once per DNF cube expansion); when it trips, the walk
+	// stops early and the remaining (earlier) trace points keep zero-value
+	// formulas. Callers must check Budget.Tripped() before using the result,
+	// since a truncated condition is not a sound failure condition.
+	Budget *budget.Budget
 }
 
 // WPCache memoizes per-(atom, literal) weakest-precondition DNFs. It is
@@ -125,6 +132,9 @@ func (c *Client[D]) wpDNF(a lang.Atom, d formula.DNF) (formula.DNF, bool) {
 		}
 		acc := formula.DNF{conj.Retain(func(i int) bool { return identity[i] })}
 		for _, s := range subs {
+			if !c.Budget.Poll() {
+				break
+			}
 			acc = acc.And(s, c.Theory)
 			if acc.IsFalse() {
 				break
@@ -174,6 +184,9 @@ func RunAnnotated[D comparable](c *Client[D], t lang.Trace, states []D, post for
 	cur := c.approxAt(formula.ToDNF(post, c.Theory), states[len(t)])
 	out[len(t)] = cur
 	for i := len(t) - 1; i >= 0; i-- {
+		if !c.Budget.Poll() {
+			break
+		}
 		pre, unchanged := c.wpDNF(t[i], cur)
 		if !unchanged {
 			// approx is idempotent, so unchanged formulas (already

@@ -1,0 +1,92 @@
+package minsat
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tracer/internal/budget"
+	"tracer/internal/uset"
+)
+
+// hardInstance builds a random vertex-cover formula: a clause (xi ∨ xj) for
+// ~30% of the pairs i < j < n. Unlike the complete graph (which unit
+// propagation collapses), sparse instances make the branch-and-bound search
+// visit many thousands of nodes — far more than one polling interval.
+func hardInstance(n int) *Solver {
+	rng := rand.New(rand.NewSource(1))
+	s := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(100) < 30 {
+				s.Add(Clause{{Var: i}, {Var: j}})
+			}
+		}
+	}
+	return s
+}
+
+// TestMinimumBudgetNil: a nil budget behaves exactly like Minimum.
+func TestMinimumBudgetNil(t *testing.T) {
+	s := hardInstance(8)
+	m, ok := s.MinimumBudget(nil)
+	if !ok {
+		t.Fatal("satisfiable formula reported unsat")
+	}
+	want, _ := bruteMinimum(s, 8)
+	if !m.Equal(want) {
+		t.Fatalf("model = %v, want %v", m, want)
+	}
+}
+
+// TestMinimumBudgetAbort: an expired deadline abandons the search with
+// ok=false and a tripped budget, so callers can tell "aborted" from "unsat".
+func TestMinimumBudgetAbort(t *testing.T) {
+	s := hardInstance(60)
+	b := budget.New(nil, time.Now().Add(-time.Second), 0)
+	start := time.Now()
+	_, ok := s.MinimumBudget(b)
+	if ok {
+		t.Fatal("aborted search returned a model")
+	}
+	if !b.Tripped() || b.Cause() != budget.Deadline {
+		t.Fatalf("budget cause = %v, want deadline", b.Cause())
+	}
+	// The instance takes far longer than this to solve exactly; an aborted
+	// search must return almost immediately (one polling interval of nodes).
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("aborted search took %v", d)
+	}
+	// The formula is satisfiable: a fresh un-budgeted search proves it.
+	if _, ok := hardInstance(60).Minimum(); !ok {
+		t.Fatal("control: hard instance reported unsat without a budget")
+	}
+}
+
+// TestMinimumBudgetStepQuota: the per-node poll enforces a step quota.
+func TestMinimumBudgetStepQuota(t *testing.T) {
+	s := hardInstance(60)
+	b := budget.New(nil, time.Time{}, 50)
+	_, ok := s.MinimumBudget(b)
+	if ok {
+		t.Fatal("quota-tripped search returned a model")
+	}
+	if b.Cause() != budget.Steps {
+		t.Fatalf("cause = %v, want steps", b.Cause())
+	}
+}
+
+// TestMinimumBudgetPreTripped: a budget tripped before the call aborts the
+// search immediately without touching the clause set's answer.
+func TestMinimumBudgetPreTripped(t *testing.T) {
+	s := New(4)
+	s.Block(nil, uset.New(0)) // clause (x0): trivially satisfiable
+	b := budget.New(nil, time.Time{}, 0)
+	b.Trip(budget.Injected)
+	if _, ok := s.MinimumBudget(b); ok {
+		t.Fatal("pre-tripped budget still produced a model")
+	}
+	if m, ok := s.Minimum(); !ok || !m.Equal(uset.New(0)) {
+		t.Fatalf("control Minimum = %v, %v", m, ok)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"time"
 
+	"tracer/internal/budget"
 	"tracer/internal/obs"
 	"tracer/internal/uset"
 )
@@ -193,7 +194,17 @@ const (
 // Minimum returns a minimum-cost model of the accumulated clauses as the
 // set of true variables, or ok=false if the formula is unsatisfiable.
 func (s *Solver) Minimum() (model uset.Set, ok bool) {
+	return s.MinimumBudget(nil)
+}
+
+// MinimumBudget is Minimum under a cooperative budget: the branch-and-bound
+// search polls b once per node and abandons the search when the budget
+// trips, returning ok=false even if some (possibly non-minimum) model was
+// already found. Callers must therefore check b.Tripped() before reading
+// ok=false as unsatisfiability. A nil budget never trips.
+func (s *Solver) MinimumBudget(b *budget.Budget) (model uset.Set, ok bool) {
 	nodes := 0
+	aborted := false
 	if s.rec != nil && s.rec.Enabled() {
 		start := time.Now()
 		defer func() {
@@ -311,6 +322,10 @@ func (s *Solver) Minimum() (model uset.Set, ok bool) {
 	}
 
 	search = func(idx, cost int) {
+		if aborted || !b.Poll() {
+			aborted = true
+			return
+		}
 		nodes++
 		if best >= 0 && cost >= best {
 			return // bound: cannot improve
@@ -354,7 +369,7 @@ func (s *Solver) Minimum() (model uset.Set, ok bool) {
 		delete(assign, v)
 	}
 	search(0, 0)
-	if best < 0 {
+	if aborted || best < 0 {
 		return nil, false
 	}
 	return uset.New(bestModel...), true

@@ -12,6 +12,15 @@ const (
 	BatchFwdCacheMiss = "batch.fwd_cache_miss"
 )
 
+// Counter names for the failure paths of core.Solve/SolveBatch: one
+// CorePanicRecovered per panic caught and converted to a Failed result, one
+// CoreBudgetTrip per solve whose budget tripped (mirroring the
+// panic_recovered / budget_trip events).
+const (
+	CorePanicRecovered = "core.panic_recovered"
+	CoreBudgetTrip     = "core.budget_trip"
+)
+
 // opKind discriminates the buffered record types.
 type opKind uint8
 

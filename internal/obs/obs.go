@@ -46,10 +46,23 @@ const (
 	// groups in SolveBatch (Groups = live groups after redistribution,
 	// Queries = successor groups born from this split).
 	GroupSplit EventKind = "group_split"
-	// QueryResolved closes a query: Status is proved/impossible/exhausted,
-	// and Iter, Clauses, Steps, WallNS are the query's final totals,
-	// matching the core.Result counters exactly.
+	// QueryResolved closes a query: Status is
+	// proved/impossible/exhausted/failed, and Iter, Clauses, Steps, WallNS
+	// are the query's final totals, matching the core.Result counters
+	// exactly. Every query, even one ending in a budget trip, a recovered
+	// panic, or a no-progress error, gets exactly one QueryResolved.
 	QueryResolved EventKind = "query_resolved"
+	// PanicRecovered records a panic caught by the solver and converted
+	// into a Failed resolution. Name carries the recovered value's message;
+	// in batch mode Query is set when the panic was confined to one query's
+	// backward unit. Stack traces are kept out of the event stream (they
+	// embed goroutine IDs, which would break cross-worker-count
+	// determinism) and live in core.Result.Stack instead.
+	PanicRecovered EventKind = "panic_recovered"
+	// BudgetTrip records the first budget trip of a solve (Name = the
+	// budget.Cause string: canceled|deadline|steps|injected). Emitted once,
+	// just before the tripped queries resolve as exhausted.
+	BudgetTrip EventKind = "budget_trip"
 
 	// CounterKind, GaugeKind, and TimingKind are how Count/Gauge/Timing
 	// records appear when serialized into an NDJSON event stream.
@@ -72,7 +85,7 @@ type Event struct {
 	Groups  int `json:"groups,omitempty"`   // live query groups (batch mode)
 	Queries int `json:"queries,omitempty"`  // queries sharing a run / born groups
 
-	Status string `json:"status,omitempty"`  // QueryResolved: proved|impossible|exhausted
+	Status string `json:"status,omitempty"`  // QueryResolved: proved|impossible|exhausted|failed
 	WallNS int64  `json:"wall_ns,omitempty"` // wall time of the phase
 
 	// Name and Value carry Count/Gauge/Timing records through an NDJSON

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"tracer/internal/budget"
 	"tracer/internal/dataflow"
 	"tracer/internal/lang"
 	"tracer/internal/obs"
@@ -103,6 +104,16 @@ func Solve[D comparable](g *Graph, dI D, tr dataflow.Transfer[D]) *Result[D] {
 // contexts (counter "rhs.contexts"), and the worklist high-water mark
 // (gauge "rhs.worklist_peak"). A nil recorder is Solve.
 func SolveObs[D comparable](g *Graph, dI D, tr dataflow.Transfer[D], rec obs.Recorder) *Result[D] {
+	return SolveBudget(g, dI, tr, rec, nil)
+}
+
+// SolveBudget is SolveObs under a cooperative budget: the tabulation
+// worklist polls b once per dequeued path edge and stops early when the
+// budget trips, returning the partial tabulation computed so far. Partial
+// results under-approximate the reachable facts, so callers must check
+// b.Tripped() before trusting a "no failing state found" scan. A nil budget
+// never trips.
+func SolveBudget[D comparable](g *Graph, dI D, tr dataflow.Transfer[D], rec obs.Recorder, b *budget.Budget) *Result[D] {
 	r := &Result[D]{
 		g:         g,
 		tr:        tr,
@@ -153,6 +164,9 @@ func SolveObs[D comparable](g *Graph, dI D, tr dataflow.Transfer[D], rec obs.Rec
 	}
 
 	for len(work) > 0 {
+		if !b.Poll() {
+			break
+		}
 		k := work[len(work)-1]
 		work = work[:len(work)-1]
 		m := g.Methods[k.m]

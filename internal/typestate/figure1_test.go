@@ -85,7 +85,7 @@ func TestFigure1Iteration1Formulas(t *testing.T) {
 	a, g := figure1(t)
 	q := Query{Nodes: []int{g.Exit}, Want: a.wantStates("closed")}
 	job := &Job{A: a, G: g, Q: q, K: 1}
-	out := job.Forward(nil)
+	out := job.Forward(nil, nil)
 	if out.Proved {
 		t.Fatal("p = {} must fail to prove check1")
 	}
@@ -131,11 +131,11 @@ func TestFigure1Iteration2Formulas(t *testing.T) {
 	job := &Job{A: a, G: g, Q: q, K: 1}
 	x, _ := a.Vars.Lookup("x")
 	p := uset.New(x)
-	out := job.Forward(p)
+	out := job.Forward(nil, p)
 	if out.Proved {
 		t.Fatal("p = {x} must fail to prove check1")
 	}
-	cubes := job.Backward(p, out.Trace)
+	cubes := job.Backward(nil, p, out.Trace)
 	if len(cubes) != 1 {
 		t.Fatalf("cubes = %v, want 1", cubes)
 	}
@@ -152,7 +152,7 @@ func TestFigure1ForwardStates(t *testing.T) {
 	job := &Job{A: a, G: g, Q: q, K: 1}
 
 	// Iteration 1, p = {}: weak updates everywhere, ending in ⊤.
-	out := job.Forward(nil)
+	out := job.Forward(nil, nil)
 	states := dataflow.StatesAlong(out.Trace, a.Initial(), a.Transfer(nil))
 	if got := a.Format(states[0]); got != "({closed}, {})" {
 		t.Errorf("dI = %s", got)
@@ -176,7 +176,7 @@ func TestFigure1ForwardStates(t *testing.T) {
 	// Iteration 2, p = {x}: strong update at x.open().
 	x, _ := a.Vars.Lookup("x")
 	p := uset.New(x)
-	out = job.Forward(p)
+	out = job.Forward(nil, p)
 	states = dataflow.StatesAlong(out.Trace, a.Initial(), a.Transfer(p))
 	for i, at := range out.Trace {
 		if iv, ok := at.(lang.Invoke); ok && iv.M == "open" {
