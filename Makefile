@@ -1,5 +1,5 @@
 # Tier-1 gate: everything a PR must keep green (see ROADMAP.md).
-.PHONY: check fmt vet build test bench bench-json chaos
+.PHONY: check fmt vet build test bench bench-micro bench-json chaos
 
 check: fmt vet build test
 
@@ -29,6 +29,11 @@ chaos:
 # Scaled-down run of every table/figure benchmark plus micro-benchmarks.
 bench:
 	go test -bench=. -benchmem -run xxx .
+
+# Formula-kernel microbenchmarks (Approx, WpDNF, Simplify) with allocs/op —
+# the regression gate for the interned DNF kernel's hot paths.
+bench-micro:
+	go test -run=NONE -bench 'Approx|WpDNF|Simplify' -benchmem ./internal/formula/...
 
 # Regenerate the checked-in perf-trajectory series (github-action-benchmark
 # shape). Scaled-down budget so it finishes in a couple of minutes.

@@ -24,10 +24,8 @@ import (
 	"tracer/internal/uset"
 )
 
-// escapeTheory and escapePrimFor adapt the thread-escape theory for the
-// formula micro-benchmark below.
-func escapeTheory() formula.Theory { return escape.Theory{} }
-
+// escapePrimFor adapts the thread-escape theory for the formula
+// micro-benchmark below.
 func escapePrimFor(_ *escape.Analysis, st lang.Store) formula.Prim {
 	return escape.PField{F: st.F, O: escape.N}
 }
@@ -326,10 +324,11 @@ func BenchmarkFormulaToDNF(b *testing.B) {
 	}
 	st := store.(lang.Store)
 	prim := escapePrimFor(a, st)
+	u := formula.NewUniverse(escape.Theory{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f := a.WP(store, prim)
-		formula.ToDNF(f, escapeTheory())
+		formula.ToDNF(f, u)
 	}
 }
 

@@ -28,12 +28,14 @@ func TestRunBatchWorkerDeterminism(t *testing.T) {
 		if base.Stats.FwdCacheHits == 0 {
 			t.Errorf("%s: forward-run memo saw no hits on tsp", cl)
 		}
-		got := run(4)
-		if !reflect.DeepEqual(got.Results, base.Results) {
-			t.Errorf("%s: Results differ between workers=4 and workers=1", cl)
-		}
-		if got.Stats != base.Stats {
-			t.Errorf("%s: Stats = %+v (workers=4), want %+v (workers=1)", cl, got.Stats, base.Stats)
+		for _, workers := range []int{2, 4} {
+			got := run(workers)
+			if !reflect.DeepEqual(got.Results, base.Results) {
+				t.Errorf("%s: Results differ between workers=%d and workers=1", cl, workers)
+			}
+			if got.Stats != base.Stats {
+				t.Errorf("%s: Stats = %+v (workers=%d), want %+v (workers=1)", cl, got.Stats, workers, base.Stats)
+			}
 		}
 		t.Logf("%-13s queries=%d fwd=%d hits=%d misses=%d rounds=%d",
 			cl, len(base.Results), base.Stats.ForwardRuns,

@@ -190,6 +190,9 @@ type unitOut struct {
 func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 	rec := opts.rec()
 	recording := rec.Enabled()
+	if fl, ok := bp.(ObsFlusher); ok && recording {
+		defer fl.FlushObs(rec)
+	}
 	workers := opts.workers()
 	start := time.Now()
 	bud := opts.newBudget(start)

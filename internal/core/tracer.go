@@ -75,6 +75,17 @@ type Problem interface {
 	Backward(b *budget.Budget, p uset.Set, t lang.Trace) []ParamCube
 }
 
+// ObsFlusher is implemented by problems that accumulate internal telemetry
+// counters outside the event stream — notably the formula kernel's
+// interning and theory-memo statistics (the formula.* counters). Solve and
+// SolveBatch flush once per solve, after the final event, and only when
+// recording. Unlike events, these counters may be scheduling-dependent
+// under concurrency, so they are deliberately not part of the byte-identical
+// determinism contract across worker counts.
+type ObsFlusher interface {
+	FlushObs(rec obs.Recorder)
+}
+
 // Status classifies how a query was resolved.
 type Status int
 
@@ -233,6 +244,9 @@ var ErrNoProgress = errors.New("core: backward meta-analysis did not eliminate t
 func Solve(pr Problem, opts Options) (res Result, err error) {
 	rec := opts.rec()
 	recording := rec.Enabled()
+	if fl, ok := pr.(ObsFlusher); ok && recording {
+		defer fl.FlushObs(rec)
+	}
 	start := time.Now()
 	bud := opts.newBudget(start)
 	inj := opts.Inject

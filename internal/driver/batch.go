@@ -7,7 +7,10 @@ import (
 	"tracer/internal/core"
 	"tracer/internal/dataflow"
 	"tracer/internal/escape"
+	"tracer/internal/formula"
 	"tracer/internal/lang"
+	"tracer/internal/meta"
+	"tracer/internal/obs"
 	"tracer/internal/typestate"
 	"tracer/internal/uset"
 )
@@ -20,30 +23,44 @@ import (
 // scheduler: every forward run and every query's backward job owns a fresh
 // analysis instance (interned state IDs are only meaningful within one
 // instance, and interning mutates the instance), while the parameter
-// universe is the program's site list, identical across instances.
+// universe is the program's site list, identical across instances. The
+// formula kernel's literal universe and the weakest-precondition cache are
+// the exception: the escape WP depends only on the atom and primitive, so
+// all backward jobs share one concurrency-safe formula.Universe and
+// meta.WPCache, letting workers reuse interned IDs, memoized theory bits,
+// and WP DNFs instead of re-deriving them per query.
 type EscapeBatch struct {
 	P       *Program
 	Queries []EscQuery
 	K       int
 
 	jobs []*escape.Job
+	uni  *formula.Universe
+	wpc  *meta.WPCache
 }
 
 var _ core.BatchProblem = (*EscapeBatch)(nil)
+var _ core.ObsFlusher = (*EscapeBatch)(nil)
 
 // NewEscapeBatch builds the batch problem over the given queries.
 func NewEscapeBatch(p *Program, queries []EscQuery, k int) *EscapeBatch {
-	b := &EscapeBatch{P: p, Queries: queries, K: k}
+	b := &EscapeBatch{P: p, Queries: queries, K: k,
+		uni: formula.NewUniverse(escape.Theory{}), wpc: meta.NewWPCache()}
 	for _, q := range queries {
 		b.jobs = append(b.jobs, &escape.Job{
-			A: p.FreshEscapeAnalysis(),
-			G: p.Low.G,
-			Q: escape.Query{Nodes: q.Nodes, V: q.Var},
-			K: k,
+			A:   p.FreshEscapeAnalysis(),
+			G:   p.Low.G,
+			Q:   escape.Query{Nodes: q.Nodes, V: q.Var},
+			K:   k,
+			Uni: b.uni,
+			WPC: b.wpc,
 		})
 	}
 	return b
 }
+
+// FlushObs implements core.ObsFlusher for the shared literal universe.
+func (b *EscapeBatch) FlushObs(rec obs.Recorder) { meta.FlushUniverseObs(rec, b.uni) }
 
 func (b *EscapeBatch) NumParams() int  { return len(b.P.Sites) }
 func (b *EscapeBatch) NumQueries() int { return len(b.Queries) }
@@ -78,7 +95,9 @@ func (r *escapeRun) Check(q int) (bool, lang.Trace) {
 func (r *escapeRun) Steps() int { return r.res.Steps }
 
 // Backward delegates to the per-query job; distinct queries may run
-// concurrently because each job owns its analysis and WP cache.
+// concurrently because each job owns its analysis instance, while the
+// shared literal universe and WP cache are concurrency-safe by design
+// (read-mostly lock plus copy-on-write snapshots; see formula.Universe).
 func (b *EscapeBatch) Backward(bud *budget.Budget, q int, p uset.Set, t lang.Trace) []core.ParamCube {
 	return b.jobs[q].Backward(bud, p, t)
 }
@@ -91,7 +110,11 @@ func (b *EscapeBatch) Backward(bud *budget.Budget, q int, p uset.Set, t lang.Tra
 //
 // Like EscapeBatch, every run and every backward job owns fresh analysis
 // instances so the parallel scheduler's concurrent Check/Backward calls
-// never share an intern table.
+// never share an intern table. The formula kernel's literal universe is
+// shared batch-wide (the theory is stateless, so memoized theory bits are
+// valid across sites), while the weakest-precondition cache is shared per
+// tracked site — the type-state WP depends on the analysis's site and
+// may-point set, so only same-site jobs compute identical preconditions.
 type TypestateBatch struct {
 	P       *Program
 	Queries []TSQuery
@@ -99,26 +122,40 @@ type TypestateBatch struct {
 
 	prop *typestate.Property
 	jobs []*typestate.Job
+	uni  *formula.Universe
 }
 
 var _ core.BatchProblem = (*TypestateBatch)(nil)
+var _ core.ObsFlusher = (*TypestateBatch)(nil)
 
 // NewTypestateBatch builds the batch problem over the given queries.
 func NewTypestateBatch(p *Program, queries []TSQuery, k int) *TypestateBatch {
-	b := &TypestateBatch{P: p, Queries: queries, K: k}
+	b := &TypestateBatch{P: p, Queries: queries, K: k,
+		uni: formula.NewUniverse(typestate.Theory{})}
 	b.prop = typestate.StressProperty(p.stressMethods)
+	siteWPC := map[string]*meta.WPCache{}
 	for _, q := range queries {
 		a := typestate.New(b.prop, q.Site, p.Vars)
 		a.MayPoint = p.MayPoint(q.Site)
+		wpc := siteWPC[q.Site]
+		if wpc == nil {
+			wpc = meta.NewWPCache()
+			siteWPC[q.Site] = wpc
+		}
 		b.jobs = append(b.jobs, &typestate.Job{
-			A: a,
-			G: p.Low.G,
-			Q: typestate.Query{Nodes: q.Nodes, Want: uset.Bits(0).Add(b.prop.Init)},
-			K: k,
+			A:   a,
+			G:   p.Low.G,
+			Q:   typestate.Query{Nodes: q.Nodes, Want: uset.Bits(0).Add(b.prop.Init)},
+			K:   k,
+			Uni: b.uni,
+			WPC: wpc,
 		})
 	}
 	return b
 }
+
+// FlushObs implements core.ObsFlusher for the shared literal universe.
+func (b *TypestateBatch) FlushObs(rec obs.Recorder) { meta.FlushUniverseObs(rec, b.uni) }
 
 func (b *TypestateBatch) NumParams() int  { return len(b.P.Vars) }
 func (b *TypestateBatch) NumQueries() int { return len(b.Queries) }
@@ -188,7 +225,8 @@ func (r *typestateRun) Steps() int {
 }
 
 // Backward delegates to the per-query job; distinct queries may run
-// concurrently because each job owns its analysis and WP cache.
+// concurrently because each job owns its analysis instance, while the
+// shared literal universe and per-site WP caches are concurrency-safe.
 func (b *TypestateBatch) Backward(bud *budget.Budget, q int, p uset.Set, t lang.Trace) []core.ParamCube {
 	return b.jobs[q].Backward(bud, p, t)
 }

@@ -47,27 +47,27 @@ type Theory struct{}
 
 // NegLit expands ¬(x.o) into the disjunction of the other values of the
 // same subject; sites range over {L, E}, locals and fields over {L, E, N}.
-func (Theory) NegLit(l formula.Lit) (formula.DNF, bool) {
+func (Theory) NegLit(l formula.Lit) ([]formula.Lit, bool) {
 	switch p := l.P.(type) {
 	case PSite:
 		other := L
 		if p.O == L {
 			other = E
 		}
-		return formula.DNF{formula.NewConj(formula.Lit{P: PSite{p.H, other}})}, true
+		return []formula.Lit{{P: PSite{p.H, other}}}, true
 	case PLocal:
-		var out formula.DNF
+		var out []formula.Lit
 		for _, o := range Values {
 			if o != p.O {
-				out = append(out, formula.NewConj(formula.Lit{P: PLocal{p.V, o}}))
+				out = append(out, formula.Lit{P: PLocal{p.V, o}})
 			}
 		}
 		return out, true
 	case PField:
-		var out formula.DNF
+		var out []formula.Lit
 		for _, o := range Values {
 			if o != p.O {
-				out = append(out, formula.NewConj(formula.Lit{P: PField{p.F, o}}))
+				out = append(out, formula.Lit{P: PField{p.F, o}})
 			}
 		}
 		return out, true

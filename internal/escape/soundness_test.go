@@ -63,12 +63,13 @@ func primsFor(a *Analysis) []formula.Prim {
 // the Fig 5 forward transfer functions.
 func TestWPRequirement2(t *testing.T) {
 	a := newTestAnalysis()
+	u := formula.NewUniverse(Theory{})
 	abstractions := a.AllAbstractions()
 	states := a.AllStates()
 	for _, atom := range testAtoms() {
 		for _, prim := range primsFor(a) {
 			bad := meta.CheckWP(
-				atom, prim, a.WP, Theory{},
+				atom, prim, a.WP, u,
 				abstractions, states,
 				func(p uset.Set, d State) State { return a.step(p, atom, d) },
 				func(l formula.Lit, p uset.Set, d State) bool { return a.EvalLit(l, p, d) },
@@ -82,21 +83,28 @@ func TestWPRequirement2(t *testing.T) {
 	}
 }
 
-// TestNegLitPartitions checks that for every primitive, the literal and its
-// theory expansion of the negation partition the (p, d) universe.
+// TestNegLitPartitions checks that for every primitive, the literal and the
+// disjunction of its theory-expanded negation alternatives partition the
+// (p, d) universe.
 func TestNegLitPartitions(t *testing.T) {
 	a := newTestAnalysis()
 	th := Theory{}
 	for _, prim := range primsFor(a) {
 		l := formula.Lit{P: prim}
-		negDNF, ok := th.NegLit(l)
+		alts, ok := th.NegLit(l)
 		if !ok {
 			t.Fatalf("NegLit(%s) not handled", l)
 		}
 		for _, p := range a.AllAbstractions() {
 			for _, d := range a.AllStates() {
 				pos := a.EvalLit(l, p, d)
-				neg := negDNF.Eval(func(x formula.Lit) bool { return a.EvalLit(x, p, d) })
+				neg := false
+				for _, alt := range alts {
+					if a.EvalLit(alt, p, d) {
+						neg = true
+						break
+					}
+				}
 				if pos == neg {
 					t.Fatalf("¬%s wrong at p=%v d=%s", l, p, a.Format(d))
 				}
@@ -149,10 +157,10 @@ func TestTheorem3RandomTraces(t *testing.T) {
 		failed := post.Eval(func(l formula.Lit) bool { return a.EvalLit(l, p, final) })
 		for _, k := range []int{1, 3, 0} {
 			client := &meta.Client[State]{
-				WP:     a.WP,
-				Theory: Theory{},
-				Eval:   func(l formula.Lit, d State) bool { return a.EvalLit(l, p, d) },
-				K:      k,
+				WP:   a.WP,
+				U:    formula.NewUniverse(Theory{}),
+				Eval: func(l formula.Lit, d State) bool { return a.EvalLit(l, p, d) },
+				K:    k,
 			}
 			c1, c2 := meta.CheckSoundness(
 				client, tr, dI, post, failed,

@@ -9,8 +9,9 @@ import (
 )
 
 // describe characterizes (p, d) for the WP synthesizer: one site literal
-// per site and one value literal per local and field.
-func (a *Analysis) describe(p uset.Set, d State) formula.Conj {
+// per site and one value literal per local and field. The conjunction
+// interns its literals into u.
+func (a *Analysis) describe(u *formula.Universe, p uset.Set, d State) formula.Conj {
 	var lits []formula.Lit
 	for i := 0; i < a.Sites.Len(); i++ {
 		o := E
@@ -27,7 +28,7 @@ func (a *Analysis) describe(p uset.Set, d State) formula.Conj {
 		f := a.Fields.Value(i)
 		lits = append(lits, formula.Lit{P: PField{f, a.Field(d, f)}})
 	}
-	return formula.NewConj(lits...)
+	return formula.NewConj(u, lits...)
 }
 
 // TestHandwrittenWPMatchesSynthesized cross-checks the Fig 11 transfer
@@ -36,8 +37,9 @@ func (a *Analysis) describe(p uset.Set, d State) formula.Conj {
 // primitive, this is the strongest possible finite check.
 func TestHandwrittenWPMatchesSynthesized(t *testing.T) {
 	a := newTestAnalysis()
+	u := formula.NewUniverse(Theory{})
 	desc := meta.Descriptor[uset.Set, State]{
-		Describe: a.describe,
+		Describe: func(p uset.Set, d State) formula.Conj { return a.describe(u, p, d) },
 		Eval:     func(l formula.Lit, p uset.Set, d State) bool { return a.EvalLit(l, p, d) },
 	}
 	abstractions := a.AllAbstractions()
@@ -47,7 +49,7 @@ func TestHandwrittenWPMatchesSynthesized(t *testing.T) {
 			bad := meta.CheckAgainstSynthesized(
 				atom, prim, a.WP,
 				func(p uset.Set, d State) State { return a.step(p, atom, d) },
-				desc, Theory{}, abstractions, states,
+				desc, u, abstractions, states,
 			)
 			if bad != 0 {
 				t.Errorf("[%s]♭(%s) disagrees with synthesized WP at %d points", atom, prim, bad)

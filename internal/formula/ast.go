@@ -177,13 +177,13 @@ func (f Formula) Eval(eval func(Lit) bool) bool {
 
 // ToDNF converts a formula to disjunctive normal form, sorted by disjunct
 // size as Fig 8's toDNF requires. Negations of literals are resolved through
-// the theory (¬v.L becomes v.E ∨ v.N in the thread-escape theory, while the
-// type-state theory keeps signed literals).
-func ToDNF(f Formula, th Theory) DNF {
-	return toDNF(f, false, th).SortBySize()
+// the universe's theory (¬v.L becomes v.E ∨ v.N in the thread-escape theory,
+// while the type-state theory keeps signed literals). u must be non-nil.
+func ToDNF(f Formula, u *Universe) DNF {
+	return toDNF(f, false, u).SortBySize()
 }
 
-func toDNF(f Formula, neg bool, th Theory) DNF {
+func toDNF(f Formula, neg bool, u *Universe) DNF {
 	switch f.kind {
 	case kTrue:
 		if neg {
@@ -196,18 +196,22 @@ func toDNF(f Formula, neg bool, th Theory) DNF {
 		}
 		return DFalse()
 	case kNot:
-		return toDNF(f.subs[0], !neg, th)
+		return toDNF(f.subs[0], !neg, u)
 	case kLit:
 		l := f.lit
 		if neg {
 			l = l.Negate()
 		}
-		if l.Neg && th != nil {
-			if d, ok := th.NegLit(l.Negate()); ok {
-				return d
+		if l.Neg {
+			if alts, ok := u.th.NegLit(l.Negate()); ok {
+				out := make(DNF, 0, len(alts))
+				for _, a := range alts {
+					out = append(out, NewConj(u, a))
+				}
+				return out
 			}
 		}
-		return DNF{NewConj(l)}
+		return DNF{NewConj(u, l)}
 	case kAnd, kOr:
 		isAnd := f.kind == kAnd
 		if neg {
@@ -216,7 +220,7 @@ func toDNF(f Formula, neg bool, th Theory) DNF {
 		if isAnd {
 			out := DTrue()
 			for _, s := range f.subs {
-				out = out.And(toDNF(s, neg, th), th)
+				out = out.And(toDNF(s, neg, u))
 				if out.IsFalse() {
 					return out
 				}
@@ -225,7 +229,7 @@ func toDNF(f Formula, neg bool, th Theory) DNF {
 		}
 		out := DFalse()
 		for _, s := range f.subs {
-			out = out.Or(toDNF(s, neg, th), th)
+			out = out.Or(toDNF(s, neg, u))
 		}
 		return out
 	}

@@ -4,11 +4,19 @@
 // primitives for thread-escape); the package provides the DNF representation
 // and the toDNF, simplify, and dropk operations of Fig 8, combined into the
 // generic under-approximation operator approx.
+//
+// The kernel runs on interned literals: a per-analysis Universe maps each
+// Lit to a dense uint32 ID and memoizes the theory relations as bitset rows,
+// so the hot operations work on sorted integer slices and 64-bit hashes
+// rather than joined string keys. A DNF/Conj remembers its Universe; only
+// formulas built against the same Universe may be combined.
 package formula
 
 import (
 	"sort"
 	"strings"
+
+	"tracer/internal/uset"
 )
 
 // Prim is a primitive formula. Implementations must be immutable values; Key
@@ -25,7 +33,7 @@ type Lit struct {
 }
 
 // Key returns a canonical identity for the literal. Hot paths avoid calling
-// it repeatedly: Conj precomputes and stores literal keys at construction.
+// it repeatedly: a Universe interns each distinct key to a dense ID once.
 func (l Lit) Key() string {
 	if l.Neg {
 		return "!" + l.P.Key()
@@ -44,14 +52,17 @@ func (l Lit) String() string {
 func (l Lit) Negate() Lit { return Lit{l.P, !l.Neg} }
 
 // Theory supplies the analysis-specific reasoning the generic machinery
-// needs: how to negate a literal into DNF, when one literal entails another
-// (used by simplify, the ⪯ of Figs 9/11), and when two literals are
-// mutually exclusive (used to prune unsatisfiable disjuncts).
+// needs: how to negate a literal, when one literal entails another (used by
+// simplify, the ⪯ of Figs 9/11), and when two literals are mutually
+// exclusive (used to prune unsatisfiable disjuncts). Implies and Contradicts
+// are consulted through a Universe's memo rows, at most once per literal
+// pair per universe.
 type Theory interface {
 	// NegLit rewrites the negation of a positive literal l into an
-	// equivalent positive DNF (e.g. ¬v.L ≡ v.E ∨ v.N for thread-escape).
-	// It returns ok=false when the theory keeps signed literals instead.
-	NegLit(l Lit) (d DNF, ok bool)
+	// equivalent disjunction of positive literals (e.g. ¬v.L ≡ v.E ∨ v.N for
+	// thread-escape). It returns ok=false when the theory keeps signed
+	// literals instead.
+	NegLit(l Lit) (alts []Lit, ok bool)
 	// Implies reports whether δ(a) ⊆ δ(b).
 	Implies(a, b Lit) bool
 	// Contradicts reports whether δ(a) ∩ δ(b) = ∅. It may be incomplete
@@ -59,94 +70,137 @@ type Theory interface {
 	Contradicts(a, b Lit) bool
 }
 
-// Conj is a conjunction of literals, kept sorted by literal key and
-// deduplicated, with the per-literal keys and the joined conjunction key
-// precomputed — entailment, contradiction, and deduplication checks are the
-// meta-analysis's hottest paths. The zero Conj is true.
+// Conj is a conjunction of literals, stored as interned IDs sorted by
+// literal key and deduplicated, with a precomputed hash — entailment,
+// contradiction, and deduplication checks are the meta-analysis's hottest
+// paths and never touch strings. The zero Conj is true.
 type Conj struct {
-	lits []Lit
-	keys []string // parallel to lits
-	key  string   // joined identity
+	u    *Universe
+	ids  []uint32 // canonical (key-sorted, deduplicated) literal IDs
+	hash uint64   // FNV-1a over ids; 0 for the empty conjunction
 }
 
-// NewConj builds a canonical conjunction from literals.
-func NewConj(lits ...Lit) Conj {
-	ls := make([]Lit, len(lits))
-	copy(ls, lits)
-	keys := make([]string, len(ls))
-	for i, l := range ls {
-		keys[i] = l.Key()
+// NewConj builds a canonical conjunction from literals, interning them into
+// u (which must be non-nil when lits is non-empty).
+func NewConj(u *Universe, lits ...Lit) Conj {
+	if len(lits) == 0 {
+		return Conj{}
 	}
-	sort.Sort(&litSorter{ls, keys})
-	outL := ls[:0]
-	outK := keys[:0]
-	for i := range ls {
-		if i > 0 && keys[i] == outK[len(outK)-1] {
-			continue
+	ids := make([]uint32, len(lits))
+	for i, l := range lits {
+		ids[i] = u.LitID(l)
+	}
+	rank := u.view.Load().rank
+	sort.Slice(ids, func(i, j int) bool { return rank[ids[i]] < rank[ids[j]] })
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
 		}
-		outL = append(outL, ls[i])
-		outK = append(outK, keys[i])
 	}
-	return mkConj(outL, outK)
+	return mkConj(u, out)
 }
 
-type litSorter struct {
-	lits []Lit
-	keys []string
+// mkConj finalizes a canonical (sorted, deduplicated) id list.
+func mkConj(u *Universe, ids []uint32) Conj {
+	if len(ids) == 0 {
+		return Conj{}
+	}
+	return Conj{u: u, ids: ids, hash: hashIDs(ids)}
 }
 
-func (s *litSorter) Len() int           { return len(s.lits) }
-func (s *litSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
-func (s *litSorter) Swap(i, j int) {
-	s.lits[i], s.lits[j] = s.lits[j], s.lits[i]
-	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// hashIDs is FNV-1a over the id values; canonical id lists are equal iff
+// their conjunctions are, so the hash keys deduplication sets directly.
+func hashIDs(ids []uint32) uint64 {
+	h := uint64(fnvOffset)
+	for _, id := range ids {
+		h ^= uint64(id)
+		h *= fnvPrime
+	}
+	return h
 }
 
-// mkConj finalizes a sorted, deduplicated literal list.
-func mkConj(lits []Lit, keys []string) Conj {
-	return Conj{lits: lits, keys: keys, key: strings.Join(keys, "&")}
+func equalIDs(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
+
+// IDs returns the interned literal IDs in canonical order. The result must
+// not be mutated.
+func (c Conj) IDs() []uint32 { return c.ids }
+
+// Hash returns the conjunction's precomputed identity hash.
+func (c Conj) Hash() uint64 { return c.hash }
+
+// Equal reports whether c and d are the same canonical conjunction.
+func (c Conj) Equal(d Conj) bool { return c.hash == d.hash && equalIDs(c.ids, d.ids) }
 
 // Retain returns the sub-conjunction of literals at indices where keep is
 // true, preserving canonical order.
 func (c Conj) Retain(keep func(i int) bool) Conj {
-	lits := make([]Lit, 0, len(c.lits))
-	keys := make([]string, 0, len(c.keys))
-	for i := range c.lits {
+	ids := make([]uint32, 0, len(c.ids))
+	for i := range c.ids {
 		if keep(i) {
-			lits = append(lits, c.lits[i])
-			keys = append(keys, c.keys[i])
+			ids = append(ids, c.ids[i])
 		}
 	}
-	return mkConj(lits, keys)
+	return mkConj(c.u, ids)
 }
 
 // SingletonLit reports whether the DNF is exactly one single-literal
 // disjunct and returns that literal; the meta-analysis uses it to detect
 // identity weakest preconditions.
 func (d DNF) SingletonLit() (Lit, bool) {
-	if len(d) == 1 && len(d[0].lits) == 1 {
-		return d[0].lits[0], true
+	if len(d) == 1 && len(d[0].ids) == 1 {
+		return d[0].u.Lit(d[0].ids[0]), true
 	}
 	return Lit{}, false
 }
 
-// Lits returns the literals in canonical order; the result must not be
-// mutated.
-func (c Conj) Lits() []Lit { return c.lits }
+// Lits returns the representative literals in canonical order.
+func (c Conj) Lits() []Lit {
+	if len(c.ids) == 0 {
+		return nil
+	}
+	v := c.u.view.Load()
+	out := make([]Lit, len(c.ids))
+	for i, id := range c.ids {
+		out[i] = v.lits[id]
+	}
+	return out
+}
 
 // Size is the syntactic size of the conjunction (its literal count).
-func (c Conj) Size() int { return len(c.lits) }
+func (c Conj) Size() int { return len(c.ids) }
 
-// Key returns a canonical identity for the conjunction.
-func (c Conj) Key() string { return c.key }
+// Key returns a canonical identity for the conjunction, materialized lazily
+// (debug/API paths; the kernel itself identifies conjunctions by hash+ids).
+func (c Conj) Key() string {
+	if len(c.ids) == 0 {
+		return ""
+	}
+	return c.u.view.Load().joined(c.ids)
+}
 
 func (c Conj) String() string {
-	if len(c.lits) == 0 {
+	if len(c.ids) == 0 {
 		return "true"
 	}
-	parts := make([]string, len(c.lits))
-	for i, l := range c.lits {
+	lits := c.Lits()
+	parts := make([]string, len(lits))
+	for i, l := range lits {
 		parts[i] = l.String()
 	}
 	return strings.Join(parts, " ∧ ")
@@ -154,136 +208,187 @@ func (c Conj) String() string {
 
 // Eval evaluates the conjunction under a literal valuation.
 func (c Conj) Eval(eval func(Lit) bool) bool {
-	for _, l := range c.lits {
-		if !eval(l) {
+	if len(c.ids) == 0 {
+		return true
+	}
+	v := c.u.view.Load()
+	for _, id := range c.ids {
+		if !eval(v.lits[id]) {
 			return false
 		}
 	}
 	return true
 }
 
-// unsatRaw reports whether a literal list contains two contradictory
-// literals (syntactic complement or theory contradiction).
-func unsatRaw(lits []Lit, th Theory) bool {
-	for i := 0; i < len(lits); i++ {
-		for j := i + 1; j < len(lits); j++ {
-			a, b := lits[i], lits[j]
-			if a.Neg != b.Neg && a.P == b.P {
-				return true
-			}
-			if th != nil && (th.Contradicts(a, b) || th.Contradicts(b, a)) {
-				return true
-			}
+// maskOf builds a bitset of the given ids, reusing buf when wide enough so
+// the common case stays on the caller's stack.
+func maskOf(buf []uint64, ids []uint32) uset.Words {
+	max := uint32(0)
+	for _, id := range ids {
+		if id > max {
+			max = id
 		}
+	}
+	w := int(max>>6) + 1
+	var m uset.Words
+	if w <= len(buf) {
+		m = uset.Words(buf[:w])
+		for i := range m {
+			m[i] = 0
+		}
+	} else {
+		m = make(uset.Words, w)
+	}
+	for _, id := range ids {
+		m.SetBit(id)
+	}
+	return m
+}
+
+// unsatIDs reports whether a canonical id list contains two contradictory
+// literals (syntactic complement or theory contradiction). Each literal's
+// contradiction-memo row is intersected against the mask of literals already
+// admitted, so the theory is never re-consulted on the hot path.
+func unsatIDs(u *Universe, v *uview, ids []uint32) bool {
+	max := ids[0]
+	for _, id := range ids[1:] {
+		if id > max {
+			max = id
+		}
+	}
+	w := int(max>>6) + 1
+	var buf [8]uint64
+	var mask uset.Words
+	if w <= len(buf) {
+		mask = uset.Words(buf[:w])
+	} else {
+		mask = make(uset.Words, w)
+	}
+	mask.SetBit(ids[0])
+	for _, id := range ids[1:] {
+		if u.conRow(v, id).Intersects(mask) {
+			return true
+		}
+		mask.SetBit(id)
 	}
 	return false
 }
 
-// unsat reports whether the conjunction is syntactically unsatisfiable.
-func (c Conj) unsat(th Theory) bool { return unsatRaw(c.lits, th) }
-
-// mergeSorted merges two key-sorted literal lists, deduplicating.
-func mergeSorted(c, d Conj) (lits []Lit, keys []string) {
-	lits = make([]Lit, 0, len(c.lits)+len(d.lits))
-	keys = make([]string, 0, len(c.keys)+len(d.keys))
-	i, j := 0, 0
-	for i < len(c.lits) && j < len(d.lits) {
-		switch {
-		case c.keys[i] < d.keys[j]:
-			lits, keys = append(lits, c.lits[i]), append(keys, c.keys[i])
-			i++
-		case c.keys[i] > d.keys[j]:
-			lits, keys = append(lits, d.lits[j]), append(keys, d.keys[j])
-			j++
-		default:
-			lits, keys = append(lits, c.lits[i]), append(keys, c.keys[i])
-			i++
-			j++
-		}
-	}
-	for ; i < len(c.lits); i++ {
-		lits, keys = append(lits, c.lits[i]), append(keys, c.keys[i])
-	}
-	for ; j < len(d.lits); j++ {
-		lits, keys = append(lits, d.lits[j]), append(keys, d.keys[j])
-	}
-	return lits, keys
-}
-
-// and returns the canonical conjunction c ∧ d by merging the sorted lists.
-func (c Conj) and(d Conj) Conj {
-	if len(c.lits) == 0 {
-		return d
-	}
-	if len(d.lits) == 0 {
-		return c
-	}
-	return mkConj(mergeSorted(c, d))
-}
-
-// reduceRaw drops literals that are entailed by another literal of the
-// list (e.g. type(σ) entails ¬err in the type-state theory), keeping one
-// representative of equivalent literals. The result denotes the same set
-// and is syntactically smaller.
-func reduceRaw(lits []Lit, keys []string, th Theory) ([]Lit, []string) {
-	if th == nil || len(lits) < 2 {
-		return lits, keys
-	}
-	drop := make([]bool, len(lits))
-	any := false
-	for i, li := range lits {
-		for j, lj := range lits {
-			if i == j || keys[i] == keys[j] {
+// reduceIDs drops literals entailed by another literal of the list (e.g.
+// type(σ) entails ¬err in the type-state theory), keeping one representative
+// of equivalent literals with the seed kernel's tie-break (the earlier
+// literal wins). Returns the input slice unchanged when nothing drops.
+func reduceIDs(u *Universe, v *uview, ids []uint32) []uint32 {
+	n := len(ids)
+	out := ids
+	removed := 0
+	for i := 0; i < n; i++ {
+		li := ids[i]
+		ri := u.impRow(v, li) // {a : a entails li}; the diagonal bit is i itself
+		dropI := false
+		for j := 0; j < n; j++ {
+			if i == j {
 				continue
 			}
-			if th.Implies(lj, li) && (!th.Implies(li, lj) || j < i) {
-				drop[i] = true
-				any = true
+			lj := ids[j]
+			if ri.Has(lj) && (j < i || !u.impRow(v, lj).Has(li)) {
+				dropI = true
 				break
 			}
 		}
-	}
-	if !any {
-		return lits, keys
-	}
-	outL := make([]Lit, 0, len(lits))
-	outK := make([]string, 0, len(keys))
-	for i := range lits {
-		if !drop[i] {
-			outL = append(outL, lits[i])
-			outK = append(outK, keys[i])
-		}
-	}
-	return outL, outK
-}
-
-// reduce applies reduceRaw to a conjunction.
-func (c Conj) reduce(th Theory) Conj {
-	lits, keys := reduceRaw(c.lits, c.keys, th)
-	if len(lits) == len(c.lits) {
-		return c
-	}
-	return mkConj(lits, keys)
-}
-
-// Implies reports whether c entails d: every literal of d is entailed by
-// some literal of c. This is the fast, incomplete entailment check of
-// Figs 9/11 (f ⪯ f'). Both literal lists are key-sorted, so the syntactic
-// subset part is a linear merge; the theory part handles the rest.
-func (c Conj) Implies(d Conj, th Theory) bool {
-	for j, ld := range d.lits {
-		ok := false
-		for i, lc := range c.lits {
-			if c.keys[i] == d.keys[j] || (th != nil && th.Implies(lc, ld)) {
-				ok = true
-				break
+		if dropI {
+			if removed == 0 {
+				out = append(make([]uint32, 0, n-1), ids[:i]...)
 			}
+			removed++
+		} else if removed > 0 {
+			out = append(out, ids[i])
 		}
-		if !ok {
+	}
+	return out
+}
+
+// mergeIDs merges two canonically sorted id lists, deduplicating; rank is
+// the universe's key order, so the result is canonical again.
+func mergeIDs(rank []int32, a, b []uint32) []uint32 {
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		switch {
+		case x == y:
+			out = append(out, x)
+			i++
+			j++
+		case rank[x] < rank[y]:
+			out = append(out, x)
+			i++
+		default:
+			out = append(out, y)
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// impliesMask reports whether every literal of d is entailed by some literal
+// in mask (a bitset of the antecedent conjunction's ids).
+func impliesMask(u *Universe, v *uview, mask uset.Words, d []uint32) bool {
+	for _, ld := range d {
+		if !u.impRow(v, ld).Intersects(mask) {
 			return false
 		}
 	}
 	return true
+}
+
+// Implies reports whether c entails d: every literal of d is entailed by
+// some literal of c. This is the fast, incomplete entailment check of
+// Figs 9/11 (f ⪯ f'), answered from the universe's entailment rows.
+func (c Conj) Implies(d Conj) bool {
+	if len(d.ids) == 0 {
+		return true
+	}
+	if len(c.ids) == 0 {
+		return false
+	}
+	u := c.u
+	v := u.view.Load()
+	var buf [8]uint64
+	return impliesMask(u, v, maskOf(buf[:], c.ids), d.ids)
+}
+
+// ConjSet is a deduplication set of canonical conjunctions, keyed by the
+// precomputed hash with an id-slice check on collisions. The zero value is
+// ready to use. Not safe for concurrent use.
+type ConjSet struct {
+	m map[uint64][]Conj
+}
+
+// Add inserts c and reports whether it was absent.
+func (s *ConjSet) Add(c Conj) bool {
+	if s.m == nil {
+		s.m = make(map[uint64][]Conj)
+	}
+	bucket := s.m[c.hash]
+	for _, o := range bucket {
+		if equalIDs(o.ids, c.ids) {
+			return false
+		}
+	}
+	s.m[c.hash] = append(bucket, c)
+	return true
+}
+
+// Has reports whether c is present.
+func (s *ConjSet) Has(c Conj) bool {
+	for _, o := range s.m[c.hash] {
+		if equalIDs(o.ids, c.ids) {
+			return true
+		}
+	}
+	return false
 }
 
 // DNF is a disjunction of conjunctions. nil is false; a DNF containing an
@@ -341,61 +446,113 @@ func (d DNF) Eval(eval func(Lit) bool) bool {
 	return false
 }
 
-// Or returns the disjunction d ∨ e with unsatisfiable and duplicate
-// disjuncts removed.
-func (d DNF) Or(e DNF, th Theory) DNF {
-	out := make(DNF, 0, len(d)+len(e))
-	seen := make(map[string]bool)
-	for _, c := range append(append(DNF{}, d...), e...) {
-		if c.unsat(th) {
-			continue
+// universe returns the Universe the DNF's conjunctions were built against
+// (nil only when every disjunct is the empty conjunction, where no theory
+// reasoning is needed).
+func (d DNF) universe() *Universe {
+	for _, c := range d {
+		if c.u != nil {
+			return c.u
 		}
-		c = c.reduce(th)
-		k := c.Key()
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		out = append(out, c)
 	}
-	return out
+	return nil
 }
 
-// And returns the conjunction d ∧ e, distributing into DNF, with
-// unsatisfiable and duplicate disjuncts removed.
-func (d DNF) And(e DNF, th Theory) DNF {
-	var out DNF
-	seen := make(map[string]bool)
-	for _, c1 := range d {
-		for _, c2 := range e {
-			// Merge first and test satisfiability before paying for the
-			// joined key: most products of large formulas are pruned here.
-			lits, keys := mergeSorted(c1, c2)
-			if unsatRaw(lits, th) {
+// Or returns the disjunction d ∨ e with unsatisfiable and duplicate
+// disjuncts removed. It iterates both operands in place.
+func (d DNF) Or(e DNF) DNF {
+	u := d.universe()
+	if u == nil {
+		u = e.universe()
+	}
+	var v *uview
+	if u != nil {
+		v = u.view.Load()
+	}
+	out := make(DNF, 0, len(d)+len(e))
+	var seen ConjSet
+	out = orInto(out, &seen, u, v, d)
+	return orInto(out, &seen, u, v, e)
+}
+
+func orInto(out DNF, seen *ConjSet, u *Universe, v *uview, d DNF) DNF {
+	for _, c := range d {
+		if len(c.ids) >= 2 {
+			if unsatIDs(u, v, c.ids) {
 				continue
 			}
-			lits, keys = reduceRaw(lits, keys, th)
-			c := mkConj(lits, keys)
-			k := c.Key()
-			if seen[k] {
-				continue
+			if ids := reduceIDs(u, v, c.ids); len(ids) != len(c.ids) {
+				c = mkConj(u, ids)
 			}
-			seen[k] = true
+		}
+		if seen.Add(c) {
 			out = append(out, c)
 		}
 	}
 	return out
 }
 
-// SortBySize orders disjuncts by syntactic size (then by key, for
-// determinism), as required by toDNF in Fig 8.
+// And returns the conjunction d ∧ e, distributing into DNF, with
+// unsatisfiable and duplicate disjuncts removed.
+func (d DNF) And(e DNF) DNF {
+	if len(d) == 0 || len(e) == 0 {
+		return nil
+	}
+	u := d.universe()
+	if u == nil {
+		u = e.universe()
+	}
+	var v *uview
+	if u != nil {
+		v = u.view.Load()
+		u.products.Add(int64(len(d)) * int64(len(e)))
+	}
+	var out DNF
+	var seen ConjSet
+	for _, c1 := range d {
+		for _, c2 := range e {
+			var ids []uint32
+			switch {
+			case len(c1.ids) == 0:
+				ids = c2.ids
+			case len(c2.ids) == 0:
+				ids = c1.ids
+			default:
+				ids = mergeIDs(v.rank, c1.ids, c2.ids)
+			}
+			// Prune before hashing: most products of large formulas die here.
+			if len(ids) >= 2 {
+				if unsatIDs(u, v, ids) {
+					continue
+				}
+				ids = reduceIDs(u, v, ids)
+			}
+			c := mkConj(u, ids)
+			if seen.Add(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// SortBySize orders disjuncts by syntactic size (then by joined key, for
+// determinism), as required by toDNF in Fig 8. The tie-break compares
+// interned keys positionally without materializing the joined string.
 func (d DNF) SortBySize() DNF {
 	out := append(DNF{}, d...)
+	var v *uview
+	if u := d.universe(); u != nil {
+		v = u.view.Load()
+	}
 	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Size() != out[j].Size() {
-			return out[i].Size() < out[j].Size()
+		if len(out[i].ids) != len(out[j].ids) {
+			return len(out[i].ids) < len(out[j].ids)
 		}
-		return out[i].Key() < out[j].Key()
+		if v == nil {
+			return false
+		}
+		return v.lessJoined(out[i].ids, out[j].ids)
 	})
 	return out
 }
@@ -403,13 +560,25 @@ func (d DNF) SortBySize() DNF {
 // Simplify removes disjuncts subsumed by earlier (shorter) ones: a disjunct
 // is dropped if it entails a kept disjunct, which means its denotation is
 // contained in the kept one's and removing it preserves δ (Fig 8).
-func (d DNF) Simplify(th Theory) DNF {
+func (d DNF) Simplify() DNF {
 	sorted := d.SortBySize()
+	if len(sorted) <= 1 {
+		return sorted
+	}
+	u := d.universe()
+	if u == nil { // every disjunct is the empty conjunction
+		return sorted[:1]
+	}
+	v := u.view.Load()
 	var out DNF
+	var checks int64
+	var buf [8]uint64
 	for _, c := range sorted {
+		mask := maskOf(buf[:], c.ids)
 		redundant := false
 		for _, kept := range out {
-			if c.Implies(kept, th) {
+			checks++
+			if impliesMask(u, v, mask, kept.ids) {
 				redundant = true
 				break
 			}
@@ -418,6 +587,7 @@ func (d DNF) Simplify(th Theory) DNF {
 			out = append(out, c)
 		}
 	}
+	u.subsumes.Add(checks)
 	return out
 }
 
@@ -439,7 +609,7 @@ func (d DNF) DropK(k int, holds func(Conj) bool) DNF {
 			// Already kept?
 			dup := false
 			for _, o := range out {
-				if o.Key() == c.Key() {
+				if o.Equal(c) {
 					dup = true
 					break
 				}
@@ -457,8 +627,8 @@ func (d DNF) DropK(k int, holds func(Conj) bool) DNF {
 // Approx is the generic under-approximation operator of §4.1:
 // simplify ∘ toDNF, followed by dropk when more than k disjuncts remain.
 // k ≤ 0 disables dropping (the "no under-approximation" ablation).
-func Approx(f Formula, th Theory, k int, holds func(Conj) bool) DNF {
-	d := ToDNF(f, th).Simplify(th)
+func Approx(f Formula, u *Universe, k int, holds func(Conj) bool) DNF {
+	d := ToDNF(f, u).Simplify()
 	if k <= 0 || len(d) <= k {
 		return d
 	}
@@ -466,8 +636,8 @@ func Approx(f Formula, th Theory, k int, holds func(Conj) bool) DNF {
 }
 
 // ApproxDNF is Approx for an already-converted DNF.
-func ApproxDNF(d DNF, th Theory, k int, holds func(Conj) bool) DNF {
-	d = d.Simplify(th)
+func ApproxDNF(d DNF, k int, holds func(Conj) bool) DNF {
+	d = d.Simplify()
 	if k <= 0 || len(d) <= k {
 		return d
 	}

@@ -17,11 +17,14 @@ func (p mockPrim) String() string { return p.Key() }
 // ones, like the thread-escape theory's fast checker.
 type mockTheory struct{}
 
-func (mockTheory) NegLit(l Lit) (DNF, bool)  { return nil, false }
-func (mockTheory) Implies(a, b Lit) bool     { return a == b }
-func (mockTheory) Contradicts(a, b Lit) bool { return false }
+func (mockTheory) NegLit(l Lit) ([]Lit, bool) { return nil, false }
+func (mockTheory) Implies(a, b Lit) bool      { return a == b }
+func (mockTheory) Contradicts(a, b Lit) bool  { return false }
 
 func lit(v int, neg bool) Lit { return Lit{P: mockPrim{v}, Neg: neg} }
+
+// newU builds a fresh interning universe for one test (or one trial).
+func newU() *Universe { return NewUniverse(mockTheory{}) }
 
 // evalEnv evaluates a literal against a bitmask environment.
 func evalEnv(env uint) func(Lit) bool {
@@ -58,9 +61,10 @@ func randFormula(rng *rand.Rand, nv, depth int) Formula {
 func TestToDNFEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	const nv = 4
+	u := newU()
 	for trial := 0; trial < 500; trial++ {
 		f := randFormula(rng, nv, 4)
-		d := ToDNF(f, mockTheory{})
+		d := ToDNF(f, u)
 		for env := uint(0); env < 1<<nv; env++ {
 			if f.Eval(evalEnv(env)) != d.Eval(evalEnv(env)) {
 				t.Fatalf("ToDNF changed semantics of %s at env %b: dnf %s", f, env, d)
@@ -73,9 +77,10 @@ func TestToDNFEquivalence(t *testing.T) {
 func TestSimplifyEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	const nv = 4
+	u := newU()
 	for trial := 0; trial < 500; trial++ {
-		d := ToDNF(randFormula(rng, nv, 4), mockTheory{})
-		s := d.Simplify(mockTheory{})
+		d := ToDNF(randFormula(rng, nv, 4), u)
+		s := d.Simplify()
 		if len(s) > len(d) {
 			t.Fatalf("Simplify grew the formula: %d -> %d", len(d), len(s))
 		}
@@ -93,8 +98,9 @@ func TestSimplifyEquivalence(t *testing.T) {
 func TestDropKUnderApproximates(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	const nv = 4
+	u := newU()
 	for trial := 0; trial < 500; trial++ {
-		d := ToDNF(randFormula(rng, nv, 4), mockTheory{}).Simplify(mockTheory{})
+		d := ToDNF(randFormula(rng, nv, 4), u).Simplify()
 		env := uint(rng.Intn(1 << nv))
 		holds := func(c Conj) bool { return c.Eval(evalEnv(env)) }
 		for k := 1; k <= 3; k++ {
@@ -127,12 +133,13 @@ func TestDropKUnderApproximates(t *testing.T) {
 func TestApproxContract(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	const nv = 4
+	u := newU()
 	for trial := 0; trial < 500; trial++ {
 		f := randFormula(rng, nv, 4)
 		env := uint(rng.Intn(1 << nv))
 		holds := func(c Conj) bool { return c.Eval(evalEnv(env)) }
 		for _, k := range []int{0, 1, 2, 5} {
-			a := Approx(f, mockTheory{}, k, holds)
+			a := Approx(f, u, k, holds)
 			for e := uint(0); e < 1<<nv; e++ {
 				if a.Eval(evalEnv(e)) && !f.Eval(evalEnv(e)) {
 					t.Fatalf("approx over-approximated %s -> %s at %b", f, a, e)
@@ -147,40 +154,46 @@ func TestApproxContract(t *testing.T) {
 
 // TestConjCanonical: NewConj sorts, deduplicates, and keys canonically.
 func TestConjCanonical(t *testing.T) {
-	c1 := NewConj(lit(2, false), lit(0, true), lit(2, false))
-	c2 := NewConj(lit(0, true), lit(2, false))
+	u := newU()
+	c1 := NewConj(u, lit(2, false), lit(0, true), lit(2, false))
+	c2 := NewConj(u, lit(0, true), lit(2, false))
 	if c1.Key() != c2.Key() {
 		t.Fatalf("keys differ: %q vs %q", c1.Key(), c2.Key())
 	}
 	if c1.Size() != 2 {
 		t.Fatalf("dedup failed: %v", c1)
 	}
+	if c1.Hash() != c2.Hash() || !c1.Equal(c2) {
+		t.Fatalf("canonical conjunctions disagree on hash/equality")
+	}
 }
 
 // TestConjImplies: syntactic conjunction entailment.
 func TestConjImplies(t *testing.T) {
-	ab := NewConj(lit(0, false), lit(1, false))
-	a := NewConj(lit(0, false))
-	if !ab.Implies(a, mockTheory{}) {
+	u := newU()
+	ab := NewConj(u, lit(0, false), lit(1, false))
+	a := NewConj(u, lit(0, false))
+	if !ab.Implies(a) {
 		t.Error("a∧b must imply a")
 	}
-	if a.Implies(ab, mockTheory{}) {
+	if a.Implies(ab) {
 		t.Error("a must not imply a∧b")
 	}
-	empty := NewConj()
-	if !a.Implies(empty, mockTheory{}) {
+	empty := NewConj(u)
+	if !a.Implies(empty) {
 		t.Error("anything implies true")
 	}
 }
 
 // TestAndOrPruneContradictions: And removes syntactic complements.
 func TestAndOrPruneContradictions(t *testing.T) {
-	d1 := DNF{NewConj(lit(0, false))}
-	d2 := DNF{NewConj(lit(0, true))}
-	if got := d1.And(d2, mockTheory{}); !got.IsFalse() {
+	u := newU()
+	d1 := DNF{NewConj(u, lit(0, false))}
+	d2 := DNF{NewConj(u, lit(0, true))}
+	if got := d1.And(d2); !got.IsFalse() {
 		t.Fatalf("b0 ∧ ¬b0 = %s, want false", got)
 	}
-	or := d1.Or(d2, mockTheory{})
+	or := d1.Or(d2)
 	if len(or) != 2 {
 		t.Fatalf("or lost disjuncts: %s", or)
 	}
@@ -188,19 +201,20 @@ func TestAndOrPruneContradictions(t *testing.T) {
 
 // TestConstants: boolean constants behave.
 func TestConstants(t *testing.T) {
+	u := newU()
 	if !DTrue().IsTrue() || DTrue().IsFalse() {
 		t.Error("DTrue wrong")
 	}
 	if !DFalse().IsFalse() || DFalse().IsTrue() {
 		t.Error("DFalse wrong")
 	}
-	if ToDNF(True(), mockTheory{}).IsFalse() {
+	if ToDNF(True(), u).IsFalse() {
 		t.Error("ToDNF(true) is false")
 	}
-	if !ToDNF(Not(True()), mockTheory{}).IsFalse() {
+	if !ToDNF(Not(True()), u).IsFalse() {
 		t.Error("ToDNF(¬true) is not false")
 	}
-	if !ToDNF(And(), mockTheory{}).IsTrue() || !ToDNF(Or(), mockTheory{}).IsFalse() {
+	if !ToDNF(And(), u).IsTrue() || !ToDNF(Or(), u).IsFalse() {
 		t.Error("empty And/Or wrong")
 	}
 }
@@ -222,7 +236,8 @@ func TestFormulaString(t *testing.T) {
 // TestRetain keeps the selected literals in canonical order. Indices refer
 // to the canonical (key-sorted) literal order of Lits().
 func TestRetain(t *testing.T) {
-	c := NewConj(lit(0, false), lit(1, true), lit(2, false))
+	u := newU()
+	c := NewConj(u, lit(0, false), lit(1, true), lit(2, false))
 	drop := -1
 	for i, l := range c.Lits() {
 		if l == lit(1, true) {
@@ -233,29 +248,30 @@ func TestRetain(t *testing.T) {
 	if r.Size() != 2 {
 		t.Fatalf("Retain size = %d", r.Size())
 	}
-	if r.Key() != NewConj(lit(0, false), lit(2, false)).Key() {
+	if r.Key() != NewConj(u, lit(0, false), lit(2, false)).Key() {
 		t.Fatalf("Retain key = %q", r.Key())
 	}
 }
 
 // TestSingletonLit detects exactly single-literal DNFs.
 func TestSingletonLit(t *testing.T) {
-	d := DNF{NewConj(lit(1, false))}
+	u := newU()
+	d := DNF{NewConj(u, lit(1, false))}
 	if l, ok := d.SingletonLit(); !ok || l != lit(1, false) {
 		t.Fatalf("SingletonLit = %v %v", l, ok)
 	}
 	if _, ok := DTrue().SingletonLit(); ok {
 		t.Error("true is not a singleton literal")
 	}
-	if _, ok := (DNF{NewConj(lit(0, false), lit(1, false))}).SingletonLit(); ok {
+	if _, ok := (DNF{NewConj(u, lit(0, false), lit(1, false))}).SingletonLit(); ok {
 		t.Error("two-literal conj is not a singleton literal")
 	}
 }
 
 // TestNegLitExpansion: a theory-provided expansion is applied by ToDNF.
 func TestNegLitExpansion(t *testing.T) {
-	th := expandTheory{}
-	d := ToDNF(Not(L(mockPrim{0})), th)
+	u := NewUniverse(expandTheory{})
+	d := ToDNF(Not(L(mockPrim{0})), u)
 	// expandTheory says ¬b0 ≡ b1 ∨ b2.
 	if len(d) != 2 {
 		t.Fatalf("expansion not applied: %s", d)
@@ -264,9 +280,32 @@ func TestNegLitExpansion(t *testing.T) {
 
 type expandTheory struct{ mockTheory }
 
-func (expandTheory) NegLit(l Lit) (DNF, bool) {
+func (expandTheory) NegLit(l Lit) ([]Lit, bool) {
 	if l.P.(mockPrim).V == 0 && !l.Neg {
-		return DNF{NewConj(lit(1, false)), NewConj(lit(2, false))}, true
+		return []Lit{lit(1, false), lit(2, false)}, true
 	}
 	return nil, false
+}
+
+// TestUniverseStats: the universe exposes interning size and counter
+// snapshots, and TakeStats drains the deltas.
+func TestUniverseStats(t *testing.T) {
+	u := newU()
+	d1 := DNF{NewConj(u, lit(0, false), lit(1, false))}
+	d2 := DNF{NewConj(u, lit(2, false))}
+	_ = d1.And(d2).Simplify()
+	s := u.Stats()
+	if s.Size != 3 {
+		t.Fatalf("universe size = %d, want 3", s.Size)
+	}
+	if s.CubeProducts == 0 {
+		t.Fatalf("And did not count cube products: %+v", s)
+	}
+	taken := u.TakeStats()
+	if taken.CubeProducts != s.CubeProducts {
+		t.Fatalf("TakeStats delta %d, want %d", taken.CubeProducts, s.CubeProducts)
+	}
+	if after := u.Stats(); after.CubeProducts != 0 || after.Size != 3 {
+		t.Fatalf("TakeStats must reset counters but keep size: %+v", after)
+	}
 }

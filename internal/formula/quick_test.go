@@ -2,6 +2,7 @@ package formula
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -18,11 +19,11 @@ func formulaFromSeed(seed int64, nv, depth int) Formula {
 // TestQuickDNFIdempotent: converting a DNF back to a formula and
 // re-normalizing is semantically stable.
 func TestQuickDNFIdempotent(t *testing.T) {
-	th := mockTheory{}
+	u := newU()
 	f := func(seed int64) bool {
 		const nv = 4
-		d1 := ToDNF(formulaFromSeed(seed, nv, 4), th)
-		d2 := ToDNF(FromDNF(d1), th)
+		d1 := ToDNF(formulaFromSeed(seed, nv, 4), u)
+		d2 := ToDNF(FromDNF(d1), u)
 		for env := uint(0); env < 1<<nv; env++ {
 			if d1.Eval(evalEnv(env)) != d2.Eval(evalEnv(env)) {
 				return false
@@ -37,12 +38,12 @@ func TestQuickDNFIdempotent(t *testing.T) {
 
 // TestQuickAndMonotone: δ(a ∧ b) ⊆ δ(a) and δ(a ∧ b) ⊆ δ(b).
 func TestQuickAndMonotone(t *testing.T) {
-	th := mockTheory{}
+	u := newU()
 	f := func(s1, s2 int64) bool {
 		const nv = 4
-		a := ToDNF(formulaFromSeed(s1, nv, 3), th)
-		b := ToDNF(formulaFromSeed(s2, nv, 3), th)
-		ab := a.And(b, th)
+		a := ToDNF(formulaFromSeed(s1, nv, 3), u)
+		b := ToDNF(formulaFromSeed(s2, nv, 3), u)
+		ab := a.And(b)
 		for env := uint(0); env < 1<<nv; env++ {
 			ev := evalEnv(env)
 			if ab.Eval(ev) && (!a.Eval(ev) || !b.Eval(ev)) {
@@ -61,12 +62,12 @@ func TestQuickAndMonotone(t *testing.T) {
 
 // TestQuickOrIsUnion: δ(a ∨ b) = δ(a) ∪ δ(b).
 func TestQuickOrIsUnion(t *testing.T) {
-	th := mockTheory{}
+	u := newU()
 	f := func(s1, s2 int64) bool {
 		const nv = 4
-		a := ToDNF(formulaFromSeed(s1, nv, 3), th)
-		b := ToDNF(formulaFromSeed(s2, nv, 3), th)
-		or := a.Or(b, th)
+		a := ToDNF(formulaFromSeed(s1, nv, 3), u)
+		b := ToDNF(formulaFromSeed(s2, nv, 3), u)
+		or := a.Or(b)
 		for env := uint(0); env < 1<<nv; env++ {
 			ev := evalEnv(env)
 			if or.Eval(ev) != (a.Eval(ev) || b.Eval(ev)) {
@@ -82,12 +83,12 @@ func TestQuickOrIsUnion(t *testing.T) {
 
 // TestQuickNotInvolutive: ¬¬f ≡ f through ToDNF.
 func TestQuickNotInvolutive(t *testing.T) {
-	th := mockTheory{}
+	u := newU()
 	f := func(seed int64) bool {
 		const nv = 4
 		orig := formulaFromSeed(seed, nv, 4)
-		d1 := ToDNF(orig, th)
-		d2 := ToDNF(Not(Not(orig)), th)
+		d1 := ToDNF(orig, u)
+		d2 := ToDNF(Not(Not(orig)), u)
 		for env := uint(0); env < 1<<nv; env++ {
 			if d1.Eval(evalEnv(env)) != d2.Eval(evalEnv(env)) {
 				return false
@@ -103,9 +104,9 @@ func TestQuickNotInvolutive(t *testing.T) {
 // TestQuickSortBySizeStable: SortBySize is a permutation (no disjunct lost
 // or invented) with sizes non-decreasing.
 func TestQuickSortBySizeStable(t *testing.T) {
-	th := mockTheory{}
+	u := newU()
 	f := func(seed int64) bool {
-		d := ToDNF(formulaFromSeed(seed, 4, 4), th)
+		d := ToDNF(formulaFromSeed(seed, 4, 4), u)
 		s := d.SortBySize()
 		if len(s) != len(d) {
 			return false
@@ -122,6 +123,82 @@ func TestQuickSortBySizeStable(t *testing.T) {
 		}
 		for _, n := range seen {
 			if n != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConjKeySorted: the interned canonical order within a conjunction
+// is exactly the key-sorted order the string-keyed kernel used, so Key()
+// strings come out byte-identical regardless of interning order.
+func TestQuickConjKeySorted(t *testing.T) {
+	u := newU()
+	f := func(seed int64) bool {
+		d := ToDNF(formulaFromSeed(seed, 4, 4), u)
+		for _, c := range d {
+			lits := c.Lits()
+			for i := 1; i < len(lits); i++ {
+				if lits[i-1].Key() > lits[i].Key() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSortTieBreakJoinedKey: size ties in SortBySize are broken by the
+// joined "&"-separated key string, exactly as the string-keyed kernel did.
+func TestQuickSortTieBreakJoinedKey(t *testing.T) {
+	u := newU()
+	f := func(seed int64) bool {
+		s := ToDNF(formulaFromSeed(seed, 4, 4), u).SortBySize()
+		for i := 1; i < len(s); i++ {
+			if s[i-1].Size() == s[i].Size() && s[i-1].Key() > s[i].Key() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInternOrderIndependent: interning the same formula into two
+// universes with different literal arrival orders yields byte-identical
+// canonical DNFs. IDs are schedule-dependent; the canonical order must not
+// be.
+func TestQuickInternOrderIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		const nv = 4
+		orig := formulaFromSeed(seed, nv, 4)
+		u1 := newU()
+		d1 := ToDNF(orig, u1)
+		// u2 sees the literals in reverse key order first.
+		u2 := newU()
+		pre := make([]Lit, 0, 2*nv)
+		for v := nv - 1; v >= 0; v-- {
+			pre = append(pre, lit(v, true), lit(v, false))
+		}
+		sort.Slice(pre, func(i, j int) bool { return pre[i].Key() > pre[j].Key() })
+		for _, l := range pre {
+			u2.LitID(l)
+		}
+		d2 := ToDNF(orig, u2)
+		if len(d1) != len(d2) {
+			return false
+		}
+		for i := range d1 {
+			if d1[i].Key() != d2[i].Key() {
 				return false
 			}
 		}

@@ -1,0 +1,298 @@
+package formula
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"tracer/internal/intern"
+	"tracer/internal/uset"
+)
+
+// Universe interns the literals of one analysis instance to dense uint32 IDs
+// and memoizes the theory's Implies/Contradicts relations as per-literal
+// bitset rows. Every Conj built against a Universe stores sorted IDs plus a
+// precomputed 64-bit hash, so merging, deduplication, entailment, and
+// contradiction pruning are pure integer/bitset operations — no string key is
+// built on the And/Or/Simplify/DropK hot paths (Key and String materialize
+// lazily for debugging and external APIs).
+//
+// One Universe is shared per analysis instance across CEGAR iterations and
+// across the batch solver's backward jobs: interning takes a short write
+// lock, while the hot read paths go through an atomically published
+// copy-on-write snapshot (view), so concurrent workers reuse IDs and memo
+// rows without locking. Published snapshots and memo rows are never mutated
+// in place. All ordering decisions (canonical literal order, SortBySize
+// tie-breaks) are made against the interned keys, which depend only on the
+// literals themselves — never on interning order — so results and events
+// stay byte-identical across worker counts.
+type Universe struct {
+	th Theory
+
+	mu    sync.RWMutex    // guards byLit, keys, and view publication
+	byLit map[Lit]uint32  // exact Lit values already interned (fast path)
+	keys  *intern.Strings // canonical key → dense ID (defines the ID space)
+	view  atomic.Pointer[uview]
+
+	// Telemetry, surfaced via Stats/TakeStats as formula.* obs counters.
+	products  atomic.Int64 // cube products attempted by DNF.And
+	subsumes  atomic.Int64 // pairwise subsumption checks in Simplify
+	memoHits  atomic.Int64 // theory-memo row reads served from the snapshot
+	memoFills atomic.Int64 // (a, b) theory pairs computed into memo rows
+}
+
+// uview is one immutable snapshot of the universe. Slices are shared between
+// snapshots; only the snapshot that owns a slice header may have appended to
+// it before publication. The row cells are shared across every snapshot, so
+// filling a memo row never needs to republish the view — only interning does.
+type uview struct {
+	lits  []Lit      // lits[id] = representative literal (first to claim the key)
+	keys  []string   // keys[id] = lits[id].Key()
+	order []uint32   // ids in ascending key order
+	rank  []int32    // rank[id] = position of id in order
+	imp   []*rowCell // imp[b] = {a : a == b or th.Implies(lits[a], lits[b])}
+	con   []*rowCell // con[b] = {a : complement or th.Contradicts either way}
+}
+
+// rowCell holds one literal's memo row. The cell itself is allocated once at
+// intern time and shared by every subsequent snapshot; the row data it points
+// to is immutable (extension swaps in a grown copy), so readers load it
+// lock-free and never observe a partially filled row.
+type rowCell struct{ p atomic.Pointer[rowData] }
+
+// rowData is an immutable filled prefix of a memo row: bits holds the
+// relation against every id < n.
+type rowData struct {
+	bits uset.Words
+	n    uint32
+}
+
+// NewUniverse returns an empty universe over the given theory. The theory's
+// methods must be pure functions of their literal arguments (both client
+// theories are stateless values), as results are memoized for the lifetime
+// of the universe.
+func NewUniverse(th Theory) *Universe {
+	u := &Universe{th: th, byLit: make(map[Lit]uint32), keys: intern.NewStrings()}
+	u.view.Store(&uview{})
+	return u
+}
+
+// Theory returns the theory the universe reasons over.
+func (u *Universe) Theory() Theory { return u.th }
+
+// Len reports the number of interned literals.
+func (u *Universe) Len() int { return len(u.view.Load().lits) }
+
+// LitID interns l and returns its dense ID. Distinct Lit values with the
+// same canonical key (Lit.Key) share an ID; the first value to claim a key
+// becomes the representative returned by Lit(id), mirroring the seed
+// kernel's dedup-by-key semantics.
+func (u *Universe) LitID(l Lit) uint32 {
+	u.mu.RLock()
+	id, ok := u.byLit[l]
+	u.mu.RUnlock()
+	if ok {
+		return id
+	}
+	return u.internSlow(l)
+}
+
+// Lit returns the representative literal for a previously interned ID.
+func (u *Universe) Lit(id uint32) Lit { return u.view.Load().lits[id] }
+
+func (u *Universe) internSlow(l Lit) uint32 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if id, ok := u.byLit[l]; ok {
+		return id
+	}
+	key := l.Key()
+	if id, ok := u.keys.Lookup(key); ok {
+		u.byLit[l] = uint32(id)
+		return uint32(id)
+	}
+	id := uint32(u.keys.ID(key))
+	u.byLit[l] = id
+	v := u.view.Load()
+	n := len(v.lits)
+	pos := sort.Search(n, func(i int) bool { return v.keys[v.order[i]] > key })
+	nv := &uview{
+		lits:  append(append(make([]Lit, 0, n+1), v.lits...), l),
+		keys:  append(append(make([]string, 0, n+1), v.keys...), key),
+		order: make([]uint32, 0, n+1),
+		rank:  make([]int32, n+1),
+		imp:   append(append(make([]*rowCell, 0, n+1), v.imp...), &rowCell{}),
+		con:   append(append(make([]*rowCell, 0, n+1), v.con...), &rowCell{}),
+	}
+	nv.order = append(nv.order, v.order[:pos]...)
+	nv.order = append(nv.order, id)
+	nv.order = append(nv.order, v.order[pos:]...)
+	for i, oid := range nv.order {
+		nv.rank[oid] = int32(i)
+	}
+	u.view.Store(nv)
+	return id
+}
+
+// impRow returns b's entailment memo row, covering every ID of the caller's
+// snapshot v. The common case loads the shared row cell lock-free; a stale or
+// missing row is suffix-extended under the write lock and swapped into the
+// cell — the view itself is untouched, so fills cost one small allocation.
+func (u *Universe) impRow(v *uview, b uint32) uset.Words {
+	if rd := v.imp[b].p.Load(); rd != nil && rd.n >= uint32(len(v.lits)) {
+		u.memoHits.Add(1)
+		return rd.bits
+	}
+	return u.fillRow(b, true)
+}
+
+// conRow is impRow for the contradiction relation.
+func (u *Universe) conRow(v *uview, b uint32) uset.Words {
+	if rd := v.con[b].p.Load(); rd != nil && rd.n >= uint32(len(v.lits)) {
+		u.memoHits.Add(1)
+		return rd.bits
+	}
+	return u.fillRow(b, false)
+}
+
+func (u *Universe) fillRow(b uint32, imp bool) uset.Words {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	v := u.view.Load()
+	n := uint32(len(v.lits))
+	cell := v.con[b]
+	if imp {
+		cell = v.imp[b]
+	}
+	var covered uint32
+	var old uset.Words
+	if rd := cell.p.Load(); rd != nil {
+		if rd.n >= n {
+			return rd.bits
+		}
+		covered, old = rd.n, rd.bits
+	}
+	row := old.Grow(int(n)) // copies, so the published prefix stays immutable
+	lb := v.lits[b]
+	for a := covered; a < n; a++ {
+		la := v.lits[a]
+		hit := false
+		if imp {
+			hit = a == b || u.th.Implies(la, lb)
+		} else {
+			hit = (la.Neg != lb.Neg && la.P == lb.P) ||
+				u.th.Contradicts(la, lb) || u.th.Contradicts(lb, la)
+		}
+		if hit {
+			row.SetBit(a)
+		}
+	}
+	u.memoFills.Add(int64(n - covered))
+	cell.p.Store(&rowData{bits: row, n: n})
+	return row
+}
+
+// joined materializes the "&"-joined key of an id list (the seed kernel's
+// conjunction identity). Debug/API paths only.
+func (v *uview) joined(ids []uint32) string {
+	switch len(ids) {
+	case 0:
+		return ""
+	case 1:
+		return v.keys[ids[0]]
+	}
+	n := len(ids) - 1
+	for _, id := range ids {
+		n += len(v.keys[id])
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte('&')
+		}
+		b.WriteString(v.keys[id])
+	}
+	return b.String()
+}
+
+// lessJoined reports joined(a) < joined(b) without materializing either
+// string. While per-position ids agree the joined strings agree (keys are
+// unique per id); the first differing position decides by byte comparison,
+// treating a conjunction's next "&" separator (or its end) against the
+// longer key's continuation. The one ambiguous case — a key that is a prefix
+// of the other and a continuation byte equal to '&' — falls back to
+// materialized suffixes; client keys never contain '&'.
+func (v *uview) lessJoined(a, b []uint32) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			continue
+		}
+		ka, kb := v.keys[a[i]], v.keys[b[i]]
+		m := len(ka)
+		if len(kb) < m {
+			m = len(kb)
+		}
+		for j := 0; j < m; j++ {
+			if ka[j] != kb[j] {
+				return ka[j] < kb[j]
+			}
+		}
+		// ids differ, so the keys differ: one is a proper prefix of the other.
+		if len(ka) < len(kb) {
+			if i+1 >= len(a) {
+				return true // joined(a) is a strict prefix of joined(b)
+			}
+			if kb[m] != '&' {
+				return '&' < kb[m]
+			}
+		} else {
+			if i+1 >= len(b) {
+				return false
+			}
+			if ka[m] != '&' {
+				return ka[m] < '&'
+			}
+		}
+		return v.joined(a[i:]) < v.joined(b[i:])
+	}
+	return len(a) < len(b)
+}
+
+// UniverseStats is a snapshot of a universe's telemetry, surfaced as the
+// formula.* obs counters (see internal/obs and ARCHITECTURE.md).
+type UniverseStats struct {
+	Size              int   // interned literals (gauge)
+	CubeProducts      int64 // cube products attempted by DNF.And
+	SubsumptionChecks int64 // pairwise subsumption checks in Simplify
+	TheoryMemoHits    int64 // memo row reads served without theory calls
+	TheoryMemoFills   int64 // theory pairs evaluated into memo rows
+}
+
+// Stats reads the counters without resetting them.
+func (u *Universe) Stats() UniverseStats {
+	return UniverseStats{
+		Size:              u.Len(),
+		CubeProducts:      u.products.Load(),
+		SubsumptionChecks: u.subsumes.Load(),
+		TheoryMemoHits:    u.memoHits.Load(),
+		TheoryMemoFills:   u.memoFills.Load(),
+	}
+}
+
+// TakeStats reads and resets the counters (Size is not reset — it is a
+// gauge). Flush hooks use it so repeated flushes report deltas.
+func (u *Universe) TakeStats() UniverseStats {
+	return UniverseStats{
+		Size:              u.Len(),
+		CubeProducts:      u.products.Swap(0),
+		SubsumptionChecks: u.subsumes.Swap(0),
+		TheoryMemoHits:    u.memoHits.Swap(0),
+		TheoryMemoFills:   u.memoFills.Swap(0),
+	}
+}

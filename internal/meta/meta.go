@@ -12,6 +12,8 @@
 package meta
 
 import (
+	"sync"
+
 	"tracer/internal/budget"
 	"tracer/internal/dataflow"
 	"tracer/internal/formula"
@@ -25,15 +27,20 @@ type Client[D comparable] struct {
 	// the set of (p, d) such that (p, [a]p(d)) ∈ δ(π). Negative literals are
 	// handled generically: since [a]p is a total function, wp(¬π) = ¬wp(π).
 	WP func(a lang.Atom, p formula.Prim) formula.Formula
-	// Theory is the literal theory used for DNF conversion and subsumption.
-	Theory formula.Theory
+	// U is the interned literal universe (wrapping the analysis's literal
+	// theory) used for DNF conversion and subsumption. One universe is shared
+	// per analysis instance — across CEGAR iterations and across batch
+	// backward jobs; it is safe for concurrent use.
+	U *formula.Universe
 	// Eval evaluates a literal at (p, d) where p is the abstraction the
 	// client was built for (captured in the closure).
 	Eval func(l formula.Lit, d D) bool
 	// K is the beam width for dropk; K ≤ 0 disables under-approximation.
 	K int
 	// Cache optionally shares memoized weakest preconditions across clients
-	// (they depend only on the analysis, not on the abstraction p).
+	// (they depend only on the analysis, not on the abstraction p). Entries
+	// are keyed by (atom, interned literal ID), so a shared cache must be
+	// used with the same U it was filled through.
 	Cache *WPCache
 	// Budget, when non-nil, is polled during the backward walk (once per
 	// trace atom and once per DNF cube expansion); when it trips, the walk
@@ -44,13 +51,30 @@ type Client[D comparable] struct {
 }
 
 // WPCache memoizes per-(atom, literal) weakest-precondition DNFs. It is
-// safe to share across all Clients of one analysis instance.
+// safe to share across all Clients of one analysis instance, including
+// concurrently: lookups take a read lock, and the batch solver's backward
+// jobs fill it from multiple workers. Entries are immutable once stored
+// (both goroutines of a racing fill compute the same value).
 type WPCache struct {
-	m map[wpKey]wpEntry
+	mu sync.RWMutex
+	m  map[wpKey]wpEntry
 }
 
 // NewWPCache returns an empty cache.
 func NewWPCache() *WPCache { return &WPCache{m: map[wpKey]wpEntry{}} }
+
+func (c *WPCache) get(k wpKey) (wpEntry, bool) {
+	c.mu.RLock()
+	e, ok := c.m[k]
+	c.mu.RUnlock()
+	return e, ok
+}
+
+func (c *WPCache) put(k wpKey, e wpEntry) {
+	c.mu.Lock()
+	c.m[k] = e
+	c.mu.Unlock()
+}
 
 // wpLit applies the weakest precondition to a possibly negated literal.
 func (c *Client[D]) wpLit(a lang.Atom, l formula.Lit) formula.Formula {
@@ -61,12 +85,13 @@ func (c *Client[D]) wpLit(a lang.Atom, l formula.Lit) formula.Formula {
 	return f
 }
 
-// wpKey memoizes per-(atom, literal) weakest preconditions. Atoms and
-// literals are small comparable values, and a trace mentions the same atom
-// at every iteration of the CEGAR loop, so the cache hit rate is high.
+// wpKey memoizes per-(atom, interned literal) weakest preconditions. Atoms
+// are small comparable values and literal IDs are dense ints, and a trace
+// mentions the same atom at every iteration of the CEGAR loop, so the cache
+// hit rate is high.
 type wpKey struct {
-	a lang.Atom
-	l formula.Lit
+	a   lang.Atom
+	lid uint32
 }
 
 type wpEntry struct {
@@ -74,21 +99,24 @@ type wpEntry struct {
 	d        formula.DNF
 }
 
-// wpLitDNF returns the cached DNF of [a]♭(l).
-func (c *Client[D]) wpLitDNF(a lang.Atom, l formula.Lit) wpEntry {
+// wpLitDNF returns the cached DNF of [a]♭(l), where lid is the literal's
+// interned ID in c.U. Cached DNFs are complete: ToDNF is not budgeted, so a
+// tripped budget never stores a truncated entry.
+func (c *Client[D]) wpLitDNF(a lang.Atom, lid uint32) wpEntry {
 	if c.Cache == nil {
 		c.Cache = NewWPCache()
 	}
-	k := wpKey{a, l}
-	if e, ok := c.Cache.m[k]; ok {
+	k := wpKey{a, lid}
+	if e, ok := c.Cache.get(k); ok {
 		return e
 	}
-	d := formula.ToDNF(c.wpLit(a, l), c.Theory)
+	l := c.U.Lit(lid)
+	d := formula.ToDNF(c.wpLit(a, l), c.U)
 	e := wpEntry{d: d}
-	if sl, ok := d.SingletonLit(); ok && sl == l {
+	if len(d) == 1 && len(d[0].IDs()) == 1 && d[0].IDs()[0] == lid {
 		e.identity = true
 	}
-	c.Cache.m[k] = e
+	c.Cache.put(k, e)
 	return e
 }
 
@@ -101,15 +129,15 @@ func (c *Client[D]) wpLitDNF(a lang.Atom, l formula.Lit) wpEntry {
 // are conjoined in).
 func (c *Client[D]) wpDNF(a lang.Atom, d formula.DNF) (formula.DNF, bool) {
 	var out formula.DNF
-	var seen map[string]bool
+	var seen formula.ConjSet
 	allIdentity := true
 	for ci, conj := range d {
-		lits := conj.Lits()
+		ids := conj.IDs()
 		var subs []formula.DNF
-		identity := make([]bool, len(lits))
+		identity := make([]bool, len(ids))
 		allID := true
-		for i, l := range lits {
-			e := c.wpLitDNF(a, l)
+		for i, lid := range ids {
+			e := c.wpLitDNF(a, lid)
 			if e.identity {
 				identity[i] = true
 			} else {
@@ -124,10 +152,9 @@ func (c *Client[D]) wpDNF(a lang.Atom, d formula.DNF) (formula.DNF, bool) {
 		if allIdentity {
 			// First changed disjunct: materialize the prefix.
 			allIdentity = false
-			seen = make(map[string]bool, len(d))
 			out = append(out, d[:ci]...)
 			for _, pc := range d[:ci] {
-				seen[pc.Key()] = true
+				seen.Add(pc)
 			}
 		}
 		acc := formula.DNF{conj.Retain(func(i int) bool { return identity[i] })}
@@ -135,15 +162,13 @@ func (c *Client[D]) wpDNF(a lang.Atom, d formula.DNF) (formula.DNF, bool) {
 			if !c.Budget.Poll() {
 				break
 			}
-			acc = acc.And(s, c.Theory)
+			acc = acc.And(s)
 			if acc.IsFalse() {
 				break
 			}
 		}
 		for _, nc := range acc {
-			k := nc.Key()
-			if !seen[k] {
-				seen[k] = true
+			if seen.Add(nc) {
 				out = append(out, nc)
 			}
 		}
@@ -160,7 +185,7 @@ func (c *Client[D]) approxAt(f formula.DNF, d D) formula.DNF {
 	holds := func(conj formula.Conj) bool {
 		return conj.Eval(func(l formula.Lit) bool { return c.Eval(l, d) })
 	}
-	return formula.ApproxDNF(f, c.Theory, c.K, holds)
+	return formula.ApproxDNF(f, c.K, holds)
 }
 
 // Run computes B[t](p, dI, not(q)): the sufficient condition for failure at
@@ -181,7 +206,7 @@ func RunAnnotated[D comparable](c *Client[D], t lang.Trace, states []D, post for
 		panic("meta: states must have length len(t)+1")
 	}
 	out := make([]formula.DNF, len(t)+1)
-	cur := c.approxAt(formula.ToDNF(post, c.Theory), states[len(t)])
+	cur := c.approxAt(formula.ToDNF(post, c.U), states[len(t)])
 	out[len(t)] = cur
 	for i := len(t) - 1; i >= 0; i-- {
 		if !c.Budget.Poll() {
@@ -208,14 +233,14 @@ func CheckWP[P any, D comparable](
 	a lang.Atom,
 	prim formula.Prim,
 	wp func(a lang.Atom, p formula.Prim) formula.Formula,
-	th formula.Theory,
+	u *formula.Universe,
 	abstractions []P,
 	states []D,
 	transfer func(p P, d D) D,
 	eval func(l formula.Lit, p P, d D) bool,
 ) (bad [][2]int) {
 	f := wp(a, prim)
-	pre := formula.ToDNF(f, th)
+	pre := formula.ToDNF(f, u)
 	for pi, p := range abstractions {
 		for di, d := range states {
 			lhs := pre.Eval(func(l formula.Lit) bool { return eval(l, p, d) })

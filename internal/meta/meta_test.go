@@ -1,7 +1,9 @@
 package meta_test
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"tracer/internal/dataflow"
@@ -21,7 +23,7 @@ func naiveBackward(c *meta.Client[typestate.State], t lang.Trace, states []types
 		holds := func(conj formula.Conj) bool {
 			return conj.Eval(func(l formula.Lit) bool { return c.Eval(l, d) })
 		}
-		return formula.Approx(f, c.Theory, c.K, holds)
+		return formula.Approx(f, c.U, c.K, holds)
 	}
 	cur := approx(post, states[len(t)])
 	out[len(t)] = cur
@@ -77,10 +79,10 @@ func TestOptimizedDriverMatchesNaive(t *testing.T) {
 		p := abstractions[rng.Intn(len(abstractions))]
 		for _, k := range []int{1, 2, 0} {
 			client := &meta.Client[typestate.State]{
-				WP:     a.WP,
-				Theory: typestate.Theory{},
-				Eval:   func(l formula.Lit, d typestate.State) bool { return a.EvalLit(l, p, d) },
-				K:      k,
+				WP:   a.WP,
+				U:    formula.NewUniverse(typestate.Theory{}),
+				Eval: func(l formula.Lit, d typestate.State) bool { return a.EvalLit(l, p, d) },
+				K:    k,
 			}
 			pre := dataflow.StatesAlong(tr, a.Initial(), a.Transfer(p))
 			got := meta.RunAnnotated(client, tr, pre, post)
@@ -104,10 +106,10 @@ func TestOptimizedDriverMatchesNaive(t *testing.T) {
 func TestRunAnnotatedLengths(t *testing.T) {
 	a, _ := testSetup()
 	client := &meta.Client[typestate.State]{
-		WP:     a.WP,
-		Theory: typestate.Theory{},
-		Eval:   func(l formula.Lit, d typestate.State) bool { return a.EvalLit(l, nil, d) },
-		K:      1,
+		WP:   a.WP,
+		U:    formula.NewUniverse(typestate.Theory{}),
+		Eval: func(l formula.Lit, d typestate.State) bool { return a.EvalLit(l, nil, d) },
+		K:    1,
 	}
 	tr := lang.Trace{lang.MoveNull{V: "x"}}
 	states := dataflow.StatesAlong(tr, a.Initial(), a.Transfer(nil))
@@ -128,16 +130,17 @@ func TestRunAnnotatedLengths(t *testing.T) {
 func TestWPCacheShared(t *testing.T) {
 	a, atoms := testSetup()
 	cache := meta.NewWPCache()
+	u := formula.NewUniverse(typestate.Theory{})
 	tr := lang.Trace{atoms[0], atoms[2], atoms[5], atoms[6]}
 	post := a.NotQ(typestate.Query{Want: uset.Bits(0).Add(0)})
 	states := dataflow.StatesAlong(tr, a.Initial(), a.Transfer(nil))
 	mk := func(c *meta.WPCache) formula.DNF {
 		client := &meta.Client[typestate.State]{
-			WP:     a.WP,
-			Theory: typestate.Theory{},
-			Eval:   func(l formula.Lit, d typestate.State) bool { return a.EvalLit(l, nil, d) },
-			K:      1,
-			Cache:  c,
+			WP:    a.WP,
+			U:     u,
+			Eval:  func(l formula.Lit, d typestate.State) bool { return a.EvalLit(l, nil, d) },
+			K:     1,
+			Cache: c,
 		}
 		return meta.Run(client, tr, states, post)
 	}
@@ -146,5 +149,60 @@ func TestWPCacheShared(t *testing.T) {
 	fresh := mk(nil)
 	if first.String() != second.String() || first.String() != fresh.String() {
 		t.Fatalf("cache changed results: %s / %s / %s", first, second, fresh)
+	}
+}
+
+// TestWPCacheConcurrent drives many goroutines through one shared Universe
+// and WPCache — the batch driver's sharing pattern — and requires every
+// concurrent run to produce the same canonical DNF as a sequential one.
+// Run under -race this pins the concurrency contract of both structures.
+func TestWPCacheConcurrent(t *testing.T) {
+	a, atoms := testSetup()
+	u := formula.NewUniverse(typestate.Theory{})
+	cache := meta.NewWPCache()
+	post := a.NotQ(typestate.Query{Want: uset.Bits(0).Add(0)})
+	traces := make([]lang.Trace, 8)
+	rng := rand.New(rand.NewSource(17))
+	for i := range traces {
+		tr := make(lang.Trace, 3+rng.Intn(5))
+		for j := range tr {
+			tr[j] = atoms[rng.Intn(len(atoms))]
+		}
+		traces[i] = tr
+	}
+	run := func(tr lang.Trace) string {
+		client := &meta.Client[typestate.State]{
+			WP:    a.WP,
+			U:     u,
+			Eval:  func(l formula.Lit, d typestate.State) bool { return a.EvalLit(l, nil, d) },
+			K:     2,
+			Cache: cache,
+		}
+		states := dataflow.StatesAlong(tr, a.Initial(), a.Transfer(nil))
+		return meta.Run(client, tr, states, post).String()
+	}
+	want := make([]string, len(traces))
+	for i, tr := range traces {
+		want[i] = run(tr) // sequential reference (also warms the shared state)
+	}
+	const workers = 8
+	errs := make(chan error, workers*len(traces))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, tr := range traces {
+				if got := run(tr); got != want[i] {
+					errs <- fmt.Errorf("trace %d: concurrent %s != sequential %s", i, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,24 @@
+package meta
+
+import (
+	"tracer/internal/formula"
+	"tracer/internal/obs"
+)
+
+// FlushUniverseObs records a universe's interning and theory-memo telemetry
+// as the formula.* obs counters, consuming the deltas accumulated since the
+// previous flush (the universe size is reported as a gauge). Client jobs and
+// the driver's batch problems use it to implement core.ObsFlusher; the
+// counters are scheduling-dependent under concurrency and are deliberately
+// kept out of the deterministic event stream.
+func FlushUniverseObs(rec obs.Recorder, u *formula.Universe) {
+	if u == nil || rec == nil || !rec.Enabled() {
+		return
+	}
+	s := u.TakeStats()
+	rec.Gauge(obs.FormulaUniverseSize, int64(s.Size))
+	rec.Count(obs.FormulaCubeProducts, s.CubeProducts)
+	rec.Count(obs.FormulaSubsumptionChecks, s.SubsumptionChecks)
+	rec.Count(obs.FormulaTheoryMemoHits, s.TheoryMemoHits)
+	rec.Count(obs.FormulaTheoryMemoFills, s.TheoryMemoFills)
+}

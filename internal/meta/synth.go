@@ -31,13 +31,12 @@ type Descriptor[P any, D comparable] struct {
 //
 //	δ(wp) = {(p, d) | (p, [a]p(d)) ∈ δ(prim)}.
 //
-// The returned DNF is simplified with the theory.
+// The returned DNF is simplified with the universe's theory.
 func SynthesizeWP[P any, D comparable](
 	a lang.Atom,
 	prim formula.Prim,
 	transfer func(p P, d D) D,
 	desc Descriptor[P, D],
-	th formula.Theory,
 	abstractions []P,
 	states []D,
 ) formula.DNF {
@@ -50,7 +49,7 @@ func SynthesizeWP[P any, D comparable](
 			}
 		}
 	}
-	return out.Simplify(th)
+	return out.Simplify()
 }
 
 // CheckAgainstSynthesized verifies a hand-written weakest precondition
@@ -63,12 +62,12 @@ func CheckAgainstSynthesized[P any, D comparable](
 	wp func(a lang.Atom, p formula.Prim) formula.Formula,
 	transfer func(p P, d D) D,
 	desc Descriptor[P, D],
-	th formula.Theory,
+	u *formula.Universe,
 	abstractions []P,
 	states []D,
 ) int {
-	hand := formula.ToDNF(wp(a, prim), th)
-	synth := SynthesizeWP(a, prim, transfer, desc, th, abstractions, states)
+	hand := formula.ToDNF(wp(a, prim), u)
+	synth := SynthesizeWP(a, prim, transfer, desc, abstractions, states)
 	bad := 0
 	for _, p := range abstractions {
 		for _, d := range states {

@@ -21,6 +21,19 @@ const (
 	CoreBudgetTrip     = "core.budget_trip"
 )
 
+// Counter/gauge names for the interned formula kernel (formula.Universe).
+// Problems that own a universe implement core.ObsFlusher; Solve/SolveBatch
+// flush these once per solve, after the event stream. FormulaUniverseSize is
+// a gauge (interned literal count); the others are deltas since the previous
+// flush. See the "Formula kernel" section of ARCHITECTURE.md.
+const (
+	FormulaUniverseSize      = "formula.universe_size"
+	FormulaCubeProducts      = "formula.cube_products"
+	FormulaSubsumptionChecks = "formula.subsumption_checks"
+	FormulaTheoryMemoHits    = "formula.theory_memo_hits"
+	FormulaTheoryMemoFills   = "formula.theory_memo_fills"
+)
+
 // opKind discriminates the buffered record types.
 type opKind uint8
 

@@ -65,7 +65,7 @@ type Theory struct{}
 
 // NegLit keeps signed literals: there is no positive expansion of negation
 // in this theory.
-func (Theory) NegLit(l formula.Lit) (formula.DNF, bool) { return nil, false }
+func (Theory) NegLit(l formula.Lit) ([]formula.Lit, bool) { return nil, false }
 
 // Implies implements the fast entailment of Fig 9: identical literals,
 // positive var/type literals entail ¬err, and err entails ¬var/¬type.

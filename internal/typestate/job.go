@@ -9,6 +9,7 @@ import (
 	"tracer/internal/formula"
 	"tracer/internal/lang"
 	"tracer/internal/meta"
+	"tracer/internal/obs"
 	"tracer/internal/uset"
 )
 
@@ -22,7 +23,13 @@ type Job struct {
 	Q Query
 	K int
 
-	wpCache *meta.WPCache
+	// Uni and WPC, when set, are the interned literal universe and the
+	// weakest-precondition cache shared across every client of the same
+	// analysis instance — across CEGAR iterations and, in the batch driver,
+	// across the backward jobs of all queries on that instance (both are
+	// concurrency-safe). Client fills them lazily when nil.
+	Uni *formula.Universe
+	WPC *meta.WPCache
 }
 
 var _ core.Problem = (*Job)(nil)
@@ -81,19 +88,26 @@ func FindFailure(a *Analysis, res *dataflow.Result[State], q Query) (node int, b
 
 // Client builds the meta-analysis client for abstraction p. Weakest
 // preconditions do not depend on p, so all clients of this job share one
-// memoization cache.
+// memoization cache (and one literal universe).
 func (j *Job) Client(p uset.Set) *meta.Client[State] {
-	if j.wpCache == nil {
-		j.wpCache = meta.NewWPCache()
+	if j.Uni == nil {
+		j.Uni = formula.NewUniverse(Theory{})
+	}
+	if j.WPC == nil {
+		j.WPC = meta.NewWPCache()
 	}
 	return &meta.Client[State]{
-		WP:     j.A.WP,
-		Theory: Theory{},
-		Eval:   func(l formula.Lit, d State) bool { return j.A.EvalLit(l, p, d) },
-		K:      j.K,
-		Cache:  j.wpCache,
+		WP:    j.A.WP,
+		U:     j.Uni,
+		Eval:  func(l formula.Lit, d State) bool { return j.A.EvalLit(l, p, d) },
+		K:     j.K,
+		Cache: j.WPC,
 	}
 }
+
+// FlushObs implements core.ObsFlusher: it reports the formula.* counters of
+// the job's literal universe.
+func (j *Job) FlushObs(rec obs.Recorder) { meta.FlushUniverseObs(rec, j.Uni) }
 
 // Backward runs the meta-analysis over the counterexample trace and
 // extracts the parameter cubes of abstractions guaranteed to fail. A budget

@@ -108,12 +108,13 @@ func TestIteratorProtocol(t *testing.T) {
 func TestSocketWPSoundness(t *testing.T) {
 	prop := SocketProperty()
 	a := newTestAnalysis(prop)
+	u := formula.NewUniverse(Theory{})
 	abstractions := a.AllAbstractions()
 	states := a.AllStates()
 	for _, atom := range testAtoms(prop) {
 		for _, prim := range primsFor(a) {
 			bad := meta.CheckWP(
-				atom, prim, a.WP, Theory{},
+				atom, prim, a.WP, u,
 				abstractions, states,
 				func(p uset.Set, d State) State { return a.step(p, atom, d) },
 				func(l formula.Lit, p uset.Set, d State) bool { return a.EvalLit(l, p, d) },

@@ -66,12 +66,13 @@ func TestWPRequirement2(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			a := newTestAnalysis(tc.prop)
+			u := formula.NewUniverse(Theory{})
 			abstractions := a.AllAbstractions()
 			states := a.AllStates()
 			for _, atom := range testAtoms(tc.prop) {
 				for _, prim := range primsFor(a) {
 					bad := meta.CheckWP(
-						atom, prim, a.WP, Theory{},
+						atom, prim, a.WP, u,
 						abstractions, states,
 						func(p uset.Set, d State) State { return a.step(p, atom, d) },
 						func(l formula.Lit, p uset.Set, d State) bool { return a.EvalLit(l, p, d) },
@@ -93,6 +94,7 @@ func TestWPRequirement2(t *testing.T) {
 func TestWPRequirement2WithMayAlias(t *testing.T) {
 	a := newTestAnalysis(FileProperty())
 	a.MayPoint = func(v string) bool { return v != "y" }
+	u := formula.NewUniverse(Theory{})
 	abstractions := a.AllAbstractions()
 	states := a.AllStates()
 	for _, atom := range []lang.Atom{
@@ -102,7 +104,7 @@ func TestWPRequirement2WithMayAlias(t *testing.T) {
 	} {
 		for _, prim := range primsFor(a) {
 			bad := meta.CheckWP(
-				atom, prim, a.WP, Theory{},
+				atom, prim, a.WP, u,
 				abstractions, states,
 				func(p uset.Set, d State) State { return a.step(p, atom, d) },
 				func(l formula.Lit, p uset.Set, d State) bool { return a.EvalLit(l, p, d) },
@@ -140,10 +142,10 @@ func TestTheorem3RandomTraces(t *testing.T) {
 			failed := post.Eval(func(l formula.Lit) bool { return a.EvalLit(l, p, final) })
 			for _, k := range []int{1, 2, 0} {
 				client := &meta.Client[State]{
-					WP:     a.WP,
-					Theory: Theory{},
-					Eval:   func(l formula.Lit, d State) bool { return a.EvalLit(l, p, d) },
-					K:      k,
+					WP:   a.WP,
+					U:    formula.NewUniverse(Theory{}),
+					Eval: func(l formula.Lit, d State) bool { return a.EvalLit(l, p, d) },
+					K:    k,
 				}
 				c1, c2 := meta.CheckSoundness(
 					client, tr, dI, post, failed,

@@ -10,15 +10,16 @@ import (
 )
 
 // describe builds a conjunction that holds at exactly (p, d) within the
-// two-variable test universe — the Descriptor of the WP synthesizer.
-func (a *Analysis) describe(p uset.Set, d State) formula.Conj {
+// two-variable test universe — the Descriptor of the WP synthesizer. The
+// conjunction interns its literals into u.
+func (a *Analysis) describe(u *formula.Universe, p uset.Set, d State) formula.Conj {
 	var lits []formula.Lit
 	for i := 0; i < a.Vars.Len(); i++ {
 		lits = append(lits, formula.Lit{P: PParam{a.Vars.Value(i)}, Neg: !p.Has(i)})
 	}
 	if d.Top {
 		lits = append(lits, formula.Lit{P: PErr{}})
-		return formula.NewConj(lits...)
+		return formula.NewConj(u, lits...)
 	}
 	lits = append(lits, formula.Lit{P: PErr{}, Neg: true})
 	for s, name := range a.Prop.States {
@@ -28,7 +29,7 @@ func (a *Analysis) describe(p uset.Set, d State) formula.Conj {
 	for i := 0; i < a.Vars.Len(); i++ {
 		lits = append(lits, formula.Lit{P: PVar{a.Vars.Value(i)}, Neg: !vs.Has(i)})
 	}
-	return formula.NewConj(lits...)
+	return formula.NewConj(u, lits...)
 }
 
 // TestHandwrittenWPMatchesSynthesized cross-checks the Fig 10 transfer
@@ -37,8 +38,9 @@ func (a *Analysis) describe(p uset.Set, d State) formula.Conj {
 func TestHandwrittenWPMatchesSynthesized(t *testing.T) {
 	for _, prop := range []*Property{FileProperty(), StressProperty([]string{"m"})} {
 		a := newTestAnalysis(prop)
+		u := formula.NewUniverse(Theory{})
 		desc := meta.Descriptor[uset.Set, State]{
-			Describe: a.describe,
+			Describe: func(p uset.Set, d State) formula.Conj { return a.describe(u, p, d) },
 			Eval:     func(l formula.Lit, p uset.Set, d State) bool { return a.EvalLit(l, p, d) },
 		}
 		abstractions := a.AllAbstractions()
@@ -48,7 +50,7 @@ func TestHandwrittenWPMatchesSynthesized(t *testing.T) {
 				bad := meta.CheckAgainstSynthesized(
 					atom, prim, a.WP,
 					func(p uset.Set, d State) State { return a.step(p, atom, d) },
-					desc, Theory{}, abstractions, states,
+					desc, u, abstractions, states,
 				)
 				if bad != 0 {
 					t.Errorf("[%s]♭(%s) disagrees with synthesized WP at %d points", atom, prim, bad)
@@ -62,17 +64,18 @@ func TestHandwrittenWPMatchesSynthesized(t *testing.T) {
 // single known case: [x = y]♭(var(x)) must denote param(x) ∧ var(y).
 func TestSynthesizedWPIsPrecondition(t *testing.T) {
 	a := newTestAnalysis(FileProperty())
+	u := formula.NewUniverse(Theory{})
 	desc := meta.Descriptor[uset.Set, State]{
-		Describe: a.describe,
+		Describe: func(p uset.Set, d State) formula.Conj { return a.describe(u, p, d) },
 		Eval:     func(l formula.Lit, p uset.Set, d State) bool { return a.EvalLit(l, p, d) },
 	}
 	atom := lang.Move{Dst: "x", Src: "y"}
 	synth := meta.SynthesizeWP(
 		atom, PVar{"x"},
 		func(p uset.Set, d State) State { return a.step(p, atom, d) },
-		desc, Theory{}, a.AllAbstractions(), a.AllStates(),
+		desc, a.AllAbstractions(), a.AllStates(),
 	)
-	want := formula.ToDNF(formula.And(formula.L(PParam{"x"}), formula.L(PVar{"y"})), Theory{})
+	want := formula.ToDNF(formula.And(formula.L(PParam{"x"}), formula.L(PVar{"y"})), u)
 	for _, p := range a.AllAbstractions() {
 		for _, d := range a.AllStates() {
 			ev := func(l formula.Lit) bool { return a.EvalLit(l, p, d) }

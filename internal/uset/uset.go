@@ -247,3 +247,46 @@ func (b Bits) Elems() []int {
 	}
 	return out
 }
+
+// Words is a bitset over an unbounded universe of dense uint32 IDs, stored as
+// 64-bit words. Unlike Bits it grows with the universe; the formula package
+// uses it for the per-literal theory-memo rows of a formula.Universe. A Words
+// value published to concurrent readers must no longer be mutated — extend it
+// with Grow (which copies) and publish the copy instead.
+type Words []uint64
+
+// MakeWords returns a zeroed bitset with capacity for n bits.
+func MakeWords(n int) Words { return make(Words, (n+63)>>6) }
+
+// Has reports whether bit i is set. Bits beyond the allocated words read as
+// unset, so a short row is a safe under-approximation.
+func (w Words) Has(i uint32) bool {
+	wi := int(i >> 6)
+	return wi < len(w) && w[wi]&(1<<(i&63)) != 0
+}
+
+// SetBit sets bit i. The receiver must have been allocated with room for i
+// (see MakeWords/Grow); it is a builder-side operation, not for shared rows.
+func (w Words) SetBit(i uint32) { w[i>>6] |= 1 << (i & 63) }
+
+// Grow returns a copy of w with capacity for at least n bits. The receiver is
+// left untouched, so rows already visible to concurrent readers stay frozen.
+func (w Words) Grow(n int) Words {
+	out := MakeWords(n)
+	copy(out, w)
+	return out
+}
+
+// Intersects reports whether w and v share a set bit.
+func (w Words) Intersects(v Words) bool {
+	n := len(w)
+	if len(v) < n {
+		n = len(v)
+	}
+	for i := 0; i < n; i++ {
+		if w[i]&v[i] != 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -228,3 +228,54 @@ func TestBits(t *testing.T) {
 		t.Fatal("union/intersect wrong")
 	}
 }
+
+func TestWords(t *testing.T) {
+	w := MakeWords(130)
+	if len(w) != 3 {
+		t.Fatalf("MakeWords(130) = %d words", len(w))
+	}
+	for _, i := range []uint32{0, 63, 64, 129} {
+		if w.Has(i) {
+			t.Fatalf("fresh Words has %d", i)
+		}
+		w.SetBit(i)
+		if !w.Has(i) {
+			t.Fatalf("SetBit(%d) lost", i)
+		}
+	}
+	// Has is total: indices beyond the allocation are simply absent.
+	if w.Has(1000) {
+		t.Fatal("out-of-range Has must be false")
+	}
+	g := w.Grow(256)
+	if len(g) != 4 {
+		t.Fatalf("Grow(256) = %d words", len(g))
+	}
+	for _, i := range []uint32{0, 63, 64, 129} {
+		if !g.Has(i) {
+			t.Fatalf("Grow dropped bit %d", i)
+		}
+	}
+	// Grow copies: mutating the grown row must not touch the original.
+	g.SetBit(200)
+	if w.Has(200) {
+		t.Fatal("Grow aliased the original words")
+	}
+}
+
+func TestWordsIntersects(t *testing.T) {
+	a := MakeWords(128)
+	b := MakeWords(64)
+	if a.Intersects(b) {
+		t.Fatal("empty rows intersect")
+	}
+	a.SetBit(70) // beyond b's length
+	if a.Intersects(b) || b.Intersects(a) {
+		t.Fatal("intersection must respect the shorter row")
+	}
+	b.SetBit(3)
+	a.SetBit(3)
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Fatal("shared bit not detected")
+	}
+}
