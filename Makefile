@@ -1,5 +1,5 @@
 # Tier-1 gate: everything a PR must keep green (see ROADMAP.md).
-.PHONY: check fmt vet build test bench bench-micro bench-json chaos
+.PHONY: check fmt vet build test bench bench-micro bench-json chaos fuzz
 
 check: fmt vet build test
 
@@ -25,6 +25,16 @@ chaos:
 	go test -race -count=1 ./internal/faultinject/ ./internal/budget/ -v
 	go run ./cmd/benchgen -dir /tmp -name tsp
 	go run ./cmd/tracer -chaos-seed 7 -chaos-rate 0.2 -auto -batch -batch-workers 4 /tmp/tsp.tir
+
+# Differential fuzzing: the oracle package's fixed-seed property and
+# metamorphic suites under -race, then a seeded CLI sweep of the brute-force
+# oracle on both clients ("Ground truth & fuzzing" in ARCHITECTURE.md).
+# Override for longer hunts, e.g.:  make fuzz FUZZ_SEED=900000 FUZZ_N=100000
+FUZZ_SEED ?= 1
+FUZZ_N    ?= 5000
+fuzz:
+	go test -race -count=1 ./internal/oracle/... -v
+	go run ./cmd/tracer -fuzz-seed $(FUZZ_SEED) -fuzz-n $(FUZZ_N) -fuzz-meta
 
 # Scaled-down run of every table/figure benchmark plus micro-benchmarks.
 bench:

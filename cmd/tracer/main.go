@@ -42,6 +42,17 @@
 //	                       the solver's hook points, reproducibly in the seed
 //	                       (0 disables; see internal/faultinject)
 //	-chaos-rate R          fraction of hook points that fire (default 0.05)
+//
+// Differential fuzzing (see "Ground truth & fuzzing" in ARCHITECTURE.md):
+//
+//	tracer -fuzz-n 10000 [-fuzz-seed 1] [-fuzz-meta]
+//
+// runs the brute-force oracle of internal/oracle on that many generated
+// programs per client (type-state and thread-escape) instead of analyzing a
+// program file. Case i derives from seed+i, so every reported discrepancy
+// replays in isolation; -fuzz-meta adds the metamorphic checks (parameter
+// permutation, padding, batch worker/cache invariance). Exit status is
+// nonzero iff a discrepancy survived shrinking.
 package main
 
 import (
@@ -60,6 +71,7 @@ import (
 	"tracer/internal/explain"
 	"tracer/internal/faultinject"
 	"tracer/internal/obs"
+	"tracer/internal/oracle"
 	"tracer/internal/typestate"
 )
 
@@ -85,7 +97,14 @@ func run() error {
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	chaosSeed := flag.Int64("chaos-seed", 0, "enable deterministic fault injection with this seed (0 = off)")
 	chaosRate := flag.Float64("chaos-rate", 0.05, "fraction of hook points that fire under -chaos-seed")
+	fuzzSeed := flag.Int64("fuzz-seed", 1, "base seed of the differential fuzzer; case i uses seed+i")
+	fuzzN := flag.Int("fuzz-n", 0, "run the differential oracle on this many generated cases per client instead of analyzing a program (0 = off)")
+	fuzzMeta := flag.Bool("fuzz-meta", false, "also run the metamorphic checks (permutation, padding, batch invariance) on every fuzz case")
 	flag.Parse()
+
+	if *fuzzN > 0 {
+		return runFuzz(*fuzzSeed, *fuzzN, *fuzzMeta)
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracer [flags] program.tir")
@@ -176,6 +195,34 @@ func run() error {
 
 	if agg != nil {
 		fmt.Print(agg.Render())
+	}
+	return nil
+}
+
+// runFuzz cross-checks the CEGAR loop against the brute-force oracle on
+// seeded generated programs for both clients, printing every discrepancy
+// (already minimized by the deterministic shrinker) with its replay seed.
+func runFuzz(seed int64, n int, meta bool) error {
+	opts := oracle.FuzzOptions{Seed: seed, N: n, Meta: meta}
+	var total int
+	for _, client := range []struct {
+		name string
+		run  func(oracle.FuzzOptions) []oracle.Discrepancy
+	}{
+		{"typestate", oracle.FuzzTypestate},
+		{"escape", oracle.FuzzEscape},
+	} {
+		start := time.Now()
+		ds := client.run(opts)
+		fmt.Printf("fuzz %-9s  %d cases, seed %d, meta=%v: %d discrepancies  [%v]\n",
+			client.name, n, seed, meta, len(ds), time.Since(start).Round(time.Millisecond))
+		for _, d := range ds {
+			fmt.Println(d)
+		}
+		total += len(ds)
+	}
+	if total > 0 {
+		return fmt.Errorf("%d oracle discrepancies", total)
 	}
 	return nil
 }

@@ -614,18 +614,7 @@ func runUnit(bp BatchProblem, opts Options, res *BatchResult, u unit, recording 
 			Cubes: len(cubes), WallNS: int64(time.Since(bstart))})
 	}
 	next := pl.g.solver.Clone()
-	covered := false
-	for _, c := range cubes {
-		before := next.NumClauses()
-		next.Block(c.Pos, c.Neg)
-		if recording && next.NumClauses() > before {
-			buf.Record(obs.Event{Kind: obs.ClauseLearned, Query: strconv.Itoa(q),
-				Iter: res.Results[q].Iterations, Clauses: next.NumClauses()})
-		}
-		if c.Contains(pl.p) {
-			covered = true
-		}
-	}
+	covered, rejected := learnCubes(next, pl.p, cubes, buf, recording, strconv.Itoa(q), res.Results[q].Iterations)
 	if !covered {
 		// A tripped backward walk legitimately returns cubes not covering
 		// p; the merge discards the round, so don't report no-progress.
@@ -634,7 +623,7 @@ func runUnit(bp BatchProblem, opts Options, res *BatchResult, u unit, recording 
 			return out
 		}
 		out.kind = uFailed
-		out.err = fmt.Errorf("%w (query %d, p=%s)", ErrNoProgress, q, pl.p)
+		out.err = fmt.Errorf("query %d: %w", q, noProgressError(pl.p, cubes, rejected))
 		return out
 	}
 	out.kind = uMoved

@@ -1,0 +1,164 @@
+package core_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tracer/internal/budget"
+	"tracer/internal/core"
+	"tracer/internal/lang"
+	"tracer/internal/obs"
+	"tracer/internal/uset"
+)
+
+// brokenCubeProblem is a deliberately buggy Problem: its forward analysis
+// never proves the query and its backward meta-analysis returns a fixed
+// cube set regardless of the counterexample. It models an unsound backward
+// transfer function for pinning the learn-site diagnostics.
+type brokenCubeProblem struct {
+	cubes []core.ParamCube
+}
+
+func (brokenCubeProblem) NumParams() int { return 2 }
+
+func (brokenCubeProblem) Forward(*budget.Budget, uset.Set) core.Outcome {
+	return core.Outcome{Proved: false, Steps: 1}
+}
+
+func (pr brokenCubeProblem) Backward(*budget.Budget, uset.Set, lang.Trace) []core.ParamCube {
+	return pr.cubes
+}
+
+// TestSolveRejectsContradictoryCube: a cube with overlapping Pos and Neg
+// denotes no abstraction; its blocking clause canonicalizes to a tautology
+// that minsat.Solver.Add silently drops, so before the learn-site fix the
+// loop failed with a bare no-progress error and no trace of the bad cube.
+// Now the cube is rejected explicitly: a clause_rejected event names it,
+// the CoreClauseRejected counter ticks, and the Failed diagnostic carries
+// its rendering.
+func TestSolveRejectsContradictoryCube(t *testing.T) {
+	bad := core.ParamCube{Pos: uset.New(0), Neg: uset.New(0)}
+	if !bad.Broken() {
+		t.Fatalf("cube %s should report Broken", bad)
+	}
+	cap := obs.NewCapture()
+	res, err := core.Solve(brokenCubeProblem{cubes: []core.ParamCube{bad}},
+		core.Options{Recorder: cap})
+	if !errors.Is(err, core.ErrNoProgress) {
+		t.Fatalf("err = %v, want ErrNoProgress", err)
+	}
+	if res.Status != core.Failed || res.Iterations != 1 {
+		t.Fatalf("status = %v after %d iterations, want failed after 1", res.Status, res.Iterations)
+	}
+	if !strings.Contains(res.Failure, bad.String()) {
+		t.Errorf("Failure %q does not name the contradictory cube %s", res.Failure, bad)
+	}
+	rejected := cap.Filter(obs.ClauseRejected)
+	if len(rejected) != 1 || rejected[0].Name != bad.String() {
+		t.Fatalf("clause_rejected events = %+v, want one naming %s", rejected, bad)
+	}
+	if len(cap.Filter(obs.ClauseLearned)) != 0 {
+		t.Error("a contradictory cube must not produce a clause_learned event")
+	}
+	var count int64
+	for _, e := range cap.Events() {
+		if e.Kind == obs.CounterKind && e.Name == obs.CoreClauseRejected {
+			count += e.Value
+		}
+	}
+	if count != 1 {
+		t.Errorf("%s counter = %d, want 1", obs.CoreClauseRejected, count)
+	}
+	finals := cap.Filter(obs.QueryResolved)
+	if len(finals) != 1 || finals[0].Status != "failed" {
+		t.Fatalf("query_resolved = %+v, want one failed event", finals)
+	}
+}
+
+// TestSolveNoProgressNamesCubes: a backward pass whose cubes are all
+// well-formed but none of which contains the analyzed abstraction violates
+// the progress guarantee; the diagnostic must name the cubes so the
+// unsound transfer function can be located from the error alone.
+func TestSolveNoProgressNamesCubes(t *testing.T) {
+	c := core.ParamCube{Pos: uset.New(1)} // does not contain the initial p = {}
+	res, err := core.Solve(brokenCubeProblem{cubes: []core.ParamCube{c}}, core.Options{})
+	if !errors.Is(err, core.ErrNoProgress) {
+		t.Fatalf("err = %v, want ErrNoProgress", err)
+	}
+	if res.Status != core.Failed {
+		t.Fatalf("status = %v, want failed", res.Status)
+	}
+	if !strings.Contains(res.Failure, c.String()) {
+		t.Errorf("Failure %q does not name the non-covering cube %s", res.Failure, c)
+	}
+	// An empty cube set is the degenerate form of the same violation.
+	res, err = core.Solve(brokenCubeProblem{}, core.Options{})
+	if !errors.Is(err, core.ErrNoProgress) || res.Status != core.Failed {
+		t.Fatalf("empty cube set: status %v / err %v, want failed / ErrNoProgress", res.Status, err)
+	}
+	if !strings.Contains(res.Failure, "no cubes") {
+		t.Errorf("Failure %q does not mention the empty cube set", res.Failure)
+	}
+}
+
+// brokenBatchProblem poses two queries: query 0's backward pass returns a
+// contradictory cube (the bug under test), query 1 behaves normally and is
+// provable with abstraction {0}. Sibling isolation demands that query 1
+// still resolves Proved while query 0 fails with a named-cube diagnostic.
+type brokenBatchProblem struct{}
+
+func (brokenBatchProblem) NumParams() int  { return 2 }
+func (brokenBatchProblem) NumQueries() int { return 2 }
+
+func (brokenBatchProblem) RunForward(_ *budget.Budget, p uset.Set) core.BatchRun {
+	return brokenBatchRun{p: p}
+}
+
+func (brokenBatchProblem) Backward(_ *budget.Budget, q int, p uset.Set, _ lang.Trace) []core.ParamCube {
+	if q == 0 {
+		return []core.ParamCube{{Pos: uset.New(0), Neg: uset.New(0)}}
+	}
+	// Sound cube for query 1: every abstraction without parameter 0 fails.
+	return []core.ParamCube{{Neg: uset.New(0)}}
+}
+
+type brokenBatchRun struct{ p uset.Set }
+
+func (r brokenBatchRun) Check(q int) (bool, lang.Trace) {
+	return q == 1 && r.p.Has(0), nil
+}
+
+func (brokenBatchRun) Steps() int { return 1 }
+
+// TestSolveBatchRejectsContradictoryCube mirrors the single-query
+// regression under the batch scheduler: the broken query resolves Failed
+// with the cube named, the clause_rejected event is tagged with the query,
+// and the healthy sibling query still proves — for every worker count.
+func TestSolveBatchRejectsContradictoryCube(t *testing.T) {
+	bad := core.ParamCube{Pos: uset.New(0), Neg: uset.New(0)}
+	for _, workers := range []int{1, 2, 4} {
+		cap := obs.NewCapture()
+		res, err := core.SolveBatch(brokenBatchProblem{},
+			core.Options{Recorder: cap, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: SolveBatch err = %v, want nil (failure is per-query)", workers, err)
+		}
+		r0 := res.Results[0]
+		if r0.Status != core.Failed {
+			t.Fatalf("workers=%d: query 0 status = %v, want failed", workers, r0.Status)
+		}
+		if !strings.Contains(r0.Failure, bad.String()) || !strings.Contains(r0.Failure, "query 0") {
+			t.Errorf("workers=%d: query 0 Failure %q does not name query and cube %s", workers, r0.Failure, bad)
+		}
+		r1 := res.Results[1]
+		if r1.Status != core.Proved || !r1.Abstraction.Equal(uset.New(0)) {
+			t.Fatalf("workers=%d: query 1 = %+v, want proved with {0}", workers, r1)
+		}
+		rejected := cap.Filter(obs.ClauseRejected)
+		if len(rejected) != 1 || rejected[0].Name != bad.String() || rejected[0].Query != "0" {
+			t.Fatalf("workers=%d: clause_rejected events = %+v, want one for query 0 naming %s",
+				workers, rejected, bad)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"strings"
 	"time"
 
 	"tracer/internal/budget"
@@ -41,6 +42,16 @@ func (c ParamCube) String() string {
 // Contains reports whether abstraction p lies in the cube.
 func (c ParamCube) Contains(p uset.Set) bool {
 	return c.Pos.SubsetOf(p) && p.Intersect(c.Neg).Empty()
+}
+
+// Broken reports a contradictory cube: Pos and Neg overlap, so the cube
+// denotes no abstraction at all. Its blocking clause would contain a literal
+// and its negation, canonicalize to a tautology, and be silently dropped by
+// minsat.Solver.Add — the loop would re-pick the same abstraction forever.
+// The learn site rejects such cubes explicitly (clause_rejected event)
+// instead of letting them vanish.
+func (c ParamCube) Broken() bool {
+	return !c.Pos.Intersect(c.Neg).Empty()
 }
 
 // Outcome is the result of one forward analysis run for one query.
@@ -229,6 +240,62 @@ func (o Options) newBudget(start time.Time) *budget.Budget {
 // transfer function and is returned rather than silently looping.
 var ErrNoProgress = errors.New("core: backward meta-analysis did not eliminate the current abstraction")
 
+// learnCubes is the shared learn site of Solve and the batch runUnit: it
+// blocks every well-formed cube of one backward pass in s and reports
+// whether the cube set covers p — the progress guarantee (Theorem 3 clause
+// 1): some learned clause must eliminate the abstraction whose
+// counterexample was analyzed, or the next Minimum re-picks it.
+//
+// Contradictory cubes (Broken: Pos ∩ Neg ≠ ∅) are rejected here rather than
+// passed to the solver, where their tautological blocking clauses would be
+// silently dropped by canonicalization; each rejection emits a
+// clause_rejected event naming the cube and bumps the CoreClauseRejected
+// counter. query tags batch-mode events ("" for the single-query Solve).
+func learnCubes(s *minsat.Solver, p uset.Set, cubes []ParamCube, rec obs.Recorder, recording bool, query string, iter int) (covered bool, rejected []ParamCube) {
+	for _, c := range cubes {
+		if c.Broken() {
+			rejected = append(rejected, c)
+			if recording {
+				rec.Record(obs.Event{Kind: obs.ClauseRejected, Query: query,
+					Iter: iter, Name: c.String()})
+				rec.Count(obs.CoreClauseRejected, 1)
+			}
+			continue
+		}
+		before := s.NumClauses()
+		s.Block(c.Pos, c.Neg)
+		if recording && s.NumClauses() > before {
+			rec.Record(obs.Event{Kind: obs.ClauseLearned, Query: query,
+				Iter: iter, Clauses: s.NumClauses()})
+		}
+		if c.Contains(p) {
+			covered = true
+		}
+	}
+	return covered, rejected
+}
+
+// noProgressError builds the diagnostic for a backward pass that violated
+// the progress guarantee, naming the offending cubes so the unsound
+// transfer function can be found from the error alone.
+func noProgressError(p uset.Set, cubes, rejected []ParamCube) error {
+	render := func(cs []ParamCube) string {
+		parts := make([]string, len(cs))
+		for i, c := range cs {
+			parts[i] = c.String()
+		}
+		return "[" + strings.Join(parts, "; ") + "]"
+	}
+	detail := "no cubes returned"
+	if len(cubes) > 0 {
+		detail = "cubes " + render(cubes) + " do not cover p"
+	}
+	if len(rejected) > 0 {
+		detail += "; rejected contradictory " + render(rejected)
+	}
+	return fmt.Errorf("%w (p=%s: %s)", ErrNoProgress, p, detail)
+}
+
 // Solve runs Algorithm 1 for a single query.
 //
 // Failure model: every exit emits exactly one terminal QueryResolved event.
@@ -341,21 +408,10 @@ func Solve(pr Problem, opts Options) (res Result, err error) {
 		if bud.Tripped() {
 			return tripped(), nil
 		}
-		covered := false
-		for _, c := range cubes {
-			before := solver.NumClauses()
-			solver.Block(c.Pos, c.Neg)
-			if recording && solver.NumClauses() > before {
-				rec.Record(obs.Event{Kind: obs.ClauseLearned, Iter: res.Iterations,
-					Clauses: solver.NumClauses()})
-			}
-			if c.Contains(p) {
-				covered = true
-			}
-		}
+		covered, rejected := learnCubes(solver, p, cubes, rec, recording, "", res.Iterations)
 		res.Clauses = solver.NumClauses()
 		if !covered {
-			err := fmt.Errorf("%w (p=%s)", ErrNoProgress, p)
+			err := noProgressError(p, cubes, rejected)
 			res.Failure = err.Error()
 			return resolved(Failed), err
 		}

@@ -8,6 +8,7 @@ import (
 	"tracer/internal/formula"
 	"tracer/internal/lang"
 	"tracer/internal/meta"
+	"tracer/internal/oracle/gen"
 	"tracer/internal/uset"
 )
 
@@ -17,24 +18,17 @@ func newTestAnalysis() *Analysis {
 	return New([]string{"u", "v"}, []string{"f"}, []string{"h1", "h2"})
 }
 
+// testAtoms returns the full atom pool over the test universe — the oracle
+// generator's cross product (see internal/oracle/gen), shared with the
+// fuzzing harness.
 func testAtoms() []lang.Atom {
-	return []lang.Atom{
-		lang.Alloc{V: "u", H: "h1"},
-		lang.Alloc{V: "v", H: "h2"},
-		lang.Alloc{V: "v", H: "h1"},
-		lang.Move{Dst: "u", Src: "v"},
-		lang.Move{Dst: "v", Src: "u"},
-		lang.MoveNull{V: "u"},
-		lang.GlobalRead{V: "u", G: "G"},
-		lang.GlobalWrite{G: "G", V: "u"},
-		lang.GlobalWrite{G: "G", V: "v"},
-		lang.Load{Dst: "u", Src: "v", F: "f"},
-		lang.Load{Dst: "u", Src: "u", F: "f"},
-		lang.Store{Dst: "v", F: "f", Src: "u"},
-		lang.Store{Dst: "u", F: "f", Src: "u"},
-		lang.Store{Dst: "u", F: "f", Src: "v"},
-		lang.Invoke{V: "u", M: "m"},
-	}
+	return gen.Pool(gen.Universe{
+		Vars:    []string{"u", "v"},
+		Sites:   []string{"h1", "h2"},
+		Fields:  []string{"f"},
+		Globals: []string{"G"},
+		Methods: []string{"m"},
+	})
 }
 
 func primsFor(a *Analysis) []formula.Prim {

@@ -9,6 +9,7 @@ package explain
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"tracer/internal/budget"
 	"tracer/internal/core"
@@ -74,8 +75,12 @@ func (p *Problem[D]) Forward(b *budget.Budget, abs uset.Set) core.Outcome {
 }
 
 // Backward recomputes the annotated backward pass for display, then
-// delegates to the inner problem for the actual cubes (which are identical
-// by construction; the meta-analysis is deterministic).
+// delegates to the inner problem for the actual cubes. The recomputed cubes
+// are expected to match the inner result (the meta-analysis is
+// deterministic), but that identity is verified rather than trusted: if the
+// narrated pass diverges from what the solver actually learned — a
+// mismatched wrapper, a stateful inner problem, a drifted hook — an
+// explicit warning is printed instead of silently narrating the wrong pass.
 func (p *Problem[D]) Backward(b *budget.Budget, abs uset.Set, t lang.Trace) []core.ParamCube {
 	states := dataflow.StatesAlong(t, p.H.Initial, p.H.Transfer(abs))
 	ann := meta.RunAnnotated(p.H.Client(abs), t, states, p.H.Post)
@@ -84,10 +89,46 @@ func (p *Problem[D]) Backward(b *budget.Budget, abs uset.Set, t lang.Trace) []co
 	for i, atom := range t {
 		fmt.Fprintf(p.W, "    %-28s α %-30s ψ %s\n", atom.String()+";", p.H.FormatState(states[i+1]), ann[i+1])
 	}
-	for _, c := range p.H.Cubes(ann[0], p.H.Initial) {
+	narrated := p.H.Cubes(ann[0], p.H.Initial)
+	for _, c := range narrated {
 		fmt.Fprintf(p.W, "  eliminated: %s\n", p.H.DescribeCube(c))
 	}
-	return p.Inner.Backward(b, abs, t)
+	cubes := p.Inner.Backward(b, abs, t)
+	if !sameCubes(narrated, cubes) {
+		fmt.Fprintf(p.W, "  WARNING: narration diverges from the solver's backward pass\n")
+		fmt.Fprintf(p.W, "    narrated cubes: %s\n", renderCubes(narrated))
+		fmt.Fprintf(p.W, "    solver learned: %s\n", renderCubes(cubes))
+	}
+	return cubes
+}
+
+// sameCubes reports whether the two cube sequences are identical (same
+// cubes, same order — the meta-analysis is deterministic, so a faithful
+// narration reproduces the order too).
+func sameCubes(a, b []core.ParamCube) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Pos.Equal(b[i].Pos) || !a[i].Neg.Equal(b[i].Neg) {
+			return false
+		}
+	}
+	return true
+}
+
+// renderCubes renders a cube sequence in the solver's raw parameter-index
+// form (the client DescribeCube hooks are skipped: a divergence may involve
+// indices outside the client's vocabulary).
+func renderCubes(cs []core.ParamCube) string {
+	if len(cs) == 0 {
+		return "(none)"
+	}
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, "; ")
 }
 
 // Solve runs TRACER on the narrated problem and prints the verdict.

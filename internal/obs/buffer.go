@@ -19,6 +19,9 @@ const (
 const (
 	CorePanicRecovered = "core.panic_recovered"
 	CoreBudgetTrip     = "core.budget_trip"
+	// CoreClauseRejected counts contradictory cubes rejected at the learn
+	// site (mirroring the clause_rejected events).
+	CoreClauseRejected = "core.clause_rejected"
 )
 
 // Counter/gauge names for the interned formula kernel (formula.Universe).

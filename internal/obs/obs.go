@@ -42,6 +42,15 @@ const (
 	// ClauseLearned records a blocking clause actually added (not a
 	// duplicate); Clauses is the running deduplicated total.
 	ClauseLearned EventKind = "clause_learned"
+	// ClauseRejected records a broken cube returned by the backward
+	// meta-analysis: one whose Pos and Neg overlap, so it describes no
+	// abstraction at all and its blocking clause would canonicalize to a
+	// tautology silently dropped by minsat.Solver.Add. Name carries the
+	// cube's rendering. A rejected cube indicates an unsound backward
+	// transfer function; if no other cube of the pass eliminates the
+	// current abstraction the query resolves failed with a diagnostic
+	// naming the cubes.
+	ClauseRejected EventKind = "clause_rejected"
 	// GroupSplit records a query group splitting into several successor
 	// groups in SolveBatch (Groups = live groups after redistribution,
 	// Queries = successor groups born from this split).

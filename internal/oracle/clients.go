@@ -1,0 +1,274 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tracer/internal/budget"
+	"tracer/internal/core"
+	"tracer/internal/dataflow"
+	"tracer/internal/escape"
+	"tracer/internal/lang"
+	"tracer/internal/oracle/gen"
+	"tracer/internal/typestate"
+	"tracer/internal/uset"
+)
+
+// The generated problems draw from FIXED vocabularies, independent of the
+// program text: parameter indices stay stable when the shrinker deletes
+// atoms, and query subjects (the tracked site, the queried local) are
+// always interned. Padding variants append fresh never-referenced names.
+var (
+	tsVars      = []string{"w", "x", "y", "z"}
+	tsSites     = []string{"h", "g"} // h is the tracked site
+	tsTracked   = "h"
+	escLocals   = []string{"u", "v", "w"}
+	escFields   = []string{"f", "g"}
+	escSites    = []string{"h1", "h2", "h3"}
+	sharedOther = struct {
+		Fields  []string
+		Globals []string
+	}{Fields: []string{"f"}, Globals: []string{"G"}}
+)
+
+// tsProps lists the generated type-state properties by name; the name is
+// stored in the case (rather than the *Property) so cases print and replay.
+var tsProps = []string{"file", "socket", "iterator"}
+
+func tsProp(name string) *typestate.Property {
+	switch name {
+	case "file":
+		return typestate.FileProperty()
+	case "socket":
+		return typestate.SocketProperty()
+	case "iterator":
+		return typestate.IteratorProperty()
+	}
+	panic("oracle: unknown typestate property " + name)
+}
+
+// kChoices are the beam widths a case draws from (k of §4.1; 0 disables
+// under-approximation).
+var kChoices = []int{0, 1, 2, 5}
+
+// TSCase is one generated type-state problem: a program over the fixed
+// vocabulary, the query's wanted state set, and the beam width. Pad appends
+// that many never-referenced variables to the parameter universe (the
+// monotone-padding metamorphic variant).
+type TSCase struct {
+	Prop string
+	Prog lang.Prog
+	Want uset.Bits
+	K    int
+	Pad  int
+}
+
+func (c TSCase) String() string {
+	return fmt.Sprintf("typestate prop=%s want=%v k=%d pad=%d prog: %s",
+		c.Prop, c.Want.Elems(), c.K, c.Pad, c.Prog)
+}
+
+// vars returns the case's parameter universe.
+func (c TSCase) vars() []string {
+	vs := tsVars
+	for i := 0; i < c.Pad; i++ {
+		vs = append(vs[:len(vs):len(vs)], fmt.Sprintf("pad%d", i))
+	}
+	return vs
+}
+
+// Job builds a fresh core.Problem for the case. Every call returns an
+// independent instance (interning mutates an Analysis, so instances must
+// not be shared between a truth enumeration and a solve).
+func (c TSCase) Job() *typestate.Job {
+	g := lang.BuildCFG(c.Prog)
+	a := typestate.New(tsProp(c.Prop), tsTracked, c.vars())
+	return &typestate.Job{
+		A: a, G: g,
+		Q: typestate.Query{Nodes: []int{g.Exit}, Want: c.Want},
+		K: c.K,
+	}
+}
+
+// TSPool returns the atom pool the type-state cases draw from.
+func TSPool() []lang.Atom {
+	return gen.Pool(gen.Universe{
+		Vars:    tsVars,
+		Sites:   tsSites,
+		Fields:  sharedOther.Fields,
+		Globals: sharedOther.Globals,
+		Methods: tsMethods(),
+	})
+}
+
+// tsMethods is the union of all generated properties' methods, sorted; a
+// program may invoke methods its property ignores (they are identity).
+func tsMethods() []string {
+	return []string{"bind", "close", "connect", "hasNext", "next", "open", "send"}
+}
+
+// RandomTSCase draws a case from the rng. The same rng sequence always
+// yields the same case.
+func RandomTSCase(rng *rand.Rand) TSCase {
+	prop := tsProps[rng.Intn(len(tsProps))]
+	ns := len(tsProp(prop).States)
+	want := uset.Bits(1 + rng.Intn(1<<ns-1)) // any nonempty subset
+	return TSCase{
+		Prop: prop,
+		Prog: gen.Program(rng, TSPool(), gen.DefaultConfig(3+rng.Intn(8))),
+		Want: want,
+		K:    kChoices[rng.Intn(len(kChoices))],
+	}
+}
+
+// EscCase is one generated thread-escape problem: a program over the fixed
+// vocabulary and the queried local. Pad appends never-referenced allocation
+// sites to the parameter universe.
+type EscCase struct {
+	Prog lang.Prog
+	V    string
+	K    int
+	Pad  int
+}
+
+func (c EscCase) String() string {
+	return fmt.Sprintf("escape v=%s k=%d pad=%d prog: %s", c.V, c.K, c.Pad, c.Prog)
+}
+
+func (c EscCase) sites() []string {
+	hs := escSites
+	for i := 0; i < c.Pad; i++ {
+		hs = append(hs[:len(hs):len(hs)], fmt.Sprintf("hpad%d", i))
+	}
+	return hs
+}
+
+// Job builds a fresh core.Problem for the case (see TSCase.Job).
+func (c EscCase) Job() *escape.Job {
+	g := lang.BuildCFG(c.Prog)
+	a := escape.New(escLocals, escFields, c.sites())
+	return &escape.Job{
+		A: a, G: g,
+		Q: escape.Query{Nodes: []int{g.Exit}, V: c.V},
+		K: c.K,
+	}
+}
+
+// EscPool returns the atom pool the thread-escape cases draw from.
+func EscPool() []lang.Atom {
+	return gen.Pool(gen.Universe{
+		Vars:    escLocals,
+		Sites:   escSites,
+		Fields:  escFields,
+		Globals: sharedOther.Globals,
+		Methods: []string{"m"},
+	})
+}
+
+// RandomEscCase draws a case from the rng.
+func RandomEscCase(rng *rand.Rand) EscCase {
+	return EscCase{
+		Prog: gen.Program(rng, EscPool(), gen.DefaultConfig(3+rng.Intn(8))),
+		V:    escLocals[rng.Intn(len(escLocals))],
+		K:    kChoices[rng.Intn(len(kChoices))],
+	}
+}
+
+// tsBatch poses several Want variants of one type-state case as a
+// core.BatchProblem: all queries track the same site, so one forward solve
+// per run genuinely serves every query — the same sharing shape as the
+// driver's TypestateBatch, without the IR plumbing.
+type tsBatch struct {
+	c     TSCase
+	g     *lang.CFG
+	wants []uset.Bits
+}
+
+var _ core.BatchProblem = (*tsBatch)(nil)
+
+// NewTSBatch builds the batch problem; query i asks for wants[i].
+func NewTSBatch(c TSCase, wants []uset.Bits) core.BatchProblem {
+	return &tsBatch{c: c, g: lang.BuildCFG(c.Prog), wants: wants}
+}
+
+func (b *tsBatch) NumParams() int  { return len(b.c.vars()) }
+func (b *tsBatch) NumQueries() int { return len(b.wants) }
+
+func (b *tsBatch) RunForward(bud *budget.Budget, p uset.Set) core.BatchRun {
+	a := typestate.New(tsProp(b.c.Prop), tsTracked, b.c.vars())
+	res := dataflow.SolveBudget(b.g, a.Initial(), a.Transfer(p), bud)
+	return &tsBatchRun{b: b, a: a, res: res}
+}
+
+type tsBatchRun struct {
+	b   *tsBatch
+	a   *typestate.Analysis
+	res *dataflow.Result[typestate.State]
+}
+
+func (r *tsBatchRun) Check(q int) (bool, lang.Trace) {
+	query := typestate.Query{Nodes: []int{r.b.g.Exit}, Want: r.b.wants[q]}
+	node, bad, found := typestate.FindFailure(r.a, r.res, query)
+	if !found {
+		return true, nil
+	}
+	return false, r.res.Witness(node, bad)
+}
+
+func (r *tsBatchRun) Steps() int { return r.res.Steps }
+
+// Backward builds a fresh per-call job: concurrent backward units must not
+// share an intern table.
+func (b *tsBatch) Backward(bud *budget.Budget, q int, p uset.Set, t lang.Trace) []core.ParamCube {
+	j := b.c.Job()
+	j.Q.Want = b.wants[q]
+	return j.Backward(bud, p, t)
+}
+
+// escBatch poses one escape query per local of one generated program. The
+// escape analysis is query-independent: one forward solve serves all
+// queries, as in the driver's EscapeBatch.
+type escBatch struct {
+	c  EscCase
+	g  *lang.CFG
+	vs []string
+}
+
+var _ core.BatchProblem = (*escBatch)(nil)
+
+// NewEscBatch builds the batch problem; query i asks about local vs[i].
+func NewEscBatch(c EscCase, vs []string) core.BatchProblem {
+	return &escBatch{c: c, g: lang.BuildCFG(c.Prog), vs: vs}
+}
+
+func (b *escBatch) NumParams() int  { return len(b.c.sites()) }
+func (b *escBatch) NumQueries() int { return len(b.vs) }
+
+func (b *escBatch) RunForward(bud *budget.Budget, p uset.Set) core.BatchRun {
+	a := escape.New(escLocals, escFields, b.c.sites())
+	res := dataflow.SolveBudget(b.g, a.Initial(), a.Transfer(p), bud)
+	return &escBatchRun{b: b, a: a, res: res}
+}
+
+type escBatchRun struct {
+	b   *escBatch
+	a   *escape.Analysis
+	res *dataflow.Result[escape.State]
+}
+
+func (r *escBatchRun) Check(q int) (bool, lang.Trace) {
+	query := escape.Query{Nodes: []int{r.b.g.Exit}, V: r.b.vs[q]}
+	node, bad, found := escape.FindFailure(r.a, r.res, query)
+	if !found {
+		return true, nil
+	}
+	return false, r.res.Witness(node, bad)
+}
+
+func (r *escBatchRun) Steps() int { return r.res.Steps }
+
+func (b *escBatch) Backward(bud *budget.Budget, q int, p uset.Set, t lang.Trace) []core.ParamCube {
+	j := b.c.Job()
+	j.Q.V = b.vs[q]
+	return j.Backward(bud, p, t)
+}

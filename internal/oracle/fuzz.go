@@ -1,0 +1,237 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tracer/internal/core"
+	"tracer/internal/lang"
+	"tracer/internal/oracle/gen"
+	"tracer/internal/uset"
+)
+
+// FuzzOptions configures a fuzz run. Case i derives its rng from Seed+i, so
+// any reported case replays in isolation from its own seed.
+type FuzzOptions struct {
+	Seed int64
+	N    int
+	// Meta additionally runs the metamorphic checks (permutation, padding,
+	// batch invariance) on every case; it multiplies the per-case cost.
+	Meta bool
+}
+
+// Discrepancy is one confirmed oracle violation: the case (with its program
+// already minimized by the deterministic shrinker) and the violated
+// properties. Replay with the recorded seed, or rebuild the case from its
+// rendering.
+type Discrepancy struct {
+	Client     string
+	Seed       int64
+	Case       string
+	Violations []string
+}
+
+func (d Discrepancy) String() string {
+	s := fmt.Sprintf("%s seed=%d: %s", d.Client, d.Seed, d.Case)
+	for _, v := range d.Violations {
+		s += "\n  - " + v
+	}
+	return s
+}
+
+// FuzzTypestate runs o.N seeded type-state cases through the oracle,
+// shrinking and reporting every violating program.
+func FuzzTypestate(o FuzzOptions) []Discrepancy {
+	var out []Discrepancy
+	for i := 0; i < o.N; i++ {
+		seed := o.Seed + int64(i)
+		c := RandomTSCase(rand.New(rand.NewSource(seed)))
+		if len(CheckTSCase(c, o.Meta)) == 0 {
+			continue
+		}
+		c.Prog = gen.Shrink(c.Prog, func(p lang.Prog) bool {
+			cc := c
+			cc.Prog = p
+			return len(CheckTSCase(cc, o.Meta)) > 0
+		})
+		out = append(out, Discrepancy{
+			Client: "typestate", Seed: seed, Case: c.String(),
+			Violations: CheckTSCase(c, o.Meta),
+		})
+	}
+	return out
+}
+
+// FuzzEscape runs o.N seeded thread-escape cases through the oracle,
+// shrinking and reporting every violating program.
+func FuzzEscape(o FuzzOptions) []Discrepancy {
+	var out []Discrepancy
+	for i := 0; i < o.N; i++ {
+		seed := o.Seed + int64(i)
+		c := RandomEscCase(rand.New(rand.NewSource(seed)))
+		if len(CheckEscCase(c, o.Meta)) == 0 {
+			continue
+		}
+		c.Prog = gen.Shrink(c.Prog, func(p lang.Prog) bool {
+			cc := c
+			cc.Prog = p
+			return len(CheckEscCase(cc, o.Meta)) > 0
+		})
+		out = append(out, Discrepancy{
+			Client: "escape", Seed: seed, Case: c.String(),
+			Violations: CheckEscCase(c, o.Meta),
+		})
+	}
+	return out
+}
+
+// CheckTSCase verifies one type-state case: the three oracle properties,
+// and (with meta) permutation invariance, monotone padding, and batch
+// worker/cache invariance.
+func CheckTSCase(c TSCase, meta bool) []string {
+	v := CheckSolve(func() core.Problem { return c.Job() }, core.Options{})
+	if !meta {
+		return v
+	}
+	base, _ := core.Solve(c.Job(), core.Options{})
+
+	// Permutation invariance: consistently renaming the variables must not
+	// change the verdict or the minimum cost (|p| is permutation-invariant).
+	perm := rotation(tsVars)
+	renamed := c
+	renamed.Prog = gen.Rename(c.Prog, perm, nil)
+	if d := compareSolve(base, renamed.Job(), "variable permutation"); d != "" {
+		v = append(v, d)
+	}
+
+	// Monotone padding: never-referenced parameters cannot change what is
+	// provable or how much the cheapest proof costs.
+	padded := c
+	padded.Pad = 2
+	if d := compareSolve(base, padded.Job(), "parameter padding"); d != "" {
+		v = append(v, d)
+	}
+
+	v = append(v, checkTSBatch(c)...)
+	return v
+}
+
+// CheckEscCase verifies one thread-escape case (see CheckTSCase).
+func CheckEscCase(c EscCase, meta bool) []string {
+	v := CheckSolve(func() core.Problem { return c.Job() }, core.Options{})
+	if !meta {
+		return v
+	}
+	base, _ := core.Solve(c.Job(), core.Options{})
+
+	// Permutation invariance over both name spaces: locals and sites.
+	vperm, hperm := rotation(escLocals), rotation(escSites)
+	renamed := c
+	renamed.Prog = gen.Rename(c.Prog, vperm, hperm)
+	renamed.V = vperm[c.V]
+	if d := compareSolve(base, renamed.Job(), "local/site permutation"); d != "" {
+		v = append(v, d)
+	}
+
+	padded := c
+	padded.Pad = 2
+	if d := compareSolve(base, padded.Job(), "parameter padding"); d != "" {
+		v = append(v, d)
+	}
+
+	v = append(v, checkEscBatch(c)...)
+	return v
+}
+
+// rotation maps each name to the next one, cyclically — a fixed non-trivial
+// permutation.
+func rotation(names []string) map[string]string {
+	m := make(map[string]string, len(names))
+	for i, n := range names {
+		m[n] = names[(i+1)%len(names)]
+	}
+	return m
+}
+
+// compareSolve solves the variant problem and reports a divergence from the
+// base resolution: the verdict and, when proved, the cost must match.
+func compareSolve(base core.Result, variant core.Problem, what string) string {
+	res, _ := core.Solve(variant, core.Options{})
+	if res.Status != base.Status {
+		return fmt.Sprintf("%s changed the verdict: %s vs %s", what, base.Status, res.Status)
+	}
+	if res.Status == core.Proved && res.Abstraction.Len() != base.Abstraction.Len() {
+		return fmt.Sprintf("%s changed the minimum cost: %d vs %d",
+			what, base.Abstraction.Len(), res.Abstraction.Len())
+	}
+	return ""
+}
+
+// batchVariants is the worker-count × forward-cache grid every batch
+// metamorphic check sweeps. -1 disables the cross-round memo.
+var batchVariants = []core.Options{
+	{Workers: 1},
+	{Workers: 4},
+	{Workers: 4, FwdCacheSize: -1},
+}
+
+// checkTSBatch cross-checks SolveBatch against per-query Solve on three
+// Want variants of the case, across the worker/cache grid.
+func checkTSBatch(c TSCase) []string {
+	prop := tsProp(c.Prop)
+	full := uset.Bits(1<<len(prop.States) - 1)
+	wants := []uset.Bits{c.Want, full, uset.Bits(0).Add(prop.Init)}
+	solo := make([]core.Result, len(wants))
+	for i, w := range wants {
+		j := c.Job()
+		j.Q.Want = w
+		solo[i], _ = core.Solve(j, core.Options{})
+	}
+	var v []string
+	for _, opts := range batchVariants {
+		res, err := core.SolveBatch(NewTSBatch(c, wants), opts)
+		if err != nil {
+			v = append(v, fmt.Sprintf("batch (workers=%d cache=%d) failed: %v", opts.Workers, opts.FwdCacheSize, err))
+			continue
+		}
+		v = append(v, compareBatch(solo, res, opts)...)
+	}
+	return v
+}
+
+// checkEscBatch cross-checks SolveBatch against per-query Solve with one
+// query per local, across the worker/cache grid.
+func checkEscBatch(c EscCase) []string {
+	solo := make([]core.Result, len(escLocals))
+	for i, local := range escLocals {
+		j := c.Job()
+		j.Q.V = local
+		solo[i], _ = core.Solve(j, core.Options{})
+	}
+	var v []string
+	for _, opts := range batchVariants {
+		res, err := core.SolveBatch(NewEscBatch(c, escLocals), opts)
+		if err != nil {
+			v = append(v, fmt.Sprintf("batch (workers=%d cache=%d) failed: %v", opts.Workers, opts.FwdCacheSize, err))
+			continue
+		}
+		v = append(v, compareBatch(solo, res, opts)...)
+	}
+	return v
+}
+
+// compareBatch requires each batch query to resolve exactly like its solo
+// solve: same verdict and same cost (the minimum abstraction itself is also
+// unique-cost-deterministic, so compare it outright).
+func compareBatch(solo []core.Result, batch *core.BatchResult, opts core.Options) []string {
+	var v []string
+	for q, want := range solo {
+		got := batch.Results[q]
+		if got.Status != want.Status || !got.Abstraction.Equal(want.Abstraction) {
+			v = append(v, fmt.Sprintf("batch (workers=%d cache=%d) query %d resolved %s/%s, solo %s/%s",
+				opts.Workers, opts.FwdCacheSize, q,
+				got.Status, got.Abstraction, want.Status, want.Abstraction))
+		}
+	}
+	return v
+}

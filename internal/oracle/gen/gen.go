@@ -1,0 +1,234 @@
+// Package gen generates, renames, and shrinks random programs of the lang
+// syntax. It is the program-construction half of the differential oracle
+// (internal/oracle): the oracle enumerates ground truth for programs this
+// package draws, and minimizes failing ones with the deterministic shrinker
+// before reporting.
+//
+// The package deliberately depends only on lang (and math/rand), so the
+// client packages' own test suites can reuse the atom pools without an
+// import cycle.
+package gen
+
+import (
+	"math/rand"
+
+	"tracer/internal/lang"
+)
+
+// Universe fixes the vocabulary a generated program draws from: local
+// variables, allocation sites, instance fields, global (static) variables,
+// and method names. Keeping the vocabulary fixed — rather than derived from
+// the generated program — keeps parameter indices stable under shrinking
+// and renaming.
+type Universe struct {
+	Vars    []string
+	Sites   []string
+	Fields  []string
+	Globals []string
+	Methods []string
+}
+
+// Pool builds the full cross-product atom pool of the universe, in a fixed
+// deterministic order: allocations, copies, null assignments, global
+// reads/writes, field loads/stores, and method invocations. It generalizes
+// the hand-listed pools the client soundness suites started from.
+func Pool(u Universe) []lang.Atom {
+	var out []lang.Atom
+	for _, v := range u.Vars {
+		for _, h := range u.Sites {
+			out = append(out, lang.Alloc{V: v, H: h})
+		}
+	}
+	for _, d := range u.Vars {
+		for _, s := range u.Vars {
+			out = append(out, lang.Move{Dst: d, Src: s})
+		}
+	}
+	for _, v := range u.Vars {
+		out = append(out, lang.MoveNull{V: v})
+	}
+	for _, v := range u.Vars {
+		for _, g := range u.Globals {
+			out = append(out, lang.GlobalRead{V: v, G: g}, lang.GlobalWrite{G: g, V: v})
+		}
+	}
+	for _, d := range u.Vars {
+		for _, s := range u.Vars {
+			for _, f := range u.Fields {
+				out = append(out, lang.Load{Dst: d, Src: s, F: f}, lang.Store{Dst: d, F: f, Src: s})
+			}
+		}
+	}
+	for _, v := range u.Vars {
+		for _, m := range u.Methods {
+			out = append(out, lang.Invoke{V: v, M: m})
+		}
+	}
+	return out
+}
+
+// Config tunes Program.
+type Config struct {
+	// Size is the target number of atoms (≥ 1).
+	Size int
+	// Depth bounds the nesting of choice and loop nodes.
+	Depth int
+	// PChoice and PStar are the probabilities that a composite node is a
+	// nondeterministic choice or a loop; the remainder is sequencing.
+	PChoice, PStar float64
+}
+
+// DefaultConfig is a reasonable shape for oracle-sized programs: mostly
+// straight-line code with some branching and an occasional loop.
+func DefaultConfig(size int) Config {
+	return Config{Size: size, Depth: 3, PChoice: 0.25, PStar: 0.10}
+}
+
+// Program draws a random program of exactly cfg.Size atoms from the pool.
+// The same (rng sequence, pool, cfg) always yields the same program.
+func Program(rng *rand.Rand, pool []lang.Atom, cfg Config) lang.Prog {
+	size := cfg.Size
+	if size < 1 {
+		size = 1
+	}
+	return genProg(rng, pool, size, cfg.Depth, cfg)
+}
+
+func genProg(rng *rand.Rand, pool []lang.Atom, size, depth int, cfg Config) lang.Prog {
+	if size <= 1 {
+		return lang.Atomic{A: pool[rng.Intn(len(pool))]}
+	}
+	if depth > 0 {
+		switch r := rng.Float64(); {
+		case r < cfg.PChoice:
+			k := 1 + rng.Intn(size-1)
+			return lang.Choice{
+				Left:  genProg(rng, pool, k, depth-1, cfg),
+				Right: genProg(rng, pool, size-k, depth-1, cfg),
+			}
+		case r < cfg.PChoice+cfg.PStar:
+			return lang.Star{Body: genProg(rng, pool, size, depth-1, cfg)}
+		}
+	}
+	k := 1 + rng.Intn(size-1)
+	return lang.Seq{
+		Fst: genProg(rng, pool, k, depth, cfg),
+		Snd: genProg(rng, pool, size-k, depth, cfg),
+	}
+}
+
+// Rename rewrites every atom of p, substituting local variable names via
+// vars and allocation site names via sites (missing keys are left as-is;
+// nil maps are identity). Fields, globals, and methods are untouched. The
+// metamorphic permutation check uses it: solving a consistently renamed
+// program must give a correspondingly permuted answer.
+func Rename(p lang.Prog, vars, sites map[string]string) lang.Prog {
+	sub := func(m map[string]string, k string) string {
+		if r, ok := m[k]; ok {
+			return r
+		}
+		return k
+	}
+	switch p := p.(type) {
+	case lang.Skip:
+		return p
+	case lang.Atomic:
+		switch a := p.A.(type) {
+		case lang.Alloc:
+			return lang.Atomic{A: lang.Alloc{V: sub(vars, a.V), H: sub(sites, a.H)}}
+		case lang.Move:
+			return lang.Atomic{A: lang.Move{Dst: sub(vars, a.Dst), Src: sub(vars, a.Src)}}
+		case lang.MoveNull:
+			return lang.Atomic{A: lang.MoveNull{V: sub(vars, a.V)}}
+		case lang.GlobalWrite:
+			return lang.Atomic{A: lang.GlobalWrite{G: a.G, V: sub(vars, a.V)}}
+		case lang.GlobalRead:
+			return lang.Atomic{A: lang.GlobalRead{V: sub(vars, a.V), G: a.G}}
+		case lang.Load:
+			return lang.Atomic{A: lang.Load{Dst: sub(vars, a.Dst), Src: sub(vars, a.Src), F: a.F}}
+		case lang.Store:
+			return lang.Atomic{A: lang.Store{Dst: sub(vars, a.Dst), F: a.F, Src: sub(vars, a.Src)}}
+		case lang.Invoke:
+			return lang.Atomic{A: lang.Invoke{V: sub(vars, a.V), M: a.M}}
+		}
+		return p
+	case lang.Seq:
+		return lang.Seq{Fst: Rename(p.Fst, vars, sites), Snd: Rename(p.Snd, vars, sites)}
+	case lang.Choice:
+		return lang.Choice{Left: Rename(p.Left, vars, sites), Right: Rename(p.Right, vars, sites)}
+	case lang.Star:
+		return lang.Star{Body: Rename(p.Body, vars, sites)}
+	}
+	return p
+}
+
+// Size counts non-Skip syntax nodes. The shrinker accepts only strictly
+// size-decreasing replacements, which is what makes it terminate.
+func Size(p lang.Prog) int {
+	switch p := p.(type) {
+	case lang.Atomic:
+		return 1
+	case lang.Seq:
+		return 1 + Size(p.Fst) + Size(p.Snd)
+	case lang.Choice:
+		return 1 + Size(p.Left) + Size(p.Right)
+	case lang.Star:
+		return 1 + Size(p.Body)
+	}
+	return 0
+}
+
+// Shrink greedily minimizes a program that makes fails true: it repeatedly
+// applies the first structural reduction (in a fixed pre-order candidate
+// sequence) that both shrinks the program and keeps fails true, until no
+// reduction applies. fails must be deterministic; given that, Shrink is a
+// pure function of p, so the same failing seed always reports the same
+// minimized program.
+func Shrink(p lang.Prog, fails func(lang.Prog) bool) lang.Prog {
+	for {
+		improved := false
+		for _, c := range reductions(p) {
+			if Size(c) < Size(p) && fails(c) {
+				p = c
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return p
+		}
+	}
+}
+
+// reductions yields the single-step reductions of p in deterministic
+// pre-order: replace the node with Skip, promote each child, then recurse
+// into children left to right.
+func reductions(p lang.Prog) []lang.Prog {
+	var out []lang.Prog
+	switch p := p.(type) {
+	case lang.Atomic:
+		out = append(out, lang.Skip{})
+	case lang.Seq:
+		out = append(out, lang.Skip{}, p.Fst, p.Snd)
+		for _, c := range reductions(p.Fst) {
+			out = append(out, lang.Seq{Fst: c, Snd: p.Snd})
+		}
+		for _, c := range reductions(p.Snd) {
+			out = append(out, lang.Seq{Fst: p.Fst, Snd: c})
+		}
+	case lang.Choice:
+		out = append(out, lang.Skip{}, p.Left, p.Right)
+		for _, c := range reductions(p.Left) {
+			out = append(out, lang.Choice{Left: c, Right: p.Right})
+		}
+		for _, c := range reductions(p.Right) {
+			out = append(out, lang.Choice{Left: p.Left, Right: c})
+		}
+	case lang.Star:
+		out = append(out, lang.Skip{}, p.Body)
+		for _, c := range reductions(p.Body) {
+			out = append(out, lang.Star{Body: c})
+		}
+	}
+	return out
+}

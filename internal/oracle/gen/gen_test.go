@@ -1,0 +1,162 @@
+package gen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tracer/internal/lang"
+)
+
+var testUniverse = Universe{
+	Vars:    []string{"x", "y"},
+	Sites:   []string{"h", "g"},
+	Fields:  []string{"f"},
+	Globals: []string{"G"},
+	Methods: []string{"open", "close"},
+}
+
+// TestPoolCoversEveryAtomKind: the cross-product pool contains every atom
+// kind the language defines, in a deterministic order.
+func TestPoolCoversEveryAtomKind(t *testing.T) {
+	pool := Pool(testUniverse)
+	kinds := map[string]bool{}
+	for _, a := range pool {
+		switch a.(type) {
+		case lang.Alloc:
+			kinds["alloc"] = true
+		case lang.Move:
+			kinds["move"] = true
+		case lang.MoveNull:
+			kinds["movenull"] = true
+		case lang.GlobalRead:
+			kinds["gread"] = true
+		case lang.GlobalWrite:
+			kinds["gwrite"] = true
+		case lang.Load:
+			kinds["load"] = true
+		case lang.Store:
+			kinds["store"] = true
+		case lang.Invoke:
+			kinds["invoke"] = true
+		}
+	}
+	if len(kinds) != 8 {
+		t.Fatalf("pool covers %d atom kinds, want 8: %v", len(kinds), kinds)
+	}
+	again := Pool(testUniverse)
+	if len(again) != len(pool) {
+		t.Fatalf("pool is not deterministic: %d vs %d atoms", len(again), len(pool))
+	}
+	for i := range pool {
+		if pool[i].String() != again[i].String() {
+			t.Fatalf("pool order differs at %d: %s vs %s", i, pool[i], again[i])
+		}
+	}
+}
+
+// TestProgramDeterministicAndSized: the generator is a pure function of the
+// seed and produces exactly the requested number of atoms.
+func TestProgramDeterministicAndSized(t *testing.T) {
+	pool := Pool(testUniverse)
+	for seed := int64(0); seed < 50; seed++ {
+		cfg := DefaultConfig(1 + int(seed%9))
+		a := Program(rand.New(rand.NewSource(seed)), pool, cfg)
+		b := Program(rand.New(rand.NewSource(seed)), pool, cfg)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: program not deterministic:\n%s\nvs\n%s", seed, a, b)
+		}
+		if got := countAtoms(a); got != cfg.Size {
+			t.Fatalf("seed %d: %d atoms, want %d in %s", seed, got, cfg.Size, a)
+		}
+	}
+}
+
+func countAtoms(p lang.Prog) int {
+	switch p := p.(type) {
+	case lang.Atomic:
+		return 1
+	case lang.Seq:
+		return countAtoms(p.Fst) + countAtoms(p.Snd)
+	case lang.Choice:
+		return countAtoms(p.Left) + countAtoms(p.Right)
+	case lang.Star:
+		return countAtoms(p.Body)
+	}
+	return 0
+}
+
+// TestRenameRoundTrip: renaming with a permutation and then its inverse is
+// the identity, and renaming rewrites every occurrence.
+func TestRenameRoundTrip(t *testing.T) {
+	pool := Pool(testUniverse)
+	perm := map[string]string{"x": "y", "y": "x"}
+	sites := map[string]string{"h": "g", "g": "h"}
+	for seed := int64(0); seed < 20; seed++ {
+		p := Program(rand.New(rand.NewSource(seed)), pool, DefaultConfig(8))
+		back := Rename(Rename(p, perm, sites), perm, sites)
+		if p.String() != back.String() {
+			t.Fatalf("seed %d: rename round trip differs:\n%s\nvs\n%s", seed, p, back)
+		}
+	}
+	one := Rename(lang.Atoms(lang.Alloc{V: "x", H: "h"}, lang.Move{Dst: "x", Src: "y"}), perm, sites)
+	if got, want := one.String(), "y = new g; y = x"; got != want {
+		t.Fatalf("rename = %q, want %q", got, want)
+	}
+}
+
+// TestShrinkDeterministicAndMinimal: shrinking a program against a
+// predicate ("mentions an invoke of open") always converges to the same
+// single-atom witness, from any seed program containing one.
+func TestShrinkDeterministicAndMinimal(t *testing.T) {
+	pool := Pool(testUniverse)
+	fails := func(p lang.Prog) bool {
+		return strings.Contains(p.String(), ".open()")
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		p := Program(rand.New(rand.NewSource(seed)), pool, DefaultConfig(10))
+		if !fails(p) {
+			continue
+		}
+		s1 := Shrink(p, fails)
+		s2 := Shrink(p, fails)
+		if s1.String() != s2.String() {
+			t.Fatalf("seed %d: shrink not deterministic: %s vs %s", seed, s1, s2)
+		}
+		if Size(s1) != 1 {
+			t.Fatalf("seed %d: shrink left size %d: %s", seed, Size(s1), s1)
+		}
+		if !fails(s1) {
+			t.Fatalf("seed %d: shrunk program no longer fails: %s", seed, s1)
+		}
+	}
+}
+
+// TestShrinkNeverLosesTheFailure: the invariant that matters — whatever the
+// predicate, the shrunk program still satisfies it.
+func TestShrinkNeverLosesTheFailure(t *testing.T) {
+	pool := Pool(testUniverse)
+	preds := []func(lang.Prog) bool{
+		func(p lang.Prog) bool { return countAtoms(p) >= 3 },
+		func(p lang.Prog) bool { return strings.Contains(p.String(), "new h") },
+		func(p lang.Prog) bool {
+			s := p.String()
+			return strings.Contains(s, "new h") && strings.Contains(s, "y = x")
+		},
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		p := Program(rand.New(rand.NewSource(seed)), pool, DefaultConfig(12))
+		for i, fails := range preds {
+			if !fails(p) {
+				continue
+			}
+			s := Shrink(p, fails)
+			if !fails(s) {
+				t.Fatalf("seed %d pred %d: shrunk program lost the failure: %s", seed, i, s)
+			}
+			if Size(s) > Size(p) {
+				t.Fatalf("seed %d pred %d: shrink grew the program", seed, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"tracer/internal/budget"
+	"tracer/internal/core"
+	"tracer/internal/lang"
+	"tracer/internal/uset"
+)
+
+// This file holds cross-package regressions from the differential bug
+// burn-down. The two bugs the oracle's construction surfaced have their
+// shrunk regressions in the owning packages:
+//
+//   - internal/core/progress_test.go — contradictory (Pos ∩ Neg ≠ ∅) cubes
+//     were silently dropped by clause canonicalization, looping the solver
+//     instead of failing with a diagnostic;
+//   - internal/explain/divergence_test.go — the narrator recomputed its own
+//     cubes and could silently diverge from what the solver learned.
+//
+// The seeded sweep beyond those (12 000 base cases per client plus 2 000
+// metamorphic cases per client, seeds 100000+i / 500000+i) found no further
+// discrepancies. The tests below instead pin the oracle's own detection
+// power: each deliberately buggy problem must trip the exact property that
+// would have caught a real solver bug — a meta-regression guarding against
+// the oracle rotting into a rubber stamp.
+
+// overBlockingProblem is provable at {0} but its backward pass returns the
+// universal cube, blocking every abstraction — the proving ones included.
+// A sound oracle must flag both the cube and the bogus Impossible verdict.
+type overBlockingProblem struct{}
+
+func (overBlockingProblem) NumParams() int { return 2 }
+
+func (overBlockingProblem) Forward(_ *budget.Budget, p uset.Set) core.Outcome {
+	if p.Has(0) {
+		return core.Outcome{Proved: true, Steps: 1}
+	}
+	return core.Outcome{Trace: lang.Trace{lang.Invoke{V: "x", M: "m"}}, Steps: 1}
+}
+
+func (overBlockingProblem) Backward(*budget.Budget, uset.Set, lang.Trace) []core.ParamCube {
+	return []core.ParamCube{{}} // empty Pos and Neg: contains every abstraction
+}
+
+func TestOracleFlagsOverBlockingBackward(t *testing.T) {
+	v := CheckSolve(func() core.Problem { return overBlockingProblem{} }, core.Options{})
+	wantCube := false
+	wantVerdict := false
+	for _, s := range v {
+		if strings.Contains(s, "contains proving abstraction") {
+			wantCube = true
+		}
+		if strings.Contains(s, "impossible but an abstraction") {
+			wantVerdict = true
+		}
+	}
+	if !wantCube || !wantVerdict {
+		t.Fatalf("violations = %v, want a cube-soundness and an impossibility flag", v)
+	}
+}
+
+// brokenCubeProblem returns a contradictory cube from every backward pass.
+// Since the learn-site fix, core.Solve fails fast on it; the oracle must
+// still independently flag the cube (property 3) and the non-resolution.
+type brokenCubeProblem struct{}
+
+func (brokenCubeProblem) NumParams() int { return 2 }
+
+func (brokenCubeProblem) Forward(_ *budget.Budget, p uset.Set) core.Outcome {
+	if p.Has(1) {
+		return core.Outcome{Proved: true, Steps: 1}
+	}
+	return core.Outcome{Trace: lang.Trace{lang.Invoke{V: "x", M: "m"}}, Steps: 1}
+}
+
+func (brokenCubeProblem) Backward(*budget.Budget, uset.Set, lang.Trace) []core.ParamCube {
+	return []core.ParamCube{{Pos: uset.New(0), Neg: uset.New(0)}}
+}
+
+func TestOracleFlagsContradictoryCube(t *testing.T) {
+	v := CheckSolve(func() core.Problem { return brokenCubeProblem{} }, core.Options{})
+	sawBroken := false
+	for _, s := range v {
+		if strings.Contains(s, "contradictory cube") {
+			sawBroken = true
+		}
+	}
+	if !sawBroken {
+		t.Fatalf("violations = %v, want a contradictory-cube flag", v)
+	}
+}
+
+// nonCoveringProblem returns a well-formed cube that never contains the
+// abstraction that produced the counterexample, violating the progress
+// guarantee (Theorem 3 clause 1). The oracle must flag the uncovered pass.
+type nonCoveringProblem struct{}
+
+func (nonCoveringProblem) NumParams() int { return 2 }
+
+func (nonCoveringProblem) Forward(_ *budget.Budget, p uset.Set) core.Outcome {
+	if p.Has(0) && p.Has(1) {
+		return core.Outcome{Proved: true, Steps: 1}
+	}
+	return core.Outcome{Trace: lang.Trace{lang.Invoke{V: "x", M: "m"}}, Steps: 1}
+}
+
+func (nonCoveringProblem) Backward(_ *budget.Budget, p uset.Set, _ lang.Trace) []core.ParamCube {
+	// Pos = {0} never covers the first counterexample's p = {}.
+	return []core.ParamCube{{Pos: uset.New(0), Neg: uset.New(1)}}
+}
+
+func TestOracleFlagsUncoveredProgress(t *testing.T) {
+	v := CheckSolve(func() core.Problem { return nonCoveringProblem{} }, core.Options{})
+	sawUncovered := false
+	for _, s := range v {
+		if strings.Contains(s, "does not cover its own abstraction") {
+			sawUncovered = true
+		}
+	}
+	if !sawUncovered {
+		t.Fatalf("violations = %v, want a progress-guarantee flag", v)
+	}
+}
+
+// wrongMinimumProblem simulates a solver being handed a family where the
+// oracle's enumeration disagrees with a Proved cost: Forward is inconsistent
+// between the enumeration instance and the solve instance (the constructor
+// flag flips), mimicking a nondeterministic client. The minimality property
+// must flag the cost gap.
+type wrongMinimumProblem struct {
+	cheap bool // when set, {1} alone proves; otherwise only {0, 1} does
+}
+
+func (w *wrongMinimumProblem) NumParams() int { return 2 }
+
+func (w *wrongMinimumProblem) Forward(_ *budget.Budget, p uset.Set) core.Outcome {
+	if p.Has(1) && (w.cheap || p.Has(0)) {
+		return core.Outcome{Proved: true, Steps: 1}
+	}
+	return core.Outcome{Trace: lang.Trace{lang.Invoke{V: "x", M: "m"}}, Steps: 1}
+}
+
+func (w *wrongMinimumProblem) Backward(_ *budget.Budget, p uset.Set, _ lang.Trace) []core.ParamCube {
+	// Sound for the expensive variant: block the tried abstraction exactly.
+	full := uset.New(0, 1)
+	return []core.ParamCube{{Pos: p, Neg: full.Diff(p)}}
+}
+
+func TestOracleFlagsWrongMinimum(t *testing.T) {
+	instances := 0
+	mk := func() core.Problem {
+		instances++
+		// First instance feeds Enumerate (truth: min cost 1); the second is
+		// solved and only proves at cost 2.
+		return &wrongMinimumProblem{cheap: instances == 1}
+	}
+	v := CheckSolve(mk, core.Options{})
+	sawCost := false
+	for _, s := range v {
+		if strings.Contains(s, "true minimum is") {
+			sawCost = true
+		}
+	}
+	if !sawCost {
+		t.Fatalf("violations = %v, want a minimality flag", v)
+	}
+}

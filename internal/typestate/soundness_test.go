@@ -2,36 +2,35 @@ package typestate
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"tracer/internal/dataflow"
 	"tracer/internal/formula"
 	"tracer/internal/lang"
 	"tracer/internal/meta"
+	"tracer/internal/oracle/gen"
 	"tracer/internal/uset"
 )
 
-// testAtoms returns a representative set of atomic commands over the
-// universe {x, y}, site h (tracked) and g (untracked), field f, global G,
-// and both property methods.
+// testAtoms returns the full atom pool over the universe {x, y}, site h
+// (tracked) and g (untracked), field f, global G, and every property
+// method. The pool is the oracle generator's cross product (see
+// internal/oracle/gen), so these exhaustive suites and the fuzzing harness
+// exercise the same command vocabulary.
 func testAtoms(prop *Property) []lang.Atom {
-	atoms := []lang.Atom{
-		lang.Alloc{V: "x", H: "h"},
-		lang.Alloc{V: "y", H: "h"},
-		lang.Alloc{V: "x", H: "g"},
-		lang.Move{Dst: "x", Src: "y"},
-		lang.Move{Dst: "y", Src: "x"},
-		lang.Move{Dst: "x", Src: "x"},
-		lang.MoveNull{V: "x"},
-		lang.GlobalRead{V: "y", G: "G"},
-		lang.GlobalWrite{G: "G", V: "x"},
-		lang.Load{Dst: "x", Src: "y", F: "f"},
-		lang.Store{Dst: "x", F: "f", Src: "y"},
-	}
+	methods := make([]string, 0, len(prop.Methods))
 	for m := range prop.Methods {
-		atoms = append(atoms, lang.Invoke{V: "x", M: m}, lang.Invoke{V: "y", M: m})
+		methods = append(methods, m)
 	}
-	return atoms
+	sort.Strings(methods)
+	return gen.Pool(gen.Universe{
+		Vars:    []string{"x", "y"},
+		Sites:   []string{"h", "g"},
+		Fields:  []string{"f"},
+		Globals: []string{"G"},
+		Methods: methods,
+	})
 }
 
 // primsFor returns every primitive over the test universe.
