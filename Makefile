@@ -40,10 +40,12 @@ fuzz:
 bench:
 	go test -bench=. -benchmem -run xxx .
 
-# Formula-kernel microbenchmarks (Approx, WpDNF, Simplify) with allocs/op —
-# the regression gate for the interned DNF kernel's hot paths.
+# Perf-kernel microbenchmarks with allocs/op — the regression gate for the
+# interned DNF kernel's hot paths (Approx, WpDNF, Simplify) and the
+# incremental minimum-model solver's warm/fresh resolve loop.
 bench-micro:
 	go test -run=NONE -bench 'Approx|WpDNF|Simplify' -benchmem ./internal/formula/...
+	go test -run=NONE -bench 'MinimumIncremental' -benchmem ./internal/minsat/...
 
 # Regenerate the checked-in perf-trajectory series (github-action-benchmark
 # shape). Scaled-down budget so it finishes in a couple of minutes.

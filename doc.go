@@ -29,7 +29,14 @@
 //   - bench: the synthetic benchmark suite and experiment harness
 //   - obs: the observability layer — structured events (NDJSON), counters,
 //     gauges, and timers threaded through core, minsat, rhs, and bench;
-//     a no-op by default
+//     a no-op by default. The counter vocabulary is defined (and documented)
+//     on the constants in internal/obs: minsat.search_nodes and
+//     minsat.incremental_reuse for the incremental min-cost solver,
+//     formula.subsumption_checks / formula.sig_filtered / formula.sig_skips
+//     for the signature-screened kernel scans, and
+//     meta.wp_formula_memo_hits/_misses for the whole-formula WP memo;
+//     README.md has the full reference table and a guide to reading the
+//     bench JSON these land in
 //
 // Three commands sit on top. cmd/tracer answers the queries of one
 // mini-IR program (-engine inline|rhs, -auto, -explain, plus -trace for

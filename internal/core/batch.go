@@ -613,6 +613,12 @@ func runUnit(bp BatchProblem, opts Options, res *BatchResult, u unit, recording 
 			Iter: res.Results[q].Iterations, AbsSize: pl.p.Len(),
 			Cubes: len(cubes), WallNS: int64(time.Since(bstart))})
 	}
+	// Clone carries the group solver's warm state (cached minimum and cost
+	// floor) into the refined clause set, so the next round's Minimum for the
+	// successor group resumes from this round's floor instead of starting
+	// cold. When several units land on one signature, the sequential merge
+	// below keeps the first unit's solver in deterministic unit order, so the
+	// donated warm state is independent of the worker count.
 	next := pl.g.solver.Clone()
 	covered, rejected := learnCubes(next, pl.p, cubes, buf, recording, strconv.Itoa(q), res.Results[q].Iterations)
 	if !covered {

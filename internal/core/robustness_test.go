@@ -124,7 +124,10 @@ func TestSolveDeadlineMidPhase(t *testing.T) {
 	}{
 		{"forward", &spinProblem{phase: "forward"}},
 		{"backward", &spinProblem{phase: "backward"}},
-		{"minimum", &hardMinProblem{n: 60}},
+		// n sized so the fresh minimum search runs for seconds (the
+		// occurrence-list engine solves n=60 in ~10ms), keeping the 40ms
+		// deadline tripping mid-search rather than after a completed solve.
+		{"minimum", &hardMinProblem{n: 140}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

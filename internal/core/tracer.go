@@ -317,6 +317,10 @@ func Solve(pr Problem, opts Options) (res Result, err error) {
 	start := time.Now()
 	bud := opts.newBudget(start)
 	inj := opts.Inject
+	// One solver lives across all CEGAR iterations, so after each round's
+	// Block the next Minimum re-searches from the previous cost floor (or is
+	// answered from the cached model outright) instead of starting cold — see
+	// the incrementality contract in internal/minsat.
 	solver := minsat.New(pr.NumParams())
 	if recording {
 		solver.Instrument(rec)

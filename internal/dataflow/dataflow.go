@@ -99,28 +99,37 @@ type origin[D comparable] struct {
 	atom      lang.Atom
 }
 
+// nodeState is a discovered (node, state) pair, the key of the flat
+// provenance map.
+type nodeState[D comparable] struct {
+	node  int
+	state D
+}
+
 // Result holds the states computed at every CFG node along with provenance.
+// Discoveries live in one flat map keyed by (node, state) — a solve touches
+// far fewer pairs than the CFG has nodes, so per-node maps would spend most
+// of their allocation on empty buckets — plus a per-node slice for O(states
+// at n) enumeration.
 type Result[D comparable] struct {
 	g      *lang.CFG
 	tr     Transfer[D]
-	states []map[D]origin[D]
+	seen   map[nodeState[D]]origin[D]
+	byNode [][]D
 	// Steps counts (node, state) discoveries, a machine-independent cost
 	// measure used by the benchmark harness.
 	Steps int
 }
 
-// States returns the set of abstract states reaching node n.
+// States returns the abstract states reaching node n, in discovery order.
+// The slice is shared with the result and must not be mutated.
 func (r *Result[D]) States(n int) []D {
-	out := make([]D, 0, len(r.states[n]))
-	for d := range r.states[n] {
-		out = append(out, d)
-	}
-	return out
+	return r.byNode[n]
 }
 
 // Has reports whether state d reaches node n.
 func (r *Result[D]) Has(n int, d D) bool {
-	_, ok := r.states[n][d]
+	_, ok := r.seen[nodeState[D]{n, d}]
 	return ok
 }
 
@@ -130,7 +139,7 @@ func (r *Result[D]) Has(n int, d D) bool {
 func (r *Result[D]) Witness(n int, d D) lang.Trace {
 	var rev []lang.Atom
 	for {
-		o, ok := r.states[n][d]
+		o, ok := r.seen[nodeState[D]{n, d}]
 		if !ok {
 			panic(fmt.Sprintf("dataflow: no witness for state %v at node %d", d, n))
 		}
@@ -163,18 +172,60 @@ func Solve[D comparable](g *lang.CFG, init D, tr Transfer[D]) *Result[D] {
 // reachable states, so callers must check b.Tripped() before trusting a
 // "no failing state found" scan of it. A nil budget never trips.
 func SolveBudget[D comparable](g *lang.CFG, init D, tr Transfer[D], b *budget.Budget) *Result[D] {
-	r := &Result[D]{g: g, tr: tr, states: make([]map[D]origin[D], g.Nodes)}
-	for i := range r.states {
-		r.states[i] = make(map[D]origin[D])
+	return SolveBudgetHint(g, init, tr, b, 0)
+}
+
+// SolveBudgetHint is SolveBudget with a capacity hint for the discovery map:
+// the expected number of (node, state) discoveries, typically the Steps
+// count of a previous solve of the same CFG (CEGAR re-solves one CFG dozens
+// of times, and consecutive iterations discover similar state counts — the
+// exact hint avoids both rehash doublings and a mostly-empty table).
+// hint <= 0 falls back to a bounded guess from the CFG size.
+func SolveBudgetHint[D comparable](g *lang.CFG, init D, tr Transfer[D], b *budget.Budget, hint int) *Result[D] {
+	return SolveScratch(g, init, tr, b, hint, nil)
+}
+
+// Scratch is reusable solver state for repeated solves over the same (or a
+// same-sized) CFG — the CEGAR loop re-solves one CFG dozens of times, and
+// re-allocating the discovery map, the per-node slices, and the worklist
+// each iteration dominates the solver's allocation. A Scratch is owned by
+// one solve at a time: reusing it invalidates the Result of the previous
+// SolveScratch call that used it.
+type Scratch[D comparable] struct {
+	seen   map[nodeState[D]]origin[D]
+	byNode [][]D
+	work   []nodeState[D]
+}
+
+// SolveScratch is SolveBudgetHint with optional state reuse; sc may be nil.
+func SolveScratch[D comparable](g *lang.CFG, init D, tr Transfer[D], b *budget.Budget, hint int, sc *Scratch[D]) *Result[D] {
+	r := &Result[D]{g: g, tr: tr}
+	var work []nodeState[D]
+	if sc != nil && sc.seen != nil && len(sc.byNode) >= g.Nodes {
+		clear(sc.seen)
+		byNode := sc.byNode[:g.Nodes]
+		for i := range byNode {
+			byNode[i] = byNode[i][:0]
+		}
+		r.seen, r.byNode = sc.seen, byNode
+		work = sc.work[:0]
+	} else {
+		if hint <= 0 {
+			hint = g.Nodes
+			if hint > 1024 {
+				hint = 1024
+			}
+		}
+		if hint < 64 {
+			hint = 64
+		}
+		r.seen = make(map[nodeState[D]]origin[D], hint)
+		r.byNode = make([][]D, g.Nodes)
 	}
-	type item struct {
-		node  int
-		state D
-	}
-	var work []item
-	r.states[g.Entry][init] = origin[D]{root: true}
+	r.seen[nodeState[D]{g.Entry, init}] = origin[D]{root: true}
+	r.byNode[g.Entry] = append(r.byNode[g.Entry], init)
 	r.Steps++
-	work = append(work, item{g.Entry, init})
+	work = append(work, nodeState[D]{g.Entry, init})
 	for len(work) > 0 {
 		if !b.Poll() {
 			break
@@ -187,12 +238,21 @@ func SolveBudget[D comparable](g *lang.CFG, init D, tr Transfer[D], b *budget.Bu
 			if e.A != nil {
 				next = tr(e.A, it.state)
 			}
-			if _, seen := r.states[e.To][next]; seen {
+			key := nodeState[D]{e.To, next}
+			if _, seen := r.seen[key]; seen {
 				continue
 			}
-			r.states[e.To][next] = origin[D]{pred: it.node, predState: it.state, atom: e.A}
+			r.seen[key] = origin[D]{pred: it.node, predState: it.state, atom: e.A}
+			r.byNode[e.To] = append(r.byNode[e.To], next)
 			r.Steps++
-			work = append(work, item{e.To, next})
+			work = append(work, key)
+		}
+	}
+	if sc != nil {
+		sc.seen, sc.work = r.seen, work[:0]
+		// Keep the longer per-node table when the scratch outgrew this CFG.
+		if len(sc.byNode) < len(r.byNode) {
+			sc.byNode = r.byNode
 		}
 	}
 	return r

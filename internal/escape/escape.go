@@ -129,8 +129,10 @@ func (a *Analysis) slots() int { return a.Locals.Len() + a.Fields.Len() }
 func (a *Analysis) localSlot(v string) int { return a.Locals.ID(v) }
 func (a *Analysis) fieldSlot(f string) int { return a.Locals.Len() + a.Fields.ID(f) }
 
-// internEnv canonicalizes an environment payload.
-func (a *Analysis) internEnv(env []byte) State { return State(a.envs.ID(string(env))) }
+// internEnv canonicalizes an environment payload. The payload is not
+// retained (intern.Strings.IDBytes copies on miss), so callers may hand in
+// reusable scratch buffers.
+func (a *Analysis) internEnv(env []byte) State { return State(a.envs.IDBytes(env)) }
 
 // env returns the payload of a state; the result must not be mutated.
 func (a *Analysis) env(d State) string { return a.envs.Value(int(d)) }
@@ -150,9 +152,23 @@ func (a *Analysis) set(d State, i int, val Value) State {
 	if Value(cur[i]) == val {
 		return d
 	}
-	buf := []byte(cur)
+	// The edited payload usually names an already-interned state, so build it
+	// in a stack buffer: internEnv only copies on a genuine miss.
+	var arr [512]byte
+	buf := editBuf(arr[:], cur)
 	buf[i] = byte(val)
 	return a.internEnv(buf)
+}
+
+// editBuf copies cur into arr when it fits, falling back to the heap for
+// extraordinarily wide environments.
+func editBuf(arr []byte, cur string) []byte {
+	if len(cur) <= len(arr) {
+		buf := arr[:len(cur)]
+		copy(buf, cur)
+		return buf
+	}
+	return []byte(cur)
 }
 
 // Initial returns the state mapping every local and field to N.
@@ -216,7 +232,8 @@ func (a *Analysis) AllAbstractions() []uset.Set {
 // fields reset to N (no L objects remain).
 func (a *Analysis) esc(d State) State {
 	cur := a.env(d)
-	buf := []byte(cur)
+	var arr [512]byte
+	buf := editBuf(arr[:], cur)
 	for i := 0; i < a.Locals.Len(); i++ {
 		if Value(buf[i]) != N {
 			buf[i] = byte(E)

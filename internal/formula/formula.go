@@ -78,6 +78,7 @@ type Conj struct {
 	u    *Universe
 	ids  []uint32 // canonical (key-sorted, deduplicated) literal IDs
 	hash uint64   // FNV-1a over ids; 0 for the empty conjunction
+	sig  uint64   // presence signature: OR of 1<<(id&63) over ids
 }
 
 // NewConj builds a canonical conjunction from literals, interning them into
@@ -101,29 +102,29 @@ func NewConj(u *Universe, lits ...Lit) Conj {
 	return mkConj(u, out)
 }
 
-// mkConj finalizes a canonical (sorted, deduplicated) id list.
+// mkConj finalizes a canonical (sorted, deduplicated) id list, computing the
+// identity hash and the presence signature in one pass. The signature maps
+// each id to bit id&63, so it is stable as the universe grows: a set bit
+// means "some literal with this residue is present", and superset tests on
+// signatures are a sound necessary condition for subsumption.
 func mkConj(u *Universe, ids []uint32) Conj {
 	if len(ids) == 0 {
 		return Conj{}
 	}
-	return Conj{u: u, ids: ids, hash: hashIDs(ids)}
+	h := uint64(fnvOffset)
+	var sig uint64
+	for _, id := range ids {
+		h ^= uint64(id)
+		h *= fnvPrime
+		sig |= 1 << (id & 63)
+	}
+	return Conj{u: u, ids: ids, hash: h, sig: sig}
 }
 
 const (
 	fnvOffset = 14695981039346656037
 	fnvPrime  = 1099511628211
 )
-
-// hashIDs is FNV-1a over the id values; canonical id lists are equal iff
-// their conjunctions are, so the hash keys deduplication sets directly.
-func hashIDs(ids []uint32) uint64 {
-	h := uint64(fnvOffset)
-	for _, id := range ids {
-		h ^= uint64(id)
-		h *= fnvPrime
-	}
-	return h
-}
 
 func equalIDs(a, b []uint32) bool {
 	if len(a) != len(b) {
@@ -146,6 +147,32 @@ func (c Conj) Hash() uint64 { return c.hash }
 
 // Equal reports whether c and d are the same canonical conjunction.
 func (c Conj) Equal(d Conj) bool { return c.hash == d.hash && equalIDs(c.ids, d.ids) }
+
+// Fingerprint returns an order-sensitive 64-bit fingerprint of d for memo
+// keys; pair it with Equal to resolve collisions.
+func (d DNF) Fingerprint() uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range d {
+		h ^= c.hash
+		h *= fnvPrime
+	}
+	return h
+}
+
+// Equal reports whether d and e are structurally identical: the same cubes
+// in the same order. DNF construction is deterministic, so structural
+// equality is the right identity for memoizing DNF-valued functions.
+func (d DNF) Equal(e DNF) bool {
+	if len(d) != len(e) {
+		return false
+	}
+	for i := range d {
+		if d[i].hash != e[i].hash || !equalIDs(d[i].ids, e[i].ids) {
+			return false
+		}
+	}
+	return true
+}
 
 // Retain returns the sub-conjunction of literals at indices where keep is
 // true, preserving canonical order.
@@ -265,13 +292,19 @@ func unsatIDs(u *Universe, v *uview, ids []uint32) bool {
 		mask = make(uset.Words, w)
 	}
 	mask.SetBit(ids[0])
+	var hits int64
+	unsat := false
 	for _, id := range ids[1:] {
-		if u.conRow(v, id).Intersects(mask) {
-			return true
+		if u.conRowBatch(v, id, &hits).Intersects(mask) {
+			unsat = true
+			break
 		}
 		mask.SetBit(id)
 	}
-	return false
+	if hits > 0 {
+		u.memoHits.Add(hits)
+	}
+	return unsat
 }
 
 // reduceIDs drops literals entailed by another literal of the list (e.g.
@@ -282,16 +315,18 @@ func reduceIDs(u *Universe, v *uview, ids []uint32) []uint32 {
 	n := len(ids)
 	out := ids
 	removed := 0
+	var hits int64
 	for i := 0; i < n; i++ {
 		li := ids[i]
-		ri := u.impRow(v, li) // {a : a entails li}; the diagonal bit is i itself
+		// {a : a entails li}; the diagonal bit is i itself
+		ri := u.impRowBatch(v, li, &hits)
 		dropI := false
 		for j := 0; j < n; j++ {
 			if i == j {
 				continue
 			}
 			lj := ids[j]
-			if ri.Has(lj) && (j < i || !u.impRow(v, lj).Has(li)) {
+			if ri.Has(lj) && (j < i || !u.impRowBatch(v, lj, &hits).Has(li)) {
 				dropI = true
 				break
 			}
@@ -305,13 +340,19 @@ func reduceIDs(u *Universe, v *uview, ids []uint32) []uint32 {
 			out = append(out, ids[i])
 		}
 	}
+	if hits > 0 {
+		u.memoHits.Add(hits)
+	}
 	return out
 }
 
-// mergeIDs merges two canonically sorted id lists, deduplicating; rank is
-// the universe's key order, so the result is canonical again.
-func mergeIDs(rank []int32, a, b []uint32) []uint32 {
-	out := make([]uint32, 0, len(a)+len(b))
+// mergeIDs merges two canonically sorted id lists into dst[:0],
+// deduplicating; rank is the universe's key order, so the result is canonical
+// again. And passes a reusable scratch buffer as dst — most products die in
+// the unsat/duplicate filters, so the merge result is copied out only for
+// the few that survive.
+func mergeIDs(dst []uint32, rank []int32, a, b []uint32) []uint32 {
+	out := dst[:0]
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		x, y := a[i], b[j]
@@ -332,15 +373,57 @@ func mergeIDs(rank []int32, a, b []uint32) []uint32 {
 	return append(out, b[j:]...)
 }
 
+// crossUnsat reports whether some literal of ids2 contradicts a literal of
+// the cube whose ids are set in mask1. When both operand cubes of a product
+// are internally contradiction-free — which prepAndSides established for
+// every non-skipped And operand — a contradictory pair in the merged cube
+// must be a cross pair, so this scan is equivalent to the full pairwise scan
+// over the merged id list while loading only len(ids2) memo rows and running
+// before the merge is materialized. A literal shared by both sides is
+// excluded from its own row test: the merged cube contains it once, and the
+// pairwise scan never tested a literal against itself.
+func crossUnsat(u *Universe, v *uview, mask1 uset.Words, ids2 []uint32) bool {
+	var hits int64
+	unsat := false
+	for _, b := range ids2 {
+		row := u.conRowBatch(v, b, &hits)
+		if !row.Intersects(mask1) {
+			continue
+		}
+		if mask1.Has(b) && row.Has(b) {
+			// Shared literal whose row has its own diagonal bit (a theory
+			// self-contradiction): re-test without it.
+			mask1.ClearBit(b)
+			hit := row.Intersects(mask1)
+			mask1.SetBit(b)
+			if !hit {
+				continue
+			}
+		}
+		unsat = true
+		break
+	}
+	if hits > 0 {
+		u.memoHits.Add(hits)
+	}
+	return unsat
+}
+
 // impliesMask reports whether every literal of d is entailed by some literal
 // in mask (a bitset of the antecedent conjunction's ids).
 func impliesMask(u *Universe, v *uview, mask uset.Words, d []uint32) bool {
+	var hits int64
+	ok := true
 	for _, ld := range d {
-		if !u.impRow(v, ld).Intersects(mask) {
-			return false
+		if !u.impRowBatch(v, ld, &hits).Intersects(mask) {
+			ok = false
+			break
 		}
 	}
-	return true
+	if hits > 0 {
+		u.memoHits.Add(hits)
+	}
+	return ok
 }
 
 // Implies reports whether c entails d: every literal of d is entailed by
@@ -362,33 +445,94 @@ func (c Conj) Implies(d Conj) bool {
 // ConjSet is a deduplication set of canonical conjunctions, keyed by the
 // precomputed hash with an id-slice check on collisions. The zero value is
 // ready to use. Not safe for concurrent use.
+//
+// Small sets — the overwhelming majority under dropk-bounded DNF widths —
+// stay in an inline linear array, so they cost no allocation at all. Larger
+// sets move to an open-addressed index table over an insertion-order element
+// slice: the table holds 4-byte indices (zero meaning empty, so a freshly
+// zeroed table needs no -1 fill pass), which keeps escalation and doubling
+// an order of magnitude lighter than a table of inline Conj slots or a Go
+// map with a per-bucket slice behind every distinct hash.
 type ConjSet struct {
-	m map[uint64][]Conj
+	n     int
+	small [conjSetSmallMax]Conj
+	elems []Conj  // insertion order
+	slots []int32 // linear probing; len is a power of two; value = elem index + 1
 }
+
+const conjSetSmallMax = 16
 
 // Add inserts c and reports whether it was absent.
 func (s *ConjSet) Add(c Conj) bool {
-	if s.m == nil {
-		s.m = make(map[uint64][]Conj)
-	}
-	bucket := s.m[c.hash]
-	for _, o := range bucket {
-		if equalIDs(o.ids, c.ids) {
-			return false
+	if s.slots == nil {
+		for _, o := range s.small[:s.n] {
+			if o.hash == c.hash && equalIDs(o.ids, c.ids) {
+				return false
+			}
 		}
+		if s.n < conjSetSmallMax {
+			s.small[s.n] = c
+			s.n++
+			return true
+		}
+		s.elems = append(make([]Conj, 0, 2*conjSetSmallMax), s.small[:s.n]...)
+		s.n = 0
+		s.rebuild(4 * conjSetSmallMax)
 	}
-	s.m[c.hash] = append(bucket, c)
+	if s.lookup(c) {
+		return false
+	}
+	if 2*(len(s.elems)+1) > len(s.slots) { // keep load factor under 1/2
+		s.rebuild(2 * len(s.slots))
+	}
+	s.elems = append(s.elems, c)
+	s.place(int32(len(s.elems)))
 	return true
 }
 
 // Has reports whether c is present.
 func (s *ConjSet) Has(c Conj) bool {
-	for _, o := range s.m[c.hash] {
-		if equalIDs(o.ids, c.ids) {
+	if s.slots == nil {
+		for _, o := range s.small[:s.n] {
+			if o.hash == c.hash && equalIDs(o.ids, c.ids) {
+				return true
+			}
+		}
+		return false
+	}
+	return s.lookup(c)
+}
+
+func (s *ConjSet) lookup(c Conj) bool {
+	mask := uint64(len(s.slots) - 1)
+	for i := c.hash & mask; ; i = (i + 1) & mask {
+		ei := s.slots[i]
+		if ei == 0 {
+			return false
+		}
+		o := &s.elems[ei-1]
+		if o.hash == c.hash && equalIDs(o.ids, c.ids) {
 			return true
 		}
 	}
-	return false
+}
+
+// place writes the 1-based element index into its probe slot; the
+// load-factor bound guarantees a free slot exists.
+func (s *ConjSet) place(ei int32) {
+	mask := uint64(len(s.slots) - 1)
+	i := s.elems[ei-1].hash & mask
+	for s.slots[i] != 0 {
+		i = (i + 1) & mask
+	}
+	s.slots[i] = ei
+}
+
+func (s *ConjSet) rebuild(n int) {
+	s.slots = make([]int32, n)
+	for i := range s.elems {
+		s.place(int32(i + 1))
+	}
 }
 
 // DNF is a disjunction of conjunctions. nil is false; a DNF containing an
@@ -476,20 +620,46 @@ func (d DNF) Or(e DNF) DNF {
 }
 
 func orInto(out DNF, seen *ConjSet, u *Universe, v *uview, d DNF) DNF {
+	var skips int64
 	for _, c := range d {
 		if len(c.ids) >= 2 {
-			if unsatIDs(u, v, c.ids) {
-				continue
+			impCap, conCap := capUnion(u, v, c.ids)
+			if conCap&c.sig != 0 {
+				if unsatIDs(u, v, c.ids) {
+					continue
+				}
+			} else {
+				skips++ // signature proves no contradictory pair
 			}
-			if ids := reduceIDs(u, v, c.ids); len(ids) != len(c.ids) {
-				c = mkConj(u, ids)
+			if impCap&c.sig != 0 {
+				if ids := reduceIDs(u, v, c.ids); len(ids) != len(c.ids) {
+					c = mkConj(u, ids)
+				}
+			} else {
+				skips++ // signature proves no entailing pair
 			}
 		}
 		if seen.Add(c) {
 			out = append(out, c)
 		}
 	}
+	if skips > 0 {
+		u.sigSkips.Add(skips)
+	}
 	return out
+}
+
+// capUnion ORs the capability signatures of an id list: impCap covers every
+// id some listed literal strictly entails, conCap every id some listed
+// literal contradicts. A zero intersection with a conjunction's presence
+// signature proves the corresponding pairwise scan would find nothing.
+func capUnion(u *Universe, v *uview, ids []uint32) (impCap, conCap uint64) {
+	for _, id := range ids {
+		imp, con := u.capOf(v, id)
+		impCap |= imp
+		conCap |= con
+	}
+	return impCap, conCap
 }
 
 // And returns the conjunction d ∧ e, distributing into DNF, with
@@ -507,30 +677,221 @@ func (d DNF) And(e DNF) DNF {
 		v = u.view.Load()
 		u.products.Add(int64(len(d)) * int64(len(e)))
 	}
+	// Per-operand-disjunct capability signatures, computed once per call and
+	// tested per product: a merged cube can only contain a contradictory
+	// (resp. entailing) pair if some literal's contradiction (entailment)
+	// signature meets the merged presence signature. An operand disjunct that
+	// is internally unsatisfiable poisons every product it touches, so its
+	// whole row/column is skipped outright.
+	var sdBuf, seBuf [8]andSide
+	sd, se := prepAndSides(sdBuf[:0], u, v, d), prepAndSides(seBuf[:0], u, v, e)
+	out, _ := andCore(u, v, d, sd, e, se, nil)
+	return out
+}
+
+// AndChain folds d ∧ subs[0] ∧ subs[1] ∧ … into DNF, stopping early when
+// the accumulator collapses to false or poll (if non-nil) reports the budget
+// tripped — in which case the partial conjunction computed so far is
+// returned, exactly as a caller-side And loop would.
+//
+// The point of the dedicated entry is incremental reuse: And derives each
+// operand disjunct's filter state (capability signatures plus an internal
+// satisfiability check) from scratch on every call, so a fold over And
+// re-derives the accumulator's state once per link. AndChain instead carries
+// the survivors' state across links — a product's capability signature is
+// the union of its parents' (an over-approximation after literal reduction,
+// which can only cost a redundant scan, never an unsound skip), and a
+// survivor is contradiction-free by construction. A view change mid-chain
+// (new literals interned) invalidates carried signatures; the fold detects
+// that and re-derives the state for the next link.
+func (d DNF) AndChain(subs []DNF, poll func() bool) DNF {
+	acc := d
+	var accSides []andSide
+	// Two survivor-side buffers, alternated per link: the incoming accSides
+	// may occupy the one the previous link wrote, so the next link must
+	// append into the other.
+	var accBuf, seBuf, outA, outB [8]andSide
+	outBufs := [2][]andSide{outA[:0], outB[:0]}
+	flip := 0
+	var u *Universe
+	var v *uview
+	for _, s := range subs {
+		if poll != nil && !poll() {
+			break
+		}
+		if len(acc) == 0 || len(s) == 0 {
+			return nil
+		}
+		if u == nil {
+			u = acc.universe()
+			if u == nil {
+				u = s.universe()
+			}
+			if u != nil {
+				v = u.view.Load()
+			}
+		}
+		if u != nil {
+			if cur := u.view.Load(); cur != v {
+				v = cur
+				accSides = nil
+			}
+			u.products.Add(int64(len(acc)) * int64(len(s)))
+		}
+		if accSides == nil {
+			accSides = prepAndSides(accBuf[:0], u, v, acc)
+		}
+		se := prepAndSides(seBuf[:0], u, v, s)
+		acc, accSides = andCore(u, v, acc, accSides, s, se, outBufs[flip][:0])
+		flip = 1 - flip
+	}
+	return acc
+}
+
+// andCore is the product loop shared by And and AndChain: conjoin every
+// (d, e) disjunct pair under the precomputed filter states sd and se. When
+// sideBuf is non-nil it also returns each survivor's filter state (appended
+// into sideBuf), aligned with the returned DNF.
+func andCore(u *Universe, v *uview, d DNF, sd []andSide, e DNF, se []andSide, sideBuf []andSide) (DNF, []andSide) {
+	var skips int64
 	var out DNF
+	outSides := sideBuf
+	// A lone product cannot collide with anything, so the dedup set — and its
+	// hashing — is bypassed entirely for 1×1 conjunctions, the bulk of the
+	// backward walk's And traffic.
+	single := len(d) == 1 && len(e) == 1
 	var seen ConjSet
-	for _, c1 := range d {
-		for _, c2 := range e {
+	var scratch []uint32
+	// Survivor id lists are carved out of a shared arena: many small merged
+	// cubes become a few chunk allocations. Full slice expressions keep later
+	// appends from clobbering handed-out chunks.
+	var arena []uint32
+	var buf1 [8]uint64
+	for i1, c1 := range d {
+		s1 := sd[i1]
+		if s1.skip {
+			continue
+		}
+		var mask1 uset.Words
+		if len(c1.ids) > 0 {
+			mask1 = maskOf(buf1[:], c1.ids)
+		}
+		for i2, c2 := range e {
+			s2 := se[i2]
+			if s2.skip {
+				continue
+			}
 			var ids []uint32
+			var sig uint64
+			scratched := false // ids aliases scratch: copy before retaining
 			switch {
 			case len(c1.ids) == 0:
-				ids = c2.ids
+				ids, sig = c2.ids, c2.sig
 			case len(c2.ids) == 0:
-				ids = c1.ids
+				ids, sig = c1.ids, c1.sig
 			default:
-				ids = mergeIDs(v.rank, c1.ids, c2.ids)
-			}
-			// Prune before hashing: most products of large formulas die here.
-			if len(ids) >= 2 {
-				if unsatIDs(u, v, ids) {
-					continue
+				// Both operands are internally contradiction-free, so an
+				// unsatisfiable product must pair a c1 literal against a c2
+				// literal — testable from c2's rows against c1's mask before
+				// paying for the merge. Most doomed products die here without
+				// ever materializing their id list.
+				if (s1.conCap&c2.sig)|(s2.conCap&c1.sig) != 0 {
+					if crossUnsat(u, v, mask1, c2.ids) {
+						continue
+					}
+				} else {
+					skips++ // signatures prove no contradictory cross pair
 				}
-				ids = reduceIDs(u, v, ids)
+				scratch = mergeIDs(scratch, v.rank, c1.ids, c2.ids)
+				ids, sig = scratch, c1.sig|c2.sig
+				scratched = true
+			}
+			if len(ids) >= 2 {
+				if (s1.impCap|s2.impCap)&sig != 0 {
+					// reduceIDs allocates only when it drops a literal, so a
+					// shorter result no longer aliases the scratch buffer.
+					if r := reduceIDs(u, v, ids); len(r) != len(ids) {
+						ids, scratched = r, false
+					}
+				} else {
+					skips++
+				}
 			}
 			c := mkConj(u, ids)
-			if seen.Add(c) {
-				out = append(out, c)
+			if !single && seen.Has(c) {
+				continue
 			}
+			if scratched {
+				if len(arena)+len(ids) > cap(arena) {
+					// Start small — most And calls keep only a cube or two —
+					// and double per exhausted chunk.
+					n := 2 * cap(arena)
+					if n < 16 {
+						n = 16
+					}
+					if len(ids) > n {
+						n = len(ids)
+					}
+					arena = make([]uint32, 0, n)
+				}
+				start := len(arena)
+				arena = append(arena, ids...)
+				c.ids = arena[start:len(arena):len(arena)]
+			}
+			if !single {
+				seen.Add(c)
+			}
+			if out == nil {
+				// First survivor: size for the common shape (few survivors
+				// per operand pair) without paying for calls that die empty.
+				n := len(d) + len(e)
+				if p := len(d) * len(e); p < n {
+					n = p
+				}
+				out = make(DNF, 0, n)
+			}
+			out = append(out, c)
+			if outSides != nil {
+				// A survivor is contradiction-free by construction (both
+				// parents are, and their cross pairs were just checked); its
+				// capability signature is the union of its parents', which
+				// over-approximates after literal reduction — safe for a
+				// skip gate.
+				outSides = append(outSides, andSide{
+					impCap: s1.impCap | s2.impCap,
+					conCap: s1.conCap | s2.conCap,
+				})
+			}
+		}
+	}
+	if skips > 0 {
+		u.sigSkips.Add(skips)
+	}
+	return out, outSides
+}
+
+// andSide is one operand disjunct's precomputed filter state for And.
+type andSide struct {
+	skip           bool // internally unsatisfiable: every product dies
+	impCap, conCap uint64
+}
+
+// prepAndSides appends each disjunct's filter state to buf, which And hands
+// in as a stack array so typical (narrow) operands allocate nothing.
+func prepAndSides(buf []andSide, u *Universe, v *uview, d DNF) []andSide {
+	out := buf
+	if cap(out) < len(d) {
+		out = make([]andSide, 0, len(d))
+	}
+	out = out[:len(d)]
+	for i, c := range d {
+		s := &out[i]
+		*s = andSide{}
+		s.impCap, s.conCap = capUnion(u, v, c.ids)
+		// The signature gate is exact here too: conCap∩sig == 0 proves the
+		// disjunct contradiction-free without a scan.
+		if len(c.ids) >= 2 && s.conCap&c.sig != 0 && unsatIDs(u, v, c.ids) {
+			s.skip = true
 		}
 	}
 	return out
@@ -540,11 +901,16 @@ func (d DNF) And(e DNF) DNF {
 // determinism), as required by toDNF in Fig 8. The tie-break compares
 // interned keys positionally without materializing the joined string.
 func (d DNF) SortBySize() DNF {
-	out := append(DNF{}, d...)
 	var v *uview
 	if u := d.universe(); u != nil {
 		v = u.view.Load()
 	}
+	// DNFs that have been through the pipeline once are usually already in
+	// order; detecting that saves the defensive copy.
+	if d.sortedBySize(v) {
+		return d
+	}
+	out := append(DNF{}, d...)
 	sort.SliceStable(out, func(i, j int) bool {
 		if len(out[i].ids) != len(out[j].ids) {
 			return len(out[i].ids) < len(out[j].ids)
@@ -557,37 +923,121 @@ func (d DNF) SortBySize() DNF {
 	return out
 }
 
+func (d DNF) sortedBySize(v *uview) bool {
+	for i := 1; i < len(d); i++ {
+		if len(d[i-1].ids) < len(d[i].ids) {
+			continue
+		}
+		if len(d[i-1].ids) > len(d[i].ids) {
+			return false
+		}
+		if v != nil && v.lessJoined(d[i].ids, d[i-1].ids) {
+			return false
+		}
+	}
+	return true
+}
+
 // Simplify removes disjuncts subsumed by earlier (shorter) ones: a disjunct
 // is dropped if it entails a kept disjunct, which means its denotation is
 // contained in the kept one's and removing it preserves δ (Fig 8).
+//
+// Candidate×kept pairs are screened before the full entailment check by two
+// index structures, both sound necessary conditions, so most pairs never
+// dereference a cube:
+//
+//   - One-watched-literal groups: kept disjuncts sharing a first id w live in
+//     one group. A candidate can only entail them if some candidate literal
+//     entails w, i.e. imp(w) intersects the candidate's mask — one row test
+//     dismisses the whole group.
+//   - Signature superset test: a candidate entails a kept disjunct only if
+//     the kept presence signature is covered by the candidate's capability
+//     signature (the ids its literals entail, plus its own ids for the
+//     diagonal). kept.sig &^ csig != 0 disproves subsumption bitwise.
+//
+// Dismissed pairs count on formula.sig_filtered; executed full checks on
+// formula.subsumption_checks. The redundancy decision is an existential over
+// kept disjuncts, so reordering the checks by group never changes the output.
 func (d DNF) Simplify() DNF {
-	sorted := d.SortBySize()
-	if len(sorted) <= 1 {
-		return sorted
+	if len(d) <= 1 {
+		return d // nothing to subsume or reorder; skip the sort copy
 	}
+	sorted := d.SortBySize()
 	u := d.universe()
 	if u == nil { // every disjunct is the empty conjunction
 		return sorted[:1]
 	}
+	if len(sorted[0].ids) == 0 {
+		return sorted[:1] // a true disjunct subsumes everything
+	}
 	v := u.view.Load()
-	var out DNF
-	var checks int64
+	out := make(DNF, 0, len(sorted))
+	// A group's first member lives inline; the overflow slice is only
+	// allocated for groups that accumulate a second kept disjunct, which is
+	// the minority — most first ids are unique within a DNF.
+	type watchGroup struct {
+		w     uint32 // shared first id of the group's kept disjuncts
+		first int32
+		rest  []int32
+	}
+	var groups []watchGroup
+	var checks, filtered int64
 	var buf [8]uint64
 	for _, c := range sorted {
 		mask := maskOf(buf[:], c.ids)
+		var csig uint64
+		for _, id := range c.ids {
+			imp, _ := u.capOf(v, id)
+			csig |= imp | 1<<(id&63)
+		}
 		redundant := false
-		for _, kept := range out {
-			checks++
-			if impliesMask(u, v, mask, kept.ids) {
+		for gi := range groups {
+			g := &groups[gi]
+			if !u.impRow(v, g.w).Intersects(mask) {
+				filtered += int64(1 + len(g.rest))
+				continue
+			}
+			subsumedBy := func(oi int32) bool {
+				kept := out[oi]
+				if kept.sig&^csig != 0 {
+					filtered++
+					return false
+				}
+				checks++
+				return impliesMask(u, v, mask, kept.ids)
+			}
+			if subsumedBy(g.first) {
 				redundant = true
+				break
+			}
+			for _, oi := range g.rest {
+				if subsumedBy(oi) {
+					redundant = true
+					break
+				}
+			}
+			if redundant {
 				break
 			}
 		}
 		if !redundant {
+			w := c.ids[0]
+			placed := false
+			for gi := range groups {
+				if groups[gi].w == w {
+					groups[gi].rest = append(groups[gi].rest, int32(len(out)))
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				groups = append(groups, watchGroup{w: w, first: int32(len(out))})
+			}
 			out = append(out, c)
 		}
 	}
 	u.subsumes.Add(checks)
+	u.sigFiltered.Add(filtered)
 	return out
 }
 

@@ -1,0 +1,120 @@
+package formula
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Filtered-vs-unfiltered equivalence: the signature pre-filter and the
+// one-watched-literal grouping in Simplify are screening optimizations only —
+// for ANY theory they must leave the output byte-identical to the plain
+// pairwise scan the kernel shipped with. simplifyRef below is that scan,
+// transcribed from the pre-index implementation with the counters removed.
+
+func simplifyRef(d DNF) DNF {
+	sorted := d.SortBySize()
+	if len(sorted) <= 1 {
+		return sorted
+	}
+	u := d.universe()
+	if u == nil { // every disjunct is the empty conjunction
+		return sorted[:1]
+	}
+	v := u.view.Load()
+	var out DNF
+	var buf [8]uint64
+	for _, c := range sorted {
+		mask := maskOf(buf[:], c.ids)
+		redundant := false
+		for _, kept := range out {
+			if impliesMask(u, v, mask, kept.ids) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// chainTheory makes the capability signatures non-trivial: positive literals
+// form an entailment chain (b_i ⇒ b_j for j ≤ i) and opposite polarities of
+// one variable contradict. This drives real traffic through the imp/con
+// capability rows, the watch groups, and the bitwise disproof — the paths
+// that must never change a verdict.
+type chainTheory struct{}
+
+func (chainTheory) Implies(a, b Lit) bool {
+	if a == b {
+		return true
+	}
+	return !a.Neg && !b.Neg && a.P.(mockPrim).V >= b.P.(mockPrim).V
+}
+
+func (chainTheory) Contradicts(a, b Lit) bool {
+	return a.P.(mockPrim).V == b.P.(mockPrim).V && a.Neg != b.Neg
+}
+
+func (chainTheory) NegLit(Lit) ([]Lit, bool) { return nil, false }
+
+func sameDNF(a, b DNF) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickSigFilterNeverChangesSimplify: Simplify's indexed scan and the
+// reference pairwise scan produce identical output on the same DNF, under
+// both the trivial theory and the chain theory, on shared and fresh
+// universes (fresh universes start with cold capability rows, so the test
+// also covers the fill-then-reuse path).
+func TestQuickSigFilterNeverChangesSimplify(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() *Universe
+	}{
+		{"trivial", newU},
+		{"chain", func() *Universe { return NewUniverse(chainTheory{}) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			u := tc.mk()
+			f := func(seed int64) bool {
+				d := ToDNF(formulaFromSeed(seed, 5, 4), u)
+				return sameDNF(d.Simplify(), simplifyRef(d))
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickSigFilterNeverChangesApprox: the full approx pipeline — simplify
+// then dropk — agrees with the reference simplify composed with the same
+// DropK, pinning that the index never changes which disjuncts survive into
+// (and therefore out of) the dropk step.
+func TestQuickSigFilterNeverChangesApprox(t *testing.T) {
+	u := NewUniverse(chainTheory{})
+	f := func(seed int64, k8 uint8) bool {
+		k := int(k8%4) + 1
+		d := ToDNF(formulaFromSeed(seed, 5, 4), u)
+		holds := func(c Conj) bool { return len(c.ids)%2 == 0 }
+		got := ApproxDNF(d, k, holds)
+		ref := simplifyRef(d)
+		if k > 0 && len(ref) > k {
+			ref = ref.DropK(k, holds)
+		}
+		return sameDNF(got, ref)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -36,10 +36,12 @@ type Universe struct {
 	view  atomic.Pointer[uview]
 
 	// Telemetry, surfaced via Stats/TakeStats as formula.* obs counters.
-	products  atomic.Int64 // cube products attempted by DNF.And
-	subsumes  atomic.Int64 // pairwise subsumption checks in Simplify
-	memoHits  atomic.Int64 // theory-memo row reads served from the snapshot
-	memoFills atomic.Int64 // (a, b) theory pairs computed into memo rows
+	products    atomic.Int64 // cube products attempted by DNF.And
+	subsumes    atomic.Int64 // full subsumption checks executed in Simplify
+	sigFiltered atomic.Int64 // Simplify candidate pairs dismissed by signature/watch filters
+	sigSkips    atomic.Int64 // And/Or contradiction+entailment scans skipped by capability signatures
+	memoHits    atomic.Int64 // theory-memo row reads served from the snapshot
+	memoFills   atomic.Int64 // (a, b) theory pairs computed into memo/capability rows
 }
 
 // uview is one immutable snapshot of the universe. Slices are shared between
@@ -53,6 +55,7 @@ type uview struct {
 	rank  []int32    // rank[id] = position of id in order
 	imp   []*rowCell // imp[b] = {a : a == b or th.Implies(lits[a], lits[b])}
 	con   []*rowCell // con[b] = {a : complement or th.Contradicts either way}
+	caps  []*capCell // caps[a] = 64-bit signature compression of a's forward relations
 }
 
 // rowCell holds one literal's memo row. The cell itself is allocated once at
@@ -66,6 +69,27 @@ type rowCell struct{ p atomic.Pointer[rowData] }
 type rowData struct {
 	bits uset.Words
 	n    uint32
+}
+
+// capCell holds one literal's capability signature: the 64-bit compression
+// (bit b&63 per related id b) of its *forward* theory relations. Like memo
+// rows, the cell is allocated at intern time, shared by every snapshot, and
+// republished as an immutable capData when extended.
+type capCell struct{ p atomic.Pointer[capData] }
+
+// capData is one literal a's capability signature covering every id < n.
+// imp compresses {b ≠ a : th.Implies(lits[a], lits[b])} — the ids a entails,
+// diagonal excluded by index so signature tests stay exact under bit
+// collisions; con compresses {b ≠ a : a and b are complementary or
+// contradict} (the relation is symmetric). Because bits only identify ids
+// modulo 64, a signature test is a necessary condition: "no bit overlap"
+// proves the relation absent, overlap falls back to the exact bitset rows.
+// The n field versions the signature against universe growth — a stale
+// signature would miss relations with later-interned literals, so readers
+// must check n ≥ their snapshot size, exactly as with rowData.
+type capData struct {
+	imp, con uint64
+	n        uint32
 }
 
 // NewUniverse returns an empty universe over the given theory. The theory's
@@ -124,6 +148,7 @@ func (u *Universe) internSlow(l Lit) uint32 {
 		rank:  make([]int32, n+1),
 		imp:   append(append(make([]*rowCell, 0, n+1), v.imp...), &rowCell{}),
 		con:   append(append(make([]*rowCell, 0, n+1), v.con...), &rowCell{}),
+		caps:  append(append(make([]*capCell, 0, n+1), v.caps...), &capCell{}),
 	}
 	nv.order = append(nv.order, v.order[:pos]...)
 	nv.order = append(nv.order, id)
@@ -154,6 +179,70 @@ func (u *Universe) conRow(v *uview, b uint32) uset.Words {
 		return rd.bits
 	}
 	return u.fillRow(b, false)
+}
+
+// impRowBatch and conRowBatch are the hot-loop variants of impRow/conRow:
+// instead of one atomic add on the shared hit counter per row read, they
+// bump a caller-local tally that the caller flushes once per scan. The
+// counter value is identical; the atomic traffic drops by the scan length.
+func (u *Universe) impRowBatch(v *uview, b uint32, hits *int64) uset.Words {
+	if rd := v.imp[b].p.Load(); rd != nil && rd.n >= uint32(len(v.lits)) {
+		*hits++
+		return rd.bits
+	}
+	return u.fillRow(b, true)
+}
+
+func (u *Universe) conRowBatch(v *uview, b uint32, hits *int64) uset.Words {
+	if rd := v.con[b].p.Load(); rd != nil && rd.n >= uint32(len(v.lits)) {
+		*hits++
+		return rd.bits
+	}
+	return u.fillRow(b, false)
+}
+
+// capOf returns a's capability signature, covering every ID of the caller's
+// snapshot v. The common case is one lock-free pointer load (cheaper than a
+// row read: no Words indexing, no counter update); stale signatures are
+// suffix-extended under the write lock like memo rows.
+func (u *Universe) capOf(v *uview, a uint32) (imp, con uint64) {
+	if cd := v.caps[a].p.Load(); cd != nil && cd.n >= uint32(len(v.lits)) {
+		return cd.imp, cd.con
+	}
+	return u.fillCap(a)
+}
+
+func (u *Universe) fillCap(a uint32) (uint64, uint64) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	v := u.view.Load()
+	n := uint32(len(v.lits))
+	cell := v.caps[a]
+	var covered uint32
+	var imp, con uint64
+	if cd := cell.p.Load(); cd != nil {
+		if cd.n >= n {
+			return cd.imp, cd.con
+		}
+		covered, imp, con = cd.n, cd.imp, cd.con
+	}
+	la := v.lits[a]
+	for b := covered; b < n; b++ {
+		if b == a {
+			continue
+		}
+		lb := v.lits[b]
+		if u.th.Implies(la, lb) {
+			imp |= 1 << (b & 63)
+		}
+		if (la.Neg != lb.Neg && la.P == lb.P) ||
+			u.th.Contradicts(la, lb) || u.th.Contradicts(lb, la) {
+			con |= 1 << (b & 63)
+		}
+	}
+	u.memoFills.Add(int64(n - covered))
+	cell.p.Store(&capData{imp: imp, con: con, n: n})
+	return imp, con
 }
 
 func (u *Universe) fillRow(b uint32, imp bool) uset.Words {
@@ -269,9 +358,11 @@ func (v *uview) lessJoined(a, b []uint32) bool {
 type UniverseStats struct {
 	Size              int   // interned literals (gauge)
 	CubeProducts      int64 // cube products attempted by DNF.And
-	SubsumptionChecks int64 // pairwise subsumption checks in Simplify
+	SubsumptionChecks int64 // full subsumption checks executed in Simplify
+	SigFiltered       int64 // Simplify candidate pairs dismissed before a full check
+	SigSkips          int64 // And/Or contradiction+entailment scans skipped by signatures
 	TheoryMemoHits    int64 // memo row reads served without theory calls
-	TheoryMemoFills   int64 // theory pairs evaluated into memo rows
+	TheoryMemoFills   int64 // theory pairs evaluated into memo/capability rows
 }
 
 // Stats reads the counters without resetting them.
@@ -280,6 +371,8 @@ func (u *Universe) Stats() UniverseStats {
 		Size:              u.Len(),
 		CubeProducts:      u.products.Load(),
 		SubsumptionChecks: u.subsumes.Load(),
+		SigFiltered:       u.sigFiltered.Load(),
+		SigSkips:          u.sigSkips.Load(),
 		TheoryMemoHits:    u.memoHits.Load(),
 		TheoryMemoFills:   u.memoFills.Load(),
 	}
@@ -292,6 +385,8 @@ func (u *Universe) TakeStats() UniverseStats {
 		Size:              u.Len(),
 		CubeProducts:      u.products.Swap(0),
 		SubsumptionChecks: u.subsumes.Swap(0),
+		SigFiltered:       u.sigFiltered.Swap(0),
+		SigSkips:          u.sigSkips.Swap(0),
 		TheoryMemoHits:    u.memoHits.Swap(0),
 		TheoryMemoFills:   u.memoFills.Swap(0),
 	}

@@ -28,6 +28,21 @@ func (t *Strings) ID(s string) int {
 	return id
 }
 
+// IDBytes is ID keyed by a byte slice. The hit path indexes the map with
+// string(b) directly, which the compiler performs without allocating; only a
+// miss copies the bytes into a new interned string, so callers may reuse or
+// mutate b afterwards.
+func (t *Strings) IDBytes(b []byte) int {
+	if id, ok := t.ids[string(b)]; ok {
+		return id
+	}
+	s := string(b)
+	id := len(t.vals)
+	t.ids[s] = id
+	t.vals = append(t.vals, s)
+	return id
+}
+
 // Lookup returns the ID for s and whether it was present.
 func (t *Strings) Lookup(s string) (int, bool) {
 	id, ok := t.ids[s]

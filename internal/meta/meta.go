@@ -13,6 +13,7 @@ package meta
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"tracer/internal/budget"
 	"tracer/internal/dataflow"
@@ -55,25 +56,171 @@ type Client[D comparable] struct {
 // concurrently: lookups take a read lock, and the batch solver's backward
 // jobs fill it from multiple workers. Entries are immutable once stored
 // (both goroutines of a racing fill compute the same value).
+//
+// The cache is two-level: the atom map is consulted once per wpDNF call
+// (atoms are interface values, so the map lookup pays a typehash), and the
+// per-atom level is a plain slice indexed by the dense interned literal ID —
+// the per-literal lookups on the backward walk's hot path are a bounds check,
+// not a hash.
 type WPCache struct {
 	mu sync.RWMutex
-	m  map[wpKey]wpEntry
+	m  map[lang.Atom]*atomWP
+
+	// Formula-memo telemetry, flushed as the meta.wp_formula_memo_* obs
+	// counters by FlushWPObs.
+	fmHits, fmMisses atomic.Int64
 }
+
+// atomWP holds one atom's per-literal entries, indexed by interned ID. It is
+// a grow-only two-level table: an atomically published directory of
+// fixed-size blocks, each slot an atomic pointer to an immutable entry. A
+// lookup is two pointer loads and a fill is a single atomic store into its
+// slot — nothing is copied, so filling n literals costs O(n) total rather
+// than the O(n²) a copy-on-write snapshot would pay. Only directory growth
+// and block creation take the mutex, and both are rare.
+type atomWP struct {
+	mu     sync.Mutex // serializes directory growth
+	blocks atomic.Pointer[[]*atomic.Pointer[wpBlock]]
+
+	// Formula-level memo: wp applied to a whole DNF, keyed by the formula's
+	// fingerprint. The backward walks of successive CEGAR iterations revisit
+	// the same (atom, formula) pairs whenever counterexample traces share
+	// structure, and a hit skips the entire per-cube substitution including
+	// its And chain. Like the per-literal entries, results depend only on
+	// the atom and the formula (never on the abstraction or the forward
+	// state), so entries are valid forever.
+	fmu     sync.RWMutex
+	fm      map[uint64][]fmEntry
+	fmCount int
+}
+
+// fmEntry is one memoized wpDNF result. For unchanged formulas out is nil
+// and the caller returns its own input, avoiding a redundant retained ref.
+type fmEntry struct {
+	in        formula.DNF
+	out       formula.DNF
+	unchanged bool
+}
+
+// fmMaxEntries bounds one atom's formula memo; beyond it new results are
+// simply not stored (the per-literal cache below still serves them).
+const fmMaxEntries = 1 << 14
+
+func (w *atomWP) getFM(key uint64, d formula.DNF) (formula.DNF, bool, bool) {
+	w.fmu.RLock()
+	defer w.fmu.RUnlock()
+	for _, e := range w.fm[key] {
+		if e.in.Equal(d) {
+			return e.out, e.unchanged, true
+		}
+	}
+	return nil, false, false
+}
+
+func (w *atomWP) putFM(key uint64, d, out formula.DNF, unchanged bool) {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	if w.fmCount >= fmMaxEntries {
+		return
+	}
+	for _, e := range w.fm[key] {
+		if e.in.Equal(d) {
+			return // racing fill computed the same value
+		}
+	}
+	if w.fm == nil {
+		w.fm = map[uint64][]fmEntry{}
+	}
+	w.fm[key] = append(w.fm[key], fmEntry{in: d, out: out, unchanged: unchanged})
+	w.fmCount++
+}
+
+const (
+	wpBlockBits = 7
+	wpBlockSize = 1 << wpBlockBits
+)
+
+type wpBlock [wpBlockSize]atomic.Pointer[wpEntry]
 
 // NewWPCache returns an empty cache.
-func NewWPCache() *WPCache { return &WPCache{m: map[wpKey]wpEntry{}} }
+func NewWPCache() *WPCache { return &WPCache{m: map[lang.Atom]*atomWP{}} }
 
-func (c *WPCache) get(k wpKey) (wpEntry, bool) {
+// atom returns a's per-literal cache level, creating it on first use.
+func (c *WPCache) atom(a lang.Atom) *atomWP {
 	c.mu.RLock()
-	e, ok := c.m[k]
+	aw := c.m[a]
 	c.mu.RUnlock()
-	return e, ok
+	if aw != nil {
+		return aw
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if aw = c.m[a]; aw == nil {
+		aw = &atomWP{}
+		c.m[a] = aw
+	}
+	return aw
 }
 
-func (c *WPCache) put(k wpKey, e wpEntry) {
-	c.mu.Lock()
-	c.m[k] = e
-	c.mu.Unlock()
+func (w *atomWP) get(lid uint32) (wpEntry, bool) {
+	bi := int(lid >> wpBlockBits)
+	if bp := w.blocks.Load(); bp != nil && bi < len(*bp) {
+		if b := (*bp)[bi].Load(); b != nil {
+			if e := b[lid&(wpBlockSize-1)].Load(); e != nil {
+				return *e, true
+			}
+		}
+	}
+	return wpEntry{}, false
+}
+
+func (w *atomWP) put(lid uint32, e wpEntry) {
+	bi := int(lid >> wpBlockBits)
+	for {
+		bp := w.blocks.Load()
+		if bp == nil || bi >= len(*bp) {
+			w.growDir(bi + 1)
+			continue
+		}
+		cell := (*bp)[bi]
+		b := cell.Load()
+		if b == nil {
+			nb := new(wpBlock)
+			if cell.CompareAndSwap(nil, nb) {
+				b = nb
+			} else {
+				b = cell.Load()
+			}
+		}
+		// Racing fills of the same slot store equal values, so last-write-
+		// wins is fine.
+		b[lid&(wpBlockSize-1)].Store(&e)
+		return
+	}
+}
+
+// growDir extends the block directory to cover at least n blocks. The old
+// directory's cells are carried over by pointer, so entries published through
+// them stay visible.
+func (w *atomWP) growDir(n int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	old := w.blocks.Load()
+	if old != nil && len(*old) >= n {
+		return
+	}
+	if old != nil && 2*len(*old) > n {
+		n = 2 * len(*old)
+	}
+	nd := make([]*atomic.Pointer[wpBlock], n)
+	var copied int
+	if old != nil {
+		copied = copy(nd, *old)
+	}
+	for i := copied; i < n; i++ {
+		nd[i] = new(atomic.Pointer[wpBlock])
+	}
+	w.blocks.Store(&nd)
 }
 
 // wpLit applies the weakest precondition to a possibly negated literal.
@@ -85,29 +232,17 @@ func (c *Client[D]) wpLit(a lang.Atom, l formula.Lit) formula.Formula {
 	return f
 }
 
-// wpKey memoizes per-(atom, interned literal) weakest preconditions. Atoms
-// are small comparable values and literal IDs are dense ints, and a trace
-// mentions the same atom at every iteration of the CEGAR loop, so the cache
-// hit rate is high.
-type wpKey struct {
-	a   lang.Atom
-	lid uint32
-}
-
 type wpEntry struct {
 	identity bool // wp(l) = l: the common case, handled without DNF work
 	d        formula.DNF
 }
 
 // wpLitDNF returns the cached DNF of [a]♭(l), where lid is the literal's
-// interned ID in c.U. Cached DNFs are complete: ToDNF is not budgeted, so a
-// tripped budget never stores a truncated entry.
-func (c *Client[D]) wpLitDNF(a lang.Atom, lid uint32) wpEntry {
-	if c.Cache == nil {
-		c.Cache = NewWPCache()
-	}
-	k := wpKey{a, lid}
-	if e, ok := c.Cache.get(k); ok {
+// interned ID in c.U and aw the atom's cache level. Cached DNFs are
+// complete: ToDNF is not budgeted, so a tripped budget never stores a
+// truncated entry.
+func (c *Client[D]) wpLitDNF(aw *atomWP, a lang.Atom, lid uint32) wpEntry {
+	if e, ok := aw.get(lid); ok {
 		return e
 	}
 	l := c.U.Lit(lid)
@@ -116,7 +251,7 @@ func (c *Client[D]) wpLitDNF(a lang.Atom, lid uint32) wpEntry {
 	if len(d) == 1 && len(d[0].IDs()) == 1 && d[0].IDs()[0] == lid {
 		e.identity = true
 	}
-	c.Cache.put(k, e)
+	aw.put(lid, e)
 	return e
 }
 
@@ -128,18 +263,92 @@ func (c *Client[D]) wpLitDNF(a lang.Atom, lid uint32) wpEntry {
 // pass) and the few literals the atom actually affects (whose preconditions
 // are conjoined in).
 func (c *Client[D]) wpDNF(a lang.Atom, d formula.DNF) (formula.DNF, bool) {
+	if c.Cache == nil {
+		c.Cache = NewWPCache()
+	}
+	aw := c.Cache.atom(a) // one interface-keyed lookup for the whole DNF
+	// Fast path: most atoms on an inlined trace touch none of the formula's
+	// literals. Literals repeat heavily across cubes, so test identity once
+	// per distinct literal of the whole formula instead of once per
+	// (cube, literal) pair; only a changed formula pays the per-cube pass.
+	var sup [64]uint32
+	ns := 0
+	bounded := true
+supScan:
+	for _, conj := range d {
+		for _, lid := range conj.IDs() {
+			dup := false
+			for _, s := range sup[:ns] {
+				if s == lid {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			if ns == len(sup) {
+				bounded = false
+				break supScan
+			}
+			sup[ns] = lid
+			ns++
+		}
+	}
+	if bounded {
+		unchanged := true
+		for _, lid := range sup[:ns] {
+			if !c.wpLitDNF(aw, a, lid).identity {
+				unchanged = false
+				break
+			}
+		}
+		if unchanged {
+			return d, true
+		}
+	}
+	// The formula changes (or is too wide for the scan above): consult the
+	// per-atom formula memo before paying for the per-cube substitution.
+	// Unchanged formulas are answered above and stay out of the memo, so it
+	// holds only the expensive cases.
+	key := d.Fingerprint()
+	if mout, munchanged, ok := aw.getFM(key, d); ok {
+		c.Cache.fmHits.Add(1)
+		if munchanged {
+			return d, true
+		}
+		return mout, false
+	}
+	c.Cache.fmMisses.Add(1)
 	var out formula.DNF
 	var seen formula.ConjSet
 	allIdentity := true
+	var subs []formula.DNF
+	var identity []bool // only allocated for cubes wider than the bitmask
 	for ci, conj := range d {
 		ids := conj.IDs()
-		var subs []formula.DNF
-		identity := make([]bool, len(ids))
+		subs = subs[:0]
+		// Cubes virtually never exceed 64 literals, so the per-literal
+		// identity flags live in a word; the slice is a cold fallback.
+		var idBits uint64
+		wide := len(ids) > 64
+		if wide {
+			if cap(identity) < len(ids) {
+				identity = make([]bool, len(ids))
+			} else {
+				identity = identity[:len(ids)]
+				clear(identity)
+			}
+		}
 		allID := true
 		for i, lid := range ids {
-			e := c.wpLitDNF(a, lid)
+			e := c.wpLitDNF(aw, a, lid)
 			if e.identity {
-				identity[i] = true
+				if wide {
+					identity[i] = true
+				} else {
+					idBits |= 1 << uint(i)
+				}
 			} else {
 				allID = false
 				subs = append(subs, e.d)
@@ -152,21 +361,18 @@ func (c *Client[D]) wpDNF(a lang.Atom, d formula.DNF) (formula.DNF, bool) {
 		if allIdentity {
 			// First changed disjunct: materialize the prefix.
 			allIdentity = false
-			out = append(out, d[:ci]...)
+			out = append(make(formula.DNF, 0, len(d)), d[:ci]...)
 			for _, pc := range d[:ci] {
 				seen.Add(pc)
 			}
 		}
-		acc := formula.DNF{conj.Retain(func(i int) bool { return identity[i] })}
-		for _, s := range subs {
-			if !c.Budget.Poll() {
-				break
-			}
-			acc = acc.And(s)
-			if acc.IsFalse() {
-				break
-			}
+		keep := func(i int) bool { return idBits&(1<<uint(i)) != 0 }
+		if wide {
+			keep = func(i int) bool { return identity[i] }
 		}
+		// AndChain carries the accumulator's And filter state across the
+		// fold, instead of re-deriving it once per substituted literal.
+		acc := formula.DNF{conj.Retain(keep)}.AndChain(subs, c.Budget.Poll)
 		for _, nc := range acc {
 			if seen.Add(nc) {
 				out = append(out, nc)
@@ -174,7 +380,19 @@ func (c *Client[D]) wpDNF(a lang.Atom, d formula.DNF) (formula.DNF, bool) {
 		}
 	}
 	if allIdentity {
+		aw.putFM(key, d, nil, true)
 		return d, true
+	}
+	// Simplify here rather than in the walk's approx step: the memo then
+	// serves already-simplified formulas, so a hit skips the subsumption
+	// pass along with everything else (the walk keeps only the beam
+	// truncation, which depends on the forward state and abstraction).
+	out = out.Simplify()
+	// A budget trip mid-chain truncates the conjunction; the partial result
+	// is fine to return (the walk is being abandoned) but must never be
+	// memoized as the true value.
+	if !c.Budget.Tripped() {
+		aw.putFM(key, d, out, false)
 	}
 	return out, false
 }
@@ -186,6 +404,19 @@ func (c *Client[D]) approxAt(f formula.DNF, d D) formula.DNF {
 		return conj.Eval(func(l formula.Lit) bool { return c.Eval(l, d) })
 	}
 	return formula.ApproxDNF(f, c.K, holds)
+}
+
+// dropAt is approxAt minus the simplification: the beam truncation (dropk)
+// for formulas wpDNF already returns simplified. Composing wpDNF's Simplify
+// with dropAt yields exactly approxAt's dropk ∘ simplify.
+func (c *Client[D]) dropAt(f formula.DNF, d D) formula.DNF {
+	if c.K <= 0 || len(f) <= c.K {
+		return f
+	}
+	holds := func(conj formula.Conj) bool {
+		return conj.Eval(func(l formula.Lit) bool { return c.Eval(l, d) })
+	}
+	return f.DropK(c.K, holds)
 }
 
 // Run computes B[t](p, dI, not(q)): the sufficient condition for failure at
@@ -215,8 +446,9 @@ func RunAnnotated[D comparable](c *Client[D], t lang.Trace, states []D, post for
 		pre, unchanged := c.wpDNF(t[i], cur)
 		if !unchanged {
 			// approx is idempotent, so unchanged formulas (already
-			// simplified and within the beam width) skip it.
-			pre = c.approxAt(pre, states[i])
+			// simplified and within the beam width) skip it; changed ones
+			// come back simplified from wpDNF and need only the beam cut.
+			pre = c.dropAt(pre, states[i])
 		}
 		cur = pre
 		out[i] = cur

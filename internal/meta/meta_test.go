@@ -10,6 +10,7 @@ import (
 	"tracer/internal/formula"
 	"tracer/internal/lang"
 	"tracer/internal/meta"
+	"tracer/internal/obs"
 	"tracer/internal/typestate"
 	"tracer/internal/uset"
 )
@@ -204,5 +205,41 @@ func TestWPCacheConcurrent(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestFlushUniverseObs: the flush reports every formula.* counter name —
+// including the signature-filter pair — and consumes the deltas, so a second
+// flush reports zero-valued deltas while the size gauge persists.
+func TestFlushUniverseObs(t *testing.T) {
+	u := formula.NewUniverse(typestate.Theory{})
+	vars := []string{"a", "b", "c", "d"}
+	var disjuncts []formula.Formula
+	for i, x := range vars {
+		c := formula.And(
+			formula.L(typestate.PVar{X: x}),
+			formula.L(typestate.PParam{X: vars[(i+1)%len(vars)]}),
+		)
+		disjuncts = append(disjuncts, c, formula.L(typestate.PVar{X: x}))
+	}
+	d := formula.ToDNF(formula.Or(disjuncts...), u)
+	_ = d.And(d).Simplify()
+
+	agg := obs.NewAgg()
+	meta.FlushUniverseObs(agg, u)
+	if agg.GaugeMax(obs.FormulaUniverseSize) == 0 {
+		t.Fatal("flush did not report the universe size gauge")
+	}
+	if agg.Counter(obs.FormulaCubeProducts) == 0 {
+		t.Fatal("flush did not report cube products")
+	}
+	if agg.Counter(obs.FormulaSigFiltered)+agg.Counter(obs.FormulaSubsumptionChecks) == 0 {
+		t.Fatal("Simplify reported neither filtered pairs nor full checks")
+	}
+	// Deltas were consumed: a second flush adds nothing to the counters.
+	before := agg.Counter(obs.FormulaCubeProducts)
+	meta.FlushUniverseObs(agg, u)
+	if got := agg.Counter(obs.FormulaCubeProducts); got != before {
+		t.Fatalf("second flush re-reported consumed deltas: %d != %d", got, before)
 	}
 }

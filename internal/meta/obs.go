@@ -19,6 +19,24 @@ func FlushUniverseObs(rec obs.Recorder, u *formula.Universe) {
 	rec.Gauge(obs.FormulaUniverseSize, int64(s.Size))
 	rec.Count(obs.FormulaCubeProducts, s.CubeProducts)
 	rec.Count(obs.FormulaSubsumptionChecks, s.SubsumptionChecks)
+	rec.Count(obs.FormulaSigFiltered, s.SigFiltered)
+	rec.Count(obs.FormulaSigSkips, s.SigSkips)
 	rec.Count(obs.FormulaTheoryMemoHits, s.TheoryMemoHits)
 	rec.Count(obs.FormulaTheoryMemoFills, s.TheoryMemoFills)
+}
+
+// FlushWPObs records a WP cache's formula-memo telemetry as the
+// meta.wp_formula_memo_* counters, consuming the deltas accumulated since
+// the previous flush. Like FlushUniverseObs it is called by the jobs'
+// core.ObsFlusher implementations.
+func FlushWPObs(rec obs.Recorder, c *WPCache) {
+	if c == nil || rec == nil || !rec.Enabled() {
+		return
+	}
+	if h := c.fmHits.Swap(0); h != 0 {
+		rec.Count(obs.MetaWPFormulaMemoHits, h)
+	}
+	if m := c.fmMisses.Swap(0); m != 0 {
+		rec.Count(obs.MetaWPFormulaMemoMisses, m)
+	}
 }

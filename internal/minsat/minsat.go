@@ -12,6 +12,31 @@
 // number of learned clauses rather than with the (possibly huge) parameter
 // space. Ties are broken deterministically: among minimum-cost models the
 // lexicographically smallest (false < true, by variable index) is returned.
+//
+// The solver is incremental: because CEGAR only ever adds blocking clauses,
+// the model set shrinks monotonically and results from one Minimum call
+// remain partial answers for the next. Between calls the solver keeps the
+// dense clause index (variable mapping, occurrence lists) and a warm result
+// (last minimum model and its cost, or a proven UNSAT verdict):
+//
+//   - If no clause has been added since the last call, or every clause added
+//     since is already satisfied by the cached model, that model is still the
+//     minimum (the new model set is a subset of the old one containing its
+//     lex-least cheapest element) and is returned with zero search.
+//   - UNSAT is sticky: adding clauses can never make an unsatisfiable
+//     formula satisfiable again.
+//   - Otherwise the search reruns, but the previous minimum cost is a valid
+//     lower bound (the "floor"): the branch-and-bound stops at the first
+//     model matching it instead of exhausting the remaining tree to prove
+//     optimality. Depth-first branching false-before-true visits models in
+//     lexicographic order, and cost/lower-bound pruning cannot discard a
+//     subtree containing a floor-cost model while best > floor, so the first
+//     floor-cost model found is exactly the lex-least minimum the fresh
+//     search would return.
+//
+// Zero-search reuses are counted on the "minsat.incremental_reuse" counter.
+// Clone carries the warm state, so the batch scheduler's per-group solver
+// lineages stay warm across rounds.
 package minsat
 
 import (
@@ -45,11 +70,16 @@ type Solver struct {
 	// clause key each time was a measurable cost on large clause sets.
 	sig   string
 	sigOK bool
+	// eng is the incremental search engine: a dense mirror of the clause set
+	// plus the warm result carried between Minimum calls. It is built lazily
+	// on the first Minimum and synced to the clause list on each call.
+	eng *engine
 }
 
 // Instrument attaches an observability recorder: every Minimum call reports
 // its wall time (timer "minsat.minimum") and branch-and-bound search size
-// (counter "minsat.search_nodes"). Clones inherit the recorder.
+// (counter "minsat.search_nodes"); calls answered entirely from warm state
+// increment "minsat.incremental_reuse". Clones inherit the recorder.
 func (s *Solver) Instrument(rec obs.Recorder) { s.rec = rec }
 
 // New returns a solver over variables 0..n-1.
@@ -60,8 +90,10 @@ func New(n int) *Solver {
 // NumVars reports the size of the variable universe.
 func (s *Solver) NumVars() int { return s.n }
 
-// Clone returns an independent copy of the solver's clause set. TRACER's
-// multi-query driver clones solvers when a query group splits (§6).
+// Clone returns an independent copy of the solver's clause set and warm
+// search state. TRACER's multi-query driver clones solvers when a query
+// group splits (§6); the clone resumes with its parent's bound and cached
+// model, so a group's first Minimum after a split is incremental too.
 func (s *Solver) Clone() *Solver {
 	out := New(s.n)
 	out.rec = s.rec
@@ -70,6 +102,9 @@ func (s *Solver) Clone() *Solver {
 		out.keys[k] = true
 	}
 	out.sig, out.sigOK = s.sig, s.sigOK
+	if s.eng != nil {
+		out.eng = s.eng.clone()
+	}
 	return out
 }
 
@@ -182,14 +217,165 @@ func appendInt(b []byte, v int) []byte {
 	return append(b, tmp[i:]...)
 }
 
-// value is a three-valued assignment.
-type value int8
-
+// Three-valued assignment cells of the dense engine.
 const (
-	unassigned value = iota
+	unassigned int8 = iota
 	vFalse
 	vTrue
 )
+
+// Warm-result states carried between Minimum calls.
+const (
+	warmNone  int8 = iota
+	warmModel      // model/floor hold the last minimum and its cost
+	warmUnsat      // a search proved UNSAT (sticky: clauses only shrink the model set)
+)
+
+// engine is the incremental core behind a Solver: a dense mirror of the
+// clause set (variables renamed to contiguous indices, clauses as packed
+// literal words, per-variable occurrence lists) plus the warm result of the
+// previous search. The mirror is append-only and synced lazily from
+// Solver.clauses, so Add stays cheap and clones share the already-built
+// prefix. Scratch arrays (assignment, trail, lower-bound stamps) are not
+// cloned; they are rebuilt on the next search.
+type engine struct {
+	vmap   map[int]int32 // external variable -> dense index
+	dvar   []int         // dense index -> external variable
+	cls    [][]int32     // dense clauses; literal = dense<<1 | neg
+	occ    [][]int32     // dense variable -> indices of clauses mentioning it
+	synced int           // prefix of Solver.clauses mirrored into cls
+
+	// hasEmpty records that an empty clause (falsity) was added; the formula
+	// is then permanently unsatisfiable.
+	hasEmpty bool
+
+	// Warm result. model is the minimum model of the first `checked` clauses
+	// (when warm == warmModel); floor is its cost, which stays a valid lower
+	// bound for every extension of the clause set.
+	warm    int8
+	model   uset.Set
+	floor   int
+	checked int
+
+	// Branch order: dense indices sorted by external variable index, so the
+	// DFS still visits models in external lexicographic order. Rebuilt (as a
+	// fresh slice — clones may share the old one) when a variable interns.
+	order   []int32
+	orderOK bool
+
+	// Search scratch, reset at the start of every run.
+	assign  []int8
+	trail   []int32
+	posBuf  []int32
+	lbUsed  []uint64
+	lbEpoch uint64
+}
+
+// engine returns the solver's engine, synced with every clause added since
+// the previous call.
+func (s *Solver) engine() *engine {
+	if s.eng == nil {
+		s.eng = &engine{vmap: make(map[int]int32), floor: -1}
+	}
+	e := s.eng
+	for _, c := range s.clauses[e.synced:] {
+		e.addClause(c)
+	}
+	e.synced = len(s.clauses)
+	return e
+}
+
+// addClause mirrors one canonical clause into the dense index.
+func (e *engine) addClause(c Clause) {
+	ci := int32(len(e.cls))
+	if len(c) == 0 {
+		e.hasEmpty = true
+		e.cls = append(e.cls, nil) // keep clause indices aligned
+		return
+	}
+	row := make([]int32, len(c))
+	for i, l := range c {
+		dv, ok := e.vmap[l.Var]
+		if !ok {
+			dv = int32(len(e.dvar))
+			e.vmap[l.Var] = dv
+			e.dvar = append(e.dvar, l.Var)
+			e.occ = append(e.occ, nil)
+			e.orderOK = false
+		}
+		lit := dv << 1
+		if l.Neg {
+			lit |= 1
+		}
+		row[i] = lit
+		e.occ[dv] = append(e.occ[dv], ci)
+	}
+	e.cls = append(e.cls, row)
+}
+
+// clone copies the engine for an independent solver. Append-only slices are
+// shared with their capacity clamped to the current length, so a later
+// append by either side reallocates instead of scribbling on the shared
+// backing array (clones are taken concurrently by the batch scheduler).
+func (e *engine) clone() *engine {
+	ne := &engine{
+		vmap:     make(map[int]int32, len(e.vmap)),
+		dvar:     e.dvar[:len(e.dvar):len(e.dvar)],
+		cls:      e.cls[:len(e.cls):len(e.cls)],
+		occ:      make([][]int32, len(e.occ)),
+		synced:   e.synced,
+		hasEmpty: e.hasEmpty,
+		warm:     e.warm,
+		model:    e.model,
+		floor:    e.floor,
+		checked:  e.checked,
+		order:    e.order,
+		orderOK:  e.orderOK,
+	}
+	for v, dv := range e.vmap {
+		ne.vmap[v] = dv
+	}
+	for i, o := range e.occ {
+		ne.occ[i] = o[:len(o):len(o)]
+	}
+	return ne
+}
+
+// ensureOrder rebuilds the branch order after new variables interned.
+func (e *engine) ensureOrder() {
+	if e.orderOK {
+		return
+	}
+	order := make([]int32, len(e.dvar))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return e.dvar[order[i]] < e.dvar[order[j]] })
+	e.order = order
+	e.orderOK = true
+}
+
+// scanClause classifies a dense clause under the current assignment:
+// satisfied, or the count of unassigned literals and one of them (the unit
+// when unCount == 1).
+func (e *engine) scanClause(c []int32) (sat bool, unCount int, unit int32) {
+	for _, lit := range c {
+		switch e.assign[lit>>1] {
+		case unassigned:
+			unCount++
+			unit = lit
+		case vTrue:
+			if lit&1 == 0 {
+				return true, 0, 0
+			}
+		case vFalse:
+			if lit&1 == 1 {
+				return true, 0, 0
+			}
+		}
+	}
+	return false, unCount, unit
+}
 
 // Minimum returns a minimum-cost model of the accumulated clauses as the
 // set of true variables, or ok=false if the formula is unsatisfiable.
@@ -198,195 +384,301 @@ func (s *Solver) Minimum() (model uset.Set, ok bool) {
 }
 
 // MinimumBudget is Minimum under a cooperative budget: the branch-and-bound
-// search polls b once per node and abandons the search when the budget
-// trips, returning ok=false even if some (possibly non-minimum) model was
-// already found. Callers must therefore check b.Tripped() before reading
-// ok=false as unsatisfiability. A nil budget never trips.
+// search polls b once on entry and once per node, and abandons the search
+// when the budget trips, returning ok=false even if some (possibly
+// non-minimum) model was already found. Callers must therefore check
+// b.Tripped() before reading ok=false as unsatisfiability. A nil budget
+// never trips. An aborted call leaves the warm state untouched, so the
+// bound carried from the last completed call stays valid.
 func (s *Solver) MinimumBudget(b *budget.Budget) (model uset.Set, ok bool) {
 	nodes := 0
-	aborted := false
+	reused := false
 	if s.rec != nil && s.rec.Enabled() {
 		start := time.Now()
 		defer func() {
-			s.rec.Timing("minsat.minimum", time.Since(start))
-			s.rec.Count("minsat.search_nodes", int64(nodes))
+			s.rec.Timing(obs.MinsatMinimum, time.Since(start))
+			s.rec.Count(obs.MinsatSearchNodes, int64(nodes))
+			if reused {
+				s.rec.Count(obs.MinsatIncrementalReuse, 1)
+			}
 		}()
 	}
-	// Variables mentioned in clauses, in increasing order.
-	mentioned := map[int]bool{}
-	for _, c := range s.clauses {
-		if len(c) == 0 {
-			return nil, false
+	e := s.engine()
+	if !b.Poll() {
+		return nil, false
+	}
+	if e.hasEmpty {
+		if e.warm == warmUnsat {
+			reused = true
+		} else {
+			e.warm, e.model = warmUnsat, nil
 		}
-		for _, l := range c {
-			mentioned[l.Var] = true
+		return nil, false
+	}
+	switch e.warm {
+	case warmUnsat:
+		reused = true
+		return nil, false
+	case warmModel:
+		// The cached model is the lex-least minimum of the first `checked`
+		// clauses. If it also satisfies every clause added since, it is still
+		// the answer: the new model set is a subset of the old one and still
+		// contains its cheapest, lex-least element.
+		stillSat := true
+		for _, c := range s.clauses[e.checked:] {
+			if !clauseSatisfied(c, e.model) {
+				stillSat = false
+				break
+			}
+		}
+		if stillSat {
+			e.checked = len(s.clauses)
+			reused = true
+			return e.model, true
 		}
 	}
-	vars := make([]int, 0, len(mentioned))
-	for v := range mentioned {
-		vars = append(vars, v)
+	m, found, aborted := e.run(b, &nodes)
+	if aborted {
+		return nil, false
 	}
-	sort.Ints(vars)
+	if !found {
+		e.warm, e.model = warmUnsat, nil
+		return nil, false
+	}
+	e.warm, e.model, e.floor, e.checked = warmModel, m, m.Len(), len(s.clauses)
+	return m, true
+}
 
-	assign := make(map[int]value, len(vars))
+// clauseSatisfied reports whether the model (set of true variables)
+// satisfies the clause.
+func clauseSatisfied(c Clause, model uset.Set) bool {
+	for _, l := range c {
+		if model.Has(l.Var) != l.Neg {
+			return true
+		}
+	}
+	return false
+}
+
+// run executes the branch-and-bound search over the dense clause index. It
+// explores the identical DFS tree a fresh solver would (same branch order,
+// same propagation fixpoints, same pruning), with one addition: when a warm
+// floor is available and a model matching it is found, the search stops
+// there — the floor is a proven lower bound, and the first floor-cost model
+// in the false-first DFS is the lex-least minimum.
+func (e *engine) run(b *budget.Budget, nodes *int) (model uset.Set, found, aborted bool) {
+	e.ensureOrder()
+	nv := len(e.dvar)
+	if len(e.assign) < nv {
+		e.assign = make([]int8, nv)
+		e.lbUsed = make([]uint64, nv)
+		e.lbEpoch = 0
+	} else {
+		for i := range e.assign {
+			e.assign[i] = unassigned
+		}
+	}
+	e.trail = e.trail[:0]
+
 	best := -1
 	var bestModel []int
+	floor := -1
+	if e.warm == warmModel {
+		floor = e.floor
+	}
+	done := false
+	abort := false
 
-	var search func(idx, cost int)
-	// propagate applies unit propagation; it returns the list of variables
-	// it assigned (for undo), the number it set true, and whether a
-	// conflict arose.
-	propagate := func() (trail []int, setTrue int, conflict bool) {
-		for changed := true; changed; {
-			changed = false
-			for _, c := range s.clauses {
-				unassignedCount := 0
-				var unit Lit
-				satisfied := false
-				for _, l := range c {
-					switch assign[l.Var] {
-					case unassigned:
-						unassignedCount++
-						unit = l
-					case vTrue:
-						if !l.Neg {
-							satisfied = true
-						}
-					case vFalse:
-						if l.Neg {
-							satisfied = true
-						}
-					}
-					if satisfied {
-						break
-					}
-				}
-				if satisfied {
+	// propagate drains the trail from position start: each newly assigned
+	// variable rescans only the clauses that mention it (occurrence lists),
+	// assigning units and detecting conflicts until fixpoint. Unit
+	// propagation is confluent, so the fixpoint — and whether a conflict
+	// exists in it — does not depend on the scan order.
+	propagate := func(start int) (setTrue int, conflict bool) {
+		for qi := start; qi < len(e.trail); qi++ {
+			for _, ci := range e.occ[e.trail[qi]] {
+				sat, unCount, unit := e.scanClause(e.cls[ci])
+				if sat {
 					continue
 				}
-				switch unassignedCount {
+				switch unCount {
 				case 0:
-					return trail, setTrue, true
+					return setTrue, true
 				case 1:
-					if unit.Neg {
-						assign[unit.Var] = vFalse
+					uv := unit >> 1
+					if unit&1 == 1 {
+						e.assign[uv] = vFalse
 					} else {
-						assign[unit.Var] = vTrue
+						e.assign[uv] = vTrue
 						setTrue++
 					}
-					trail = append(trail, unit.Var)
-					changed = true
+					e.trail = append(e.trail, uv)
 				}
 			}
 		}
-		return trail, setTrue, false
+		return setTrue, false
+	}
+
+	// rootPropagate seeds the trail from the initially-unit clauses (there
+	// are no assignments yet, so only those can propagate) and drains it.
+	rootPropagate := func() (setTrue int, conflict bool) {
+		for _, c := range e.cls {
+			sat, unCount, unit := e.scanClause(c)
+			if sat {
+				continue
+			}
+			switch unCount {
+			case 0:
+				return setTrue, true
+			case 1:
+				uv := unit >> 1
+				if unit&1 == 1 {
+					e.assign[uv] = vFalse
+				} else {
+					e.assign[uv] = vTrue
+					setTrue++
+				}
+				e.trail = append(e.trail, uv)
+			}
+		}
+		st, conf := propagate(0)
+		return setTrue + st, conf
 	}
 
 	// lowerBound counts pairwise variable-disjoint unsatisfied clauses whose
 	// unassigned literals are all positive: each forces at least one more
-	// true variable, so their count is an admissible bound.
+	// true variable, so their count is an admissible bound. Visiting clauses
+	// in insertion order keeps the greedy count identical to a fresh
+	// solver's. The epoch-stamped lbUsed array replaces a per-call map.
+	pos := e.posBuf
 	lowerBound := func() int {
-		used := map[int]bool{}
+		e.lbEpoch++
+		epoch := e.lbEpoch
 		lb := 0
 	clauseLoop:
-		for _, c := range s.clauses {
-			positives := c[:0:0]
-			for _, l := range c {
-				switch assign[l.Var] {
+		for _, c := range e.cls {
+			pos = pos[:0]
+			for _, lit := range c {
+				v := lit >> 1
+				switch e.assign[v] {
 				case vTrue:
-					if !l.Neg {
+					if lit&1 == 0 {
 						continue clauseLoop // satisfied
 					}
 				case vFalse:
-					if l.Neg {
+					if lit&1 == 1 {
 						continue clauseLoop // satisfied
 					}
 				case unassigned:
-					if l.Neg {
+					if lit&1 == 1 {
 						continue clauseLoop // satisfiable for free
 					}
-					positives = append(positives, l)
+					pos = append(pos, v)
 				}
 			}
-			for _, l := range positives {
-				if used[l.Var] {
+			for _, v := range pos {
+				if e.lbUsed[v] == epoch {
 					continue clauseLoop // overlaps a counted clause
 				}
 			}
-			for _, l := range positives {
-				used[l.Var] = true
+			for _, v := range pos {
+				e.lbUsed[v] = epoch
 			}
 			lb++
 		}
 		return lb
 	}
 
-	search = func(idx, cost int) {
-		if aborted || !b.Poll() {
-			aborted = true
+	var search func(idx int32, cost int, branched int32)
+	search = func(idx int32, cost int, branched int32) {
+		if abort || done {
 			return
 		}
-		nodes++
+		if !b.Poll() {
+			abort = true
+			return
+		}
+		*nodes++
 		if best >= 0 && cost >= best {
 			return // bound: cannot improve
 		}
-		trail, extraTrue, conflict := propagate()
-		defer func() {
-			for _, v := range trail {
-				delete(assign, v)
+		mark := len(e.trail)
+		var extraTrue int
+		var conflict bool
+		if branched < 0 {
+			extraTrue, conflict = rootPropagate()
+		} else {
+			e.trail = append(e.trail, branched)
+			extraTrue, conflict = propagate(mark)
+		}
+		undo := func() {
+			for _, v := range e.trail[mark:] {
+				e.assign[v] = unassigned
 			}
-		}()
+			e.trail = e.trail[:mark]
+		}
 		cost += extraTrue
 		if conflict || (best >= 0 && cost >= best) {
+			undo()
 			return
 		}
 		if best >= 0 && cost+lowerBound() >= best {
+			undo()
 			return
 		}
-		// Find next unassigned mentioned variable.
-		for idx < len(vars) && assign[vars[idx]] != unassigned {
-			idx++
+		// Find the next unassigned branch variable.
+		i := idx
+		for int(i) < len(e.order) && e.assign[e.order[i]] != unassigned {
+			i++
 		}
-		if idx == len(vars) {
+		if int(i) == len(e.order) {
 			// All mentioned variables assigned and no conflict: model found.
 			if best < 0 || cost < best {
 				best = cost
 				bestModel = bestModel[:0]
-				for v, val := range assign {
-					if val == vTrue {
-						bestModel = append(bestModel, v)
+				for _, dv := range e.order {
+					if e.assign[dv] == vTrue {
+						bestModel = append(bestModel, e.dvar[dv])
 					}
 				}
+				if floor >= 0 && best == floor {
+					done = true // proven minimum: skip the optimality proof
+				}
 			}
+			undo()
 			return
 		}
-		v := vars[idx]
-		assign[v] = vFalse // cheap branch first → lexicographically least
-		search(idx+1, cost)
-		delete(assign, v)
-		assign[v] = vTrue
-		search(idx+1, cost+1)
-		delete(assign, v)
+		v := e.order[i]
+		e.assign[v] = vFalse // cheap branch first → lexicographically least
+		search(i+1, cost, v)
+		if abort || done {
+			return // scratch is reset at the next run
+		}
+		e.assign[v] = vTrue
+		search(i+1, cost+1, v)
+		e.assign[v] = unassigned
+		undo()
 	}
-	search(0, 0)
-	if aborted || best < 0 {
-		return nil, false
+	// Note the trail push above: the branch variable itself is appended by
+	// the child (via `branched`), so propagate sees it as the queue seed;
+	// undo then clears it together with its consequences, and the parent
+	// reassigns for the true branch.
+	search(0, 0, -1)
+	e.posBuf = pos[:0]
+	if abort {
+		return nil, false, true
 	}
-	return uset.New(bestModel...), true
+	if best < 0 {
+		return nil, false, false
+	}
+	return uset.New(bestModel...), true, false
 }
 
 // Satisfies reports whether the model (set of true variables) satisfies all
 // accumulated clauses.
 func (s *Solver) Satisfies(model uset.Set) bool {
 	for _, c := range s.clauses {
-		sat := false
-		for _, l := range c {
-			if model.Has(l.Var) != l.Neg {
-				sat = true
-				break
-			}
-		}
-		if !sat {
+		if !clauseSatisfied(c, model) {
 			return false
 		}
 	}

@@ -24,17 +24,52 @@ const (
 	CoreClauseRejected = "core.clause_rejected"
 )
 
+// Names recorded by the minimum-model solver (minsat.Solver) when
+// instrumented. MinsatMinimum is a timer (wall time of one Minimum call);
+// MinsatSearchNodes counts branch-and-bound nodes visited;
+// MinsatIncrementalReuse counts Minimum calls answered entirely from the
+// solver's warm state — the cached model still satisfies every clause added
+// since it was computed, or UNSAT was already proven — without visiting a
+// single search node. See the "Minsat incrementality" section of
+// ARCHITECTURE.md for the warm-start contract.
+const (
+	MinsatMinimum          = "minsat.minimum"
+	MinsatSearchNodes      = "minsat.search_nodes"
+	MinsatIncrementalReuse = "minsat.incremental_reuse"
+)
+
 // Counter/gauge names for the interned formula kernel (formula.Universe).
 // Problems that own a universe implement core.ObsFlusher; Solve/SolveBatch
 // flush these once per solve, after the event stream. FormulaUniverseSize is
 // a gauge (interned literal count); the others are deltas since the previous
 // flush. See the "Formula kernel" section of ARCHITECTURE.md.
+// FormulaSubsumptionChecks counts full (bitset-row) entailment checks only;
+// FormulaSigFiltered counts candidate×kept Simplify pairs dismissed by the
+// signature/watched-literal pre-filter before any cube was dereferenced, so
+// the filter hit rate is sig_filtered / (sig_filtered + subsumption_checks).
+// FormulaSigSkips counts whole unsat/reduce scans proven unnecessary by
+// capability signatures inside And/Or.
 const (
 	FormulaUniverseSize      = "formula.universe_size"
 	FormulaCubeProducts      = "formula.cube_products"
 	FormulaSubsumptionChecks = "formula.subsumption_checks"
+	FormulaSigFiltered       = "formula.sig_filtered"
+	FormulaSigSkips          = "formula.sig_skips"
 	FormulaTheoryMemoHits    = "formula.theory_memo_hits"
 	FormulaTheoryMemoFills   = "formula.theory_memo_fills"
+)
+
+// Names recorded by the weakest-precondition cache (meta.WPCache).
+// MetaWPFormulaMemoHits counts whole-formula wp applications answered from
+// the per-atom formula memo — each hit skips an entire per-cube
+// substitution pass, And chain included; misses count the applications that
+// had to compute (and then stored their result). Backward walks of
+// successive CEGAR iterations revisit the same (atom, formula) pairs
+// whenever counterexample traces share structure, so the hit rate tracks
+// trace similarity across iterations.
+const (
+	MetaWPFormulaMemoHits   = "meta.wp_formula_memo_hits"
+	MetaWPFormulaMemoMisses = "meta.wp_formula_memo_misses"
 )
 
 // opKind discriminates the buffered record types.

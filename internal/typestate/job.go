@@ -2,6 +2,7 @@ package typestate
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"tracer/internal/budget"
 	"tracer/internal/core"
@@ -30,6 +31,17 @@ type Job struct {
 	// concurrency-safe). Client fills them lazily when nil.
 	Uni *formula.Universe
 	WPC *meta.WPCache
+
+	// fwdHint carries the discovery count of the previous Forward solve as
+	// the next solve's map-capacity hint; consecutive CEGAR iterations
+	// re-solve the same CFG and discover similar state counts. Atomic so a
+	// job probed from a worker pool stays race-free.
+	fwdHint atomic.Int64
+	// fwdScratch is the reusable solver state handed to consecutive Forward
+	// solves. It is checked out with an atomic swap for the duration of a
+	// solve, so concurrent Forward calls on one job simply fall back to
+	// fresh allocation instead of racing.
+	fwdScratch atomic.Pointer[dataflow.Scratch[State]]
 }
 
 var _ core.Problem = (*Job)(nil)
@@ -46,7 +58,15 @@ func (j *Job) ParamName(i int) string { return j.A.Vars.Value(i) }
 // partial fixpoint may simply not have reached the failing state yet, so
 // its "no failure found" cannot be trusted as a proof).
 func (j *Job) Forward(b *budget.Budget, p uset.Set) core.Outcome {
-	res := dataflow.SolveBudget(j.G, j.A.Initial(), j.A.Transfer(p), b)
+	sc := j.fwdScratch.Swap(nil)
+	if sc == nil {
+		sc = &dataflow.Scratch[State]{}
+	}
+	// The scratch is returned only after the outcome (including any witness
+	// walk over the result) is fully extracted.
+	defer j.fwdScratch.Store(sc)
+	res := dataflow.SolveScratch(j.G, j.A.Initial(), j.A.Transfer(p), b, int(j.fwdHint.Load()), sc)
+	j.fwdHint.Store(int64(res.Steps))
 	if b.Tripped() {
 		return core.Outcome{Steps: res.Steps}
 	}
@@ -106,8 +126,11 @@ func (j *Job) Client(p uset.Set) *meta.Client[State] {
 }
 
 // FlushObs implements core.ObsFlusher: it reports the formula.* counters of
-// the job's literal universe.
-func (j *Job) FlushObs(rec obs.Recorder) { meta.FlushUniverseObs(rec, j.Uni) }
+// the job's literal universe and the meta.* counters of its WP cache.
+func (j *Job) FlushObs(rec obs.Recorder) {
+	meta.FlushUniverseObs(rec, j.Uni)
+	meta.FlushWPObs(rec, j.WPC)
+}
 
 // Backward runs the meta-analysis over the counterexample trace and
 // extracts the parameter cubes of abstractions guaranteed to fail. A budget

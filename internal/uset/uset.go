@@ -269,6 +269,14 @@ func (w Words) Has(i uint32) bool {
 // (see MakeWords/Grow); it is a builder-side operation, not for shared rows.
 func (w Words) SetBit(i uint32) { w[i>>6] |= 1 << (i & 63) }
 
+// ClearBit clears bit i; bits beyond the allocated words are already unset,
+// so out-of-range indices are a no-op. A builder-side operation like SetBit.
+func (w Words) ClearBit(i uint32) {
+	if wi := int(i >> 6); wi < len(w) {
+		w[wi] &^= 1 << (i & 63)
+	}
+}
+
 // Grow returns a copy of w with capacity for at least n bits. The receiver is
 // left untouched, so rows already visible to concurrent readers stay frozen.
 func (w Words) Grow(n int) Words {
