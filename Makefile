@@ -1,5 +1,5 @@
 # Tier-1 gate: everything a PR must keep green (see ROADMAP.md).
-.PHONY: check fmt vet build test bench bench-micro bench-json chaos fuzz
+.PHONY: check fmt vet build test bench bench-micro bench-json bench-delta chaos fuzz
 
 check: fmt vet build test
 
@@ -51,3 +51,9 @@ bench-micro:
 # shape). Scaled-down budget so it finishes in a couple of minutes.
 bench-json:
 	go run ./cmd/paperbench -iters 100 -timeout 1s -bench-json BENCH_paperbench.json
+
+# Perf gate (also a CI job): re-measure with the bench-json budget and fail
+# when a gated experiment wall (fig12, fig13, batch) regressed beyond 25% of
+# the committed baseline.
+bench-delta:
+	scripts/bench_delta.sh

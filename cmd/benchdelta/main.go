@@ -1,0 +1,101 @@
+// Command benchdelta compares two github-action-benchmark JSON files (the
+// BENCH_*.json shape written by cmd/paperbench) and fails when a gated
+// series regressed beyond a threshold. It is the teeth of the perf gate:
+// scripts/bench_delta.sh regenerates a fresh measurement and runs this
+// comparator against the committed baseline.
+//
+// Usage:
+//
+//	benchdelta -old BENCH_paperbench.json -new /tmp/fresh.json \
+//	    [-max-regress 25] [-keys paperbench/fig12/wall,...]
+//
+// Only the -keys series gate (walls of the heavyweight experiments; the
+// sub-millisecond table walls are pure noise). A gated key missing from
+// either file is an error — silently passing on a renamed series would
+// defeat the gate. Exit status 1 on any regression beyond -max-regress
+// percent; improvements and noise below the threshold pass.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type entry struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+func load(path string) (map[string]entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var es []entry
+	if err := json.Unmarshal(data, &es); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]entry, len(es))
+	for _, e := range es {
+		m[e.Name] = e
+	}
+	return m, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_paperbench.json", "committed baseline JSON")
+	newPath := flag.String("new", "", "freshly measured JSON")
+	maxRegress := flag.Float64("max-regress", 25, "maximum allowed regression in percent")
+	keys := flag.String("keys", "paperbench/fig12/wall,paperbench/fig13/wall,paperbench/batch/wall",
+		"comma-separated gated series names")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdelta: -new is required")
+		os.Exit(2)
+	}
+
+	oldE, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(2)
+	}
+	newE, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, key := range strings.Split(*keys, ",") {
+		key = strings.TrimSpace(key)
+		if key == "" {
+			continue
+		}
+		o, okO := oldE[key]
+		n, okN := newE[key]
+		if !okO || !okN {
+			fmt.Printf("MISSING  %-28s old=%v new=%v\n", key, okO, okN)
+			failed = true
+			continue
+		}
+		if o.Value <= 0 {
+			fmt.Printf("SKIP     %-28s baseline is %.3f%s\n", key, o.Value, o.Unit)
+			continue
+		}
+		pct := 100 * (n.Value - o.Value) / o.Value
+		verdict := "OK"
+		if pct > *maxRegress {
+			verdict = "REGRESS"
+			failed = true
+		}
+		fmt.Printf("%-8s %-28s %10.1f%s -> %10.1f%s  (%+.1f%%, limit +%.0f%%)\n",
+			verdict, key, o.Value, o.Unit, n.Value, n.Unit, pct, *maxRegress)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

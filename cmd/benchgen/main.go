@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	benchgen [-dir out] [-name tsp]
+//	benchgen [-dir out] [-name tsp] [-edits 0]
+//
+// With -edits N it additionally emits a deterministic chain of N
+// single-statement edits per benchmark (name.e1.tir … name.eN.tir), the
+// incremental workload of the warm-start store: feed successive steps to
+// `tracer -auto -warm-dir DIR` to watch delta invalidation at work.
 package main
 
 import (
@@ -19,18 +24,30 @@ import (
 func main() {
 	dir := flag.String("dir", ".", "output directory")
 	name := flag.String("name", "", "emit only the named benchmark")
+	edits := flag.Int("edits", 0, "also emit this many single-statement edit steps per benchmark")
 	flag.Parse()
 
-	for _, cfg := range bench.Suite() {
-		if *name != "" && cfg.Name != *name {
-			continue
-		}
-		src := bench.Generate(cfg)
-		path := filepath.Join(*dir, cfg.Name+".tir")
+	emit := func(path, src string) {
 		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d bytes)\n", path, len(src))
+	}
+
+	for _, cfg := range bench.Suite() {
+		if *name != "" && cfg.Name != *name {
+			continue
+		}
+		if *edits > 0 {
+			chain, steps := bench.EditChain(cfg, *edits)
+			emit(filepath.Join(*dir, cfg.Name+".tir"), chain[0])
+			for i := 1; i < len(chain); i++ {
+				fmt.Printf("  edit %d: %s at line %d\n", i, steps[i-1].Kind, steps[i-1].Line)
+				emit(filepath.Join(*dir, fmt.Sprintf("%s.e%d.tir", cfg.Name, i)), chain[i])
+			}
+			continue
+		}
+		emit(filepath.Join(*dir, cfg.Name+".tir"), bench.Generate(cfg))
 	}
 }

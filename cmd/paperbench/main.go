@@ -8,6 +8,12 @@
 // Without -only it runs everything, in the paper's order. Results that share
 // the same (benchmark, client, k) run are computed once and cached.
 //
+// Beyond the paper's artifacts, two warm-start experiments measure the
+// persistent clause store (internal/warm): fig12warm re-solves the whole
+// Figure 12 workload against a freshly populated store, and editchain
+// replays -editchain-steps single-statement edits of -editchain-bench,
+// cold vs warm. -warm-dir warm-starts the paper tables themselves.
+//
 // Observability (see internal/obs and ARCHITECTURE.md):
 //
 //	-bench-json BENCH_paperbench.json
@@ -51,7 +57,11 @@ func run() error {
 	iters := flag.Int("iters", 200, "per-query CEGAR iteration cap")
 	workers := flag.Int("workers", 1, "concurrent query resolutions (0/1 = sequential)")
 	batchWorkers := flag.Int("batch-workers", 1, "worker pool of the grouped batch solver; results are identical for every value")
-	only := flag.String("only", "", "comma-separated subset: table1,fig12,fig13,table2,table3,table4,fig14,batch")
+	fwdCache := flag.Int("fwd-cache", 0, "forward-run memo size of the batch experiment (0 = core default, negative disables); results are identical for every value")
+	only := flag.String("only", "", "comma-separated subset: table1,fig12,fig13,table2,table3,table4,fig14,batch,fig12warm,editchain")
+	warmDir := flag.String("warm-dir", "", "warm-start store directory for the table/figure runs (\"\" = cold); fig12warm and editchain always use their own store")
+	editBench := flag.String("editchain-bench", "hedc", "benchmark the editchain experiment edits")
+	editSteps := flag.Int("editchain-steps", 6, "number of single-statement edits in the editchain experiment")
 	benchJSON := flag.String("bench-json", "BENCH_paperbench.json", "write github-action-benchmark {name,value,unit} JSON to this file (\"\" disables)")
 	tracePath := flag.String("trace", "", "write NDJSON events of every CEGAR iteration to this file")
 	metrics := flag.Bool("metrics", false, "print aggregated counters/gauges/timers at exit")
@@ -122,7 +132,9 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	opts := bench.RunOptions{K: *k, MaxIters: *iters, Timeout: *timeout, Workers: *workers,
-		BatchWorkers: *batchWorkers, Recorder: obs.Multi(sinks...), Context: ctx}
+		BatchWorkers: *batchWorkers, FwdCacheSize: *fwdCache,
+		Recorder: obs.Multi(sinks...), Context: ctx,
+		WarmDir: *warmDir}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, s := range strings.Split(*only, ",") {
@@ -191,6 +203,41 @@ func run() error {
 				return "", err
 			}
 			return bench.RenderBatchTable(rows, *batchWorkers), nil
+		}},
+		{"fig12warm", func() (string, error) {
+			dir, err := os.MkdirTemp("", "paperbench-warm-")
+			if err != nil {
+				return "", err
+			}
+			defer os.RemoveAll(dir)
+			rows, err := bench.WarmTable(opts, dir)
+			if err != nil {
+				return "", err
+			}
+			return bench.RenderWarmTable(rows), nil
+		}},
+		{"editchain", func() (string, error) {
+			var cfg *bench.Config
+			for _, c := range bench.Suite() {
+				if c.Name == *editBench {
+					cc := c
+					cfg = &cc
+					break
+				}
+			}
+			if cfg == nil {
+				return "", fmt.Errorf("editchain: unknown benchmark %q", *editBench)
+			}
+			dir, err := os.MkdirTemp("", "paperbench-editchain-")
+			if err != nil {
+				return "", err
+			}
+			defer os.RemoveAll(dir)
+			rows, err := bench.EditChainTable(*cfg, *editSteps, opts, dir)
+			if err != nil {
+				return "", err
+			}
+			return bench.RenderEditChainTable(cfg.Name, rows), nil
 		}},
 	}
 

@@ -7,12 +7,17 @@
 //
 // Usage:
 //
-//	tracer [-k 5] [-timeout 5s] [-auto] [-batch] [-batch-workers 4] [-property file] program.tir
+//	tracer [-k 5] [-timeout 5s] [-auto] [-batch] [-batch-workers 4] [-warm-dir DIR] [-property file] program.tir
 //
 // With -auto -batch the generated queries go through the grouped
 // multi-query solver (§6): queries whose learned clause sets coincide share
 // forward runs, and -batch-workers schedules independent groups in
 // parallel. Results are identical for every worker count.
+//
+// With -warm-dir the generated queries are warm-started from a persistent
+// clause store (internal/warm): a later invocation on the same — or a
+// slightly edited — program seeds each query with the previously learned
+// blocking clauses that survive the IR delta, and saves what it learns back.
 //
 // The -property flag selects the automaton for explicit type-state queries:
 // "file" (open/close protocol) or "stress" (the paper's fictitious
@@ -70,9 +75,12 @@ import (
 	"tracer/internal/driver"
 	"tracer/internal/explain"
 	"tracer/internal/faultinject"
+	"tracer/internal/lang"
 	"tracer/internal/obs"
 	"tracer/internal/oracle"
 	"tracer/internal/typestate"
+	"tracer/internal/uset"
+	"tracer/internal/warm"
 )
 
 func main() {
@@ -88,6 +96,7 @@ func run() error {
 	auto := flag.Bool("auto", false, "also answer pervasively generated queries (§6)")
 	batch := flag.Bool("batch", false, "resolve -auto queries through the grouped multi-query solver (§6) instead of one at a time")
 	batchWorkers := flag.Int("batch-workers", 1, "worker pool of the grouped solver; results are identical for every value")
+	warmDir := flag.String("warm-dir", "", "persistent warm-start store for -auto queries (internal/warm): learned clauses are loaded at start and saved at exit, keyed by the program's IR fingerprint")
 	engine := flag.String("engine", "inline", "forward engine: inline (context-sensitive inlining) or rhs (summary-based tabulation; supports recursion)")
 	explainFlag := flag.Bool("explain", false, "narrate each CEGAR iteration (trace with α/ψ annotations, as in Figs 1 and 6)")
 	property := flag.String("property", "file", "automaton for explicit type-state queries: file|stress")
@@ -188,7 +197,7 @@ func run() error {
 			return err
 		}
 	} else {
-		if err := runInline(string(src), prop, *k, opts, rec, *auto, *batch, *explainFlag); err != nil {
+		if err := runInline(string(src), prop, *k, opts, rec, *auto, *batch, *explainFlag, *warmDir); err != nil {
 			return err
 		}
 	}
@@ -228,7 +237,7 @@ func runFuzz(seed int64, n int, meta bool) error {
 }
 
 // runInline answers queries through the context-sensitive inlining engine.
-func runInline(src string, prop *typestate.Property, k int, opts core.Options, rec obs.Recorder, auto, batch, explainFlag bool) error {
+func runInline(src string, prop *typestate.Property, k int, opts core.Options, rec obs.Recorder, auto, batch, explainFlag bool, warmDir string) error {
 	prog, err := driver.Load(src)
 	if err != nil {
 		return err
@@ -284,18 +293,69 @@ func runInline(src string, prop *typestate.Property, k int, opts core.Options, r
 	if auto {
 		stats := prog.ComputeStats(src)
 		fmt.Printf("\nGenerated queries (N_ts=%d variables, N_esc=%d sites):\n", stats.TypestateParams, stats.EscapeParams)
-		if batch {
-			return runBatch(prog, k, opts, rec)
+		// The warm store applies to the generated queries only: explicit
+		// queries have no position-independent key. Sessions are created
+		// lazily per client so a typestate-only program writes no escape
+		// snapshot.
+		store := warm.Open(warmDir, rec)
+		session := func(cl warm.Client) *warm.Session {
+			if !store.Enabled() {
+				return nil
+			}
+			return store.Session(prog, warm.Config{
+				Client: cl, K: k, MaxIters: opts.MaxIters, Timeout: opts.Timeout,
+			})
 		}
+		if batch {
+			return runBatch(prog, k, opts, rec, session)
+		}
+		solveWarm := func(q string, key string, sess *warm.Session, job core.Problem, paramName func(i int) string) error {
+			if sess != nil {
+				if r, ok := sess.Replay(key); ok {
+					printResult(q, r, paramName, 0)
+					return nil
+				}
+			}
+			qopts := opts
+			qopts.Recorder = obs.Tag(rec, q)
+			if sess != nil {
+				qopts.Seed = sess.SeedFor(key)
+				qopts.OnLearn = func(_ int, _ uset.Set, t lang.Trace, cubes []core.ParamCube) {
+					sess.RecordLearn(key, t, cubes)
+				}
+			}
+			start := time.Now()
+			res, err := core.Solve(job, qopts)
+			if err != nil {
+				return err
+			}
+			if sess != nil {
+				sess.RecordResult(key, res)
+			}
+			printResult(q, res, paramName, time.Since(start))
+			return nil
+		}
+		tsSess := session(warm.Typestate)
 		for _, q := range prog.TypestateQueries() {
 			job := prog.TypestateJob(q, k)
-			if err := report(q.ID, job, job.ParamName); err != nil {
+			if err := solveWarm(q.ID, q.Key, tsSess, job, job.ParamName); err != nil {
 				return err
 			}
 		}
+		if tsSess != nil {
+			if err := tsSess.Save(); err != nil {
+				return err
+			}
+		}
+		escSess := session(warm.Escape)
 		for _, q := range prog.EscapeQueries() {
 			job := prog.EscapeJob(q, k)
-			if err := report(q.ID, job, job.ParamName); err != nil {
+			if err := solveWarm(q.ID, q.Key, escSess, job, job.ParamName); err != nil {
+				return err
+			}
+		}
+		if escSess != nil {
+			if err := escSess.Save(); err != nil {
 				return err
 			}
 		}
@@ -306,36 +366,46 @@ func runInline(src string, prop *typestate.Property, k int, opts core.Options, r
 // runBatch resolves the generated queries through the grouped multi-query
 // solver of §6: queries with identical learned-clause sets share forward
 // runs, and opts.Workers schedules independent groups in parallel.
-func runBatch(prog *driver.Program, k int, opts core.Options, rec obs.Recorder) error {
+func runBatch(prog *driver.Program, k int, opts core.Options, rec obs.Recorder, session func(warm.Client) *warm.Session) error {
 	tsQueries := prog.TypestateQueries()
 	escQueries := prog.EscapeQueries()
 	type batchCase struct {
-		ids       []string
+		ids, keys []string
 		paramName func(i int) string
 		problem   core.BatchProblem
+		sess      *warm.Session
 	}
 	cases := []batchCase{}
 	if len(tsQueries) > 0 {
 		ids := make([]string, len(tsQueries))
+		keys := make([]string, len(tsQueries))
 		for i, q := range tsQueries {
-			ids[i] = q.ID
+			ids[i], keys[i] = q.ID, q.Key
 		}
 		job := prog.TypestateJob(tsQueries[0], k)
-		cases = append(cases, batchCase{ids, job.ParamName, driver.NewTypestateBatch(prog, tsQueries, k)})
+		cases = append(cases, batchCase{ids, keys, job.ParamName, driver.NewTypestateBatch(prog, tsQueries, k), session(warm.Typestate)})
 	}
 	if len(escQueries) > 0 {
 		ids := make([]string, len(escQueries))
+		keys := make([]string, len(escQueries))
 		for i, q := range escQueries {
-			ids[i] = q.ID
+			ids[i], keys[i] = q.ID, q.Key
 		}
 		job := prog.EscapeJob(escQueries[0], k)
-		cases = append(cases, batchCase{ids, job.ParamName, driver.NewEscapeBatch(prog, escQueries, k)})
+		cases = append(cases, batchCase{ids, keys, job.ParamName, driver.NewEscapeBatch(prog, escQueries, k), session(warm.Escape)})
 	}
 	for _, c := range cases {
 		bopts := opts
 		bopts.Recorder = rec
 		if bopts.Timeout > 0 {
 			bopts.Timeout *= time.Duration(len(c.ids)) // opts.Timeout is per query
+		}
+		if c.sess != nil {
+			sess, keys := c.sess, c.keys
+			bopts.SeedBatch = func(q int) []core.ParamCube { return sess.SeedFor(keys[q]) }
+			bopts.OnLearn = func(q int, _ uset.Set, t lang.Trace, cubes []core.ParamCube) {
+				sess.RecordLearn(keys[q], t, cubes)
+			}
 		}
 		start := time.Now()
 		res, err := core.SolveBatch(c.problem, bopts)
@@ -345,6 +415,20 @@ func runBatch(prog *driver.Program, k int, opts core.Options, rec obs.Recorder) 
 		wall := time.Since(start)
 		for i, r := range res.Results {
 			printResult(c.ids[i], r, c.paramName, wall/time.Duration(len(res.Results)))
+		}
+		if c.sess != nil {
+			// Exhausted verdicts from a batch are measured against the shared
+			// batch budget, not a per-query one; persisting them would make
+			// them look replayable to a later per-query run. Verdict-bearing
+			// statuses only.
+			for i, r := range res.Results {
+				if r.Status == core.Proved || r.Status == core.Impossible {
+					c.sess.RecordResult(c.keys[i], r)
+				}
+			}
+			if err := c.sess.Save(); err != nil {
+				return err
+			}
 		}
 		fmt.Printf("[batch: %d queries, %d forward phases (%d memo hits), %d groups, %d rounds, %v]\n",
 			len(res.Results), res.Stats.ForwardRuns, res.Stats.FwdCacheHits,

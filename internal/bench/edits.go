@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Edit is one applied step of an edit chain.
+type Edit struct {
+	Kind string // "poke", "alias", "ping", or "alloc"
+	Line int    // 1-based line of the statement the edit anchored to
+}
+
+// EditChain derives n successive variants of cfg's generated source, each
+// obtained from the previous by one statement-level edit inside one method
+// body — the workload the warm-start store's delta invalidation targets.
+// chain[0] is the pristine source; chain[i] is chain[i-1] plus edit
+// edits[i-1]. Everything is deterministic in (cfg, n).
+//
+// Three of the four edit kinds are points-to-neutral (an extra event on a
+// parameter, a duplicated alias move, an extra event on an already-tracked
+// variable), so clauses learned in untouched methods survive verbatim. The
+// fourth introduces a fresh allocation site, which extends the escape
+// client's parameter universe and query set — the "new code" case an edit
+// chain must also exercise.
+func EditChain(cfg Config, n int) (chain []string, edits []Edit) {
+	src := Generate(cfg)
+	chain = []string{src}
+	r := newRNG(cfg.Seed ^ 0xed17c4a1)
+	allocs := 0
+	for i := 0; i < n; i++ {
+		var e Edit
+		src, e = applyEdit(src, r, &allocs)
+		chain = append(chain, src)
+		edits = append(edits, e)
+	}
+	return chain, edits
+}
+
+// applyEdit performs one deterministic single-statement edit. Anchors are
+// chosen so the inserted statement is always well-formed: `t0 = new` lines
+// only occur in service bodies (where a0, t0, and uu are declared), and
+// `return t0` lines only end service bodies.
+func applyEdit(src string, r *rng, allocs *int) (string, Edit) {
+	lines := strings.Split(src, "\n")
+	type anchor struct {
+		kind string
+		line int // index into lines
+	}
+	var anchors []anchor
+	for i, ln := range lines {
+		switch {
+		case strings.HasPrefix(ln, "    t0 = new "):
+			anchors = append(anchors, anchor{"poke", i})
+			anchors = append(anchors, anchor{"alloc", i})
+		case strings.HasPrefix(ln, "    t1 = t0"):
+			anchors = append(anchors, anchor{"alias", i})
+		case ln == "    return t0":
+			anchors = append(anchors, anchor{"ping", i})
+		}
+	}
+	if len(anchors) == 0 {
+		return src, Edit{Kind: "none"}
+	}
+	// A fresh allocation site only every fourth edit on average; the chain
+	// should be dominated by the edits warm starting can actually exploit.
+	a := anchors[r.intn(len(anchors))]
+	for a.kind == "alloc" && !r.chance(25) {
+		a = anchors[r.intn(len(anchors))]
+	}
+	var ins string
+	switch a.kind {
+	case "poke":
+		ins = "    a0.poke()"
+	case "alias":
+		ins = lines[a.line]
+	case "ping":
+		ins = "    t0.ping()"
+	case "alloc":
+		*allocs++
+		ins = fmt.Sprintf("    uu = new C0 @ hx%d", *allocs)
+	}
+	out := make([]string, 0, len(lines)+1)
+	if a.kind == "ping" {
+		// Insert before the return; everything else goes after its anchor.
+		out = append(out, lines[:a.line]...)
+		out = append(out, ins)
+		out = append(out, lines[a.line:]...)
+	} else {
+		out = append(out, lines[:a.line+1]...)
+		out = append(out, ins)
+		out = append(out, lines[a.line+1:]...)
+	}
+	return strings.Join(out, "\n"), Edit{Kind: a.kind, Line: a.line + 1}
+}

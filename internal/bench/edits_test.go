@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"testing"
+
+	"tracer/internal/driver"
+	"tracer/internal/ir"
+)
+
+// Every step of an edit chain must stay loadable, and each step must change
+// the program (the fingerprint moves) while staying deterministic.
+func TestEditChainParsesAndMoves(t *testing.T) {
+	cfg := Suite()[0]
+	const n = 10
+	chain, edits := EditChain(cfg, n)
+	if len(chain) != n+1 || len(edits) != n {
+		t.Fatalf("got %d sources, %d edits", len(chain), len(edits))
+	}
+	var prev uint64
+	for i, src := range chain {
+		p, err := driver.Load(src)
+		if err != nil {
+			t.Fatalf("step %d (%+v): %v", i, edits, err)
+		}
+		fp := ir.Fingerprint(p.IR)
+		if i > 0 && fp.Whole == prev {
+			t.Fatalf("step %d (%s): edit did not change the fingerprint", i, edits[i-1].Kind)
+		}
+		prev = fp.Whole
+	}
+
+	again, _ := EditChain(cfg, n)
+	for i := range chain {
+		if chain[i] != again[i] {
+			t.Fatalf("step %d: chain not deterministic", i)
+		}
+	}
+}
+
+// Most edits must be body-local: the shape fingerprint stays fixed and only
+// few methods are touched per step, so warm-start invalidation has something
+// to preserve.
+func TestEditChainIsDeltaFriendly(t *testing.T) {
+	cfg := Suite()[1]
+	chain, edits := EditChain(cfg, 12)
+	prev, err := driver.Load(chain[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevFP := ir.Fingerprint(prev.IR)
+	for i := 1; i < len(chain); i++ {
+		p, err := driver.Load(chain[i])
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		fp := ir.Fingerprint(p.IR)
+		if fp.Shape != prevFP.Shape {
+			t.Fatalf("step %d (%s): shape fingerprint changed", i, edits[i-1].Kind)
+		}
+		d := ir.Diff(prevFP, fp)
+		if len(d.Touched) != 1 {
+			t.Fatalf("step %d (%s): touched %v, want exactly one method", i, edits[i-1].Kind, d.Touched)
+		}
+		prevFP = fp
+	}
+}

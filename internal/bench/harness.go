@@ -8,7 +8,10 @@ import (
 
 	"tracer/internal/core"
 	"tracer/internal/driver"
+	"tracer/internal/lang"
 	"tracer/internal/obs"
+	"tracer/internal/uset"
+	"tracer/internal/warm"
 )
 
 // Client names the two client analyses.
@@ -48,6 +51,14 @@ type RunOptions struct {
 	// use when Workers > 1. Note the run cache: cached results replay no
 	// events — set Fresh to re-record a previously computed run.
 	Recorder obs.Recorder
+	// WarmDir, when non-empty, names a warm-start store directory
+	// (internal/warm): Run and RunBatch seed each query with its surviving
+	// stored clauses before iteration 1 and persist what this run learned
+	// on completion. Run additionally replays stored Exhausted verdicts on
+	// a byte-exact program match under the identical budget; RunBatch never
+	// replays (its budget is batch-wide, so per-query Exhausted verdicts
+	// are not comparable across runs).
+	WarmDir string
 }
 
 // DefaultRunOptions are the settings used to regenerate the paper's tables.
@@ -94,7 +105,7 @@ func (r *ClientResult) count(s core.Status) int {
 // through TRACER, mirroring the paper's per-query resolution. Results are
 // cached per (benchmark, client, k, query cap).
 func Run(b *Benchmark, client Client, opts RunOptions) (*ClientResult, error) {
-	key := fmt.Sprintf("%s/%s/k=%d/max=%d/cap=%d/to=%s", b.Config.Name, client, opts.K, opts.MaxIters, opts.MaxQueries, opts.Timeout)
+	key := fmt.Sprintf("%s/%s/k=%d/max=%d/cap=%d/to=%s/warm=%s", b.Config.Name, client, opts.K, opts.MaxIters, opts.MaxQueries, opts.Timeout, opts.WarmDir)
 	if !opts.Fresh {
 		runMu.Lock()
 		if r, ok := runCache[key]; ok {
@@ -106,17 +117,23 @@ func Run(b *Benchmark, client Client, opts RunOptions) (*ClientResult, error) {
 
 	res := &ClientResult{Benchmark: b.Config.Name, Client: client, K: opts.K}
 	start := time.Now()
+	sess := warmSession(b, client, opts)
 	var err error
 	switch client {
 	case Typestate:
-		err = runTypestate(b, opts, res)
+		err = runTypestate(b, opts, res, sess)
 	case Escape:
-		err = runEscape(b, opts, res)
+		err = runEscape(b, opts, res, sess)
 	default:
 		err = fmt.Errorf("bench: unknown client %q", client)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if sess != nil {
+		if werr := sess.Save(); werr != nil {
+			return nil, fmt.Errorf("bench: saving warm snapshot: %w", werr)
+		}
 	}
 	res.WallMilli = float64(time.Since(start).Microseconds()) / 1000
 
@@ -141,36 +158,65 @@ func coreOpts(opts RunOptions) core.Options {
 	}
 }
 
-func runTypestate(b *Benchmark, opts RunOptions, res *ClientResult) error {
+// warmClient maps the bench client name onto the warm store's.
+func warmClient(client Client) warm.Client {
+	if client == Typestate {
+		return warm.Typestate
+	}
+	return warm.Escape
+}
+
+// warmSession opens the warm-start session for one run, or nil when WarmDir
+// is unset. The config carries the *effective* budget (core's defaults
+// applied) so Exhausted replay compares like with like.
+func warmSession(b *Benchmark, client Client, opts RunOptions) *warm.Session {
+	if opts.WarmDir == "" {
+		return nil
+	}
+	maxIters := opts.MaxIters
+	if maxIters <= 0 {
+		maxIters = 1000 // core.Options default
+	}
+	st := warm.Open(opts.WarmDir, opts.Recorder)
+	return st.Session(b.Prog, warm.Config{
+		Client:   warmClient(client),
+		K:        opts.K,
+		MaxIters: maxIters,
+		Timeout:  opts.Timeout,
+	})
+}
+
+func runTypestate(b *Benchmark, opts RunOptions, res *ClientResult, sess *warm.Session) error {
 	queries := b.Prog.TypestateQueries()
 	if opts.MaxQueries > 0 && len(queries) > opts.MaxQueries {
 		queries = queries[:opts.MaxQueries]
 	}
-	return runAll(len(queries), opts, res, func(i int) (string, core.Problem) {
-		return queries[i].ID, b.Prog.TypestateJob(queries[i], opts.K)
+	return runAll(len(queries), opts, res, sess, func(i int) (string, string, core.Problem) {
+		return queries[i].ID, queries[i].Key, b.Prog.TypestateJob(queries[i], opts.K)
 	})
 }
 
-func runEscape(b *Benchmark, opts RunOptions, res *ClientResult) error {
+func runEscape(b *Benchmark, opts RunOptions, res *ClientResult, sess *warm.Session) error {
 	queries := b.Prog.EscapeQueries()
 	if opts.MaxQueries > 0 && len(queries) > opts.MaxQueries {
 		queries = queries[:opts.MaxQueries]
 	}
-	return runAll(len(queries), opts, res, func(i int) (string, core.Problem) {
-		return queries[i].ID, b.Prog.EscapeJob(queries[i], opts.K)
+	return runAll(len(queries), opts, res, sess, func(i int) (string, string, core.Problem) {
+		return queries[i].ID, queries[i].Key, b.Prog.EscapeJob(queries[i], opts.K)
 	})
 }
 
 // runAll resolves n queries, optionally across a worker pool. Results keep
-// query order regardless of completion order.
-func runAll(n int, opts RunOptions, res *ClientResult, job func(i int) (string, core.Problem)) error {
+// query order regardless of completion order. job returns a query's display
+// ID, its position-independent warm-store key, and the solver problem.
+func runAll(n int, opts RunOptions, res *ClientResult, sess *warm.Session, job func(i int) (string, string, core.Problem)) error {
 	outcomes := make([]QueryOutcome, n)
 	errs := make([]error, n)
 	workers := opts.Workers
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			id, pr := job(i)
-			outcomes[i], errs[i] = solveOne(id, pr, opts)
+			id, key, pr := job(i)
+			outcomes[i], errs[i] = solveOne(id, key, pr, opts, sess)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -180,8 +226,8 @@ func runAll(n int, opts RunOptions, res *ClientResult, job func(i int) (string, 
 			go func() {
 				defer wg.Done()
 				for i := range work {
-					id, pr := job(i)
-					outcomes[i], errs[i] = solveOne(id, pr, opts)
+					id, key, pr := job(i)
+					outcomes[i], errs[i] = solveOne(id, key, pr, opts, sess)
 				}
 			}()
 		}
@@ -200,13 +246,32 @@ func runAll(n int, opts RunOptions, res *ClientResult, job func(i int) (string, 
 	return nil
 }
 
-func solveOne(id string, job core.Problem, opts RunOptions) (QueryOutcome, error) {
+func solveOne(id, key string, job core.Problem, opts RunOptions, sess *warm.Session) (QueryOutcome, error) {
+	start := time.Now()
+	if sess != nil {
+		if r, ok := sess.Replay(key); ok {
+			return QueryOutcome{
+				ID:         id,
+				Status:     r.Status,
+				Iterations: r.Iterations,
+				Millis:     float64(time.Since(start).Microseconds()) / 1000,
+			}, nil
+		}
+	}
 	copts := coreOpts(opts)
 	copts.Recorder = obs.Tag(opts.Recorder, id)
-	start := time.Now()
+	if sess != nil {
+		copts.Seed = sess.SeedFor(key)
+		copts.OnLearn = func(_ int, _ uset.Set, t lang.Trace, cubes []core.ParamCube) {
+			sess.RecordLearn(key, t, cubes)
+		}
+	}
 	r, err := core.Solve(job, copts)
 	if err != nil {
 		return QueryOutcome{}, fmt.Errorf("query %s: %w", id, err)
+	}
+	if sess != nil {
+		sess.RecordResult(key, r)
 	}
 	o := QueryOutcome{
 		ID:         id,
@@ -223,21 +288,58 @@ func solveOne(id string, job core.Problem, opts RunOptions) (QueryOutcome, error
 }
 
 // RunBatch resolves the same queries through the grouped multi-query driver
-// of §6, for the grouping ablation.
+// of §6, for the grouping ablation. With WarmDir set it seeds each query's
+// surviving clauses (seeded queries start in their own solver group) and
+// records what the batch learns; it never replays stored verdicts, and it
+// does not persist Exhausted verdicts either — the batch budget is shared
+// across queries, so a per-query "exhausted under budget B" claim measured
+// inside a batch would not be comparable to any later run.
 func RunBatch(b *Benchmark, client Client, opts RunOptions) (*core.BatchResult, error) {
+	sess := warmSession(b, client, opts)
+	var bp core.BatchProblem
+	var keys []string
 	switch client {
 	case Typestate:
 		queries := b.Prog.TypestateQueries()
 		if opts.MaxQueries > 0 && len(queries) > opts.MaxQueries {
 			queries = queries[:opts.MaxQueries]
 		}
-		return core.SolveBatch(driver.NewTypestateBatch(b.Prog, queries, opts.K), coreOpts(opts))
+		for _, q := range queries {
+			keys = append(keys, q.Key)
+		}
+		bp = driver.NewTypestateBatch(b.Prog, queries, opts.K)
 	case Escape:
 		queries := b.Prog.EscapeQueries()
 		if opts.MaxQueries > 0 && len(queries) > opts.MaxQueries {
 			queries = queries[:opts.MaxQueries]
 		}
-		return core.SolveBatch(driver.NewEscapeBatch(b.Prog, queries, opts.K), coreOpts(opts))
+		for _, q := range queries {
+			keys = append(keys, q.Key)
+		}
+		bp = driver.NewEscapeBatch(b.Prog, queries, opts.K)
+	default:
+		return nil, fmt.Errorf("bench: unknown client %q", client)
 	}
-	return nil, fmt.Errorf("bench: unknown client %q", client)
+	copts := coreOpts(opts)
+	if sess != nil {
+		copts.SeedBatch = func(q int) []core.ParamCube { return sess.SeedFor(keys[q]) }
+		copts.OnLearn = func(q int, _ uset.Set, t lang.Trace, cubes []core.ParamCube) {
+			sess.RecordLearn(keys[q], t, cubes)
+		}
+	}
+	res, err := core.SolveBatch(bp, copts)
+	if err != nil {
+		return nil, err
+	}
+	if sess != nil {
+		for q, r := range res.Results {
+			if r.Status == core.Proved || r.Status == core.Impossible {
+				sess.RecordResult(keys[q], r)
+			}
+		}
+		if werr := sess.Save(); werr != nil {
+			return nil, fmt.Errorf("bench: saving warm snapshot: %w", werr)
+		}
+	}
+	return res, nil
 }

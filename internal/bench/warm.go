@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"tracer/internal/core"
+	"tracer/internal/driver"
+)
+
+// This file holds the warm-start experiments: re-solving an unchanged
+// program from a populated store (the paper-suite sweep) and re-solving
+// along a chain of single-statement edits (the incremental workload the
+// delta invalidation exists for).
+
+// LoadSource builds a Benchmark from explicit source text — the edit-chain
+// steps are not Suite members, so they bypass the generation cache.
+func LoadSource(cfg Config, src string) (*Benchmark, error) {
+	prog, err := driver.Load(src)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", cfg.Name, err)
+	}
+	return &Benchmark{Config: cfg, Source: src, Prog: prog}, nil
+}
+
+// WarmRow is one (benchmark, client) cold-vs-warm measurement.
+type WarmRow struct {
+	Name      string
+	Client    Client
+	Queries   int
+	ColdMilli float64 // first run against an empty store (includes the write)
+	WarmMilli float64 // identical re-run against the populated store
+	// MaxWarmIters is the largest CEGAR iteration count any non-replayed
+	// query needed on the warm run (replayed Exhausted verdicts do no
+	// iterations at all; they report the stored count).
+	MaxWarmIters int
+	Replayed     int // Exhausted queries answered by replay on the warm run
+}
+
+// Speedup is cold wall over warm wall.
+func (r WarmRow) Speedup() float64 {
+	if r.WarmMilli <= 0 {
+		return 0
+	}
+	return r.ColdMilli / r.WarmMilli
+}
+
+// WarmTable re-runs the Figure 12 workload twice per (benchmark, client)
+// against warmDir: once cold (populating the store) and once warm. Both runs
+// bypass the in-process result cache; the store directory is the only state
+// shared between them.
+func WarmTable(opts RunOptions, warmDir string) ([]WarmRow, error) {
+	var rows []WarmRow
+	for _, cfg := range Suite() {
+		b, err := Load(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, cl := range []Client{Typestate, Escape} {
+			o := opts
+			o.Fresh = true
+			o.WarmDir = warmDir
+			cold, err := Run(b, cl, o)
+			if err != nil {
+				return nil, err
+			}
+			warmRes, err := Run(b, cl, o)
+			if err != nil {
+				return nil, err
+			}
+			row := WarmRow{
+				Name: cfg.Name, Client: cl, Queries: len(warmRes.Outcomes),
+				ColdMilli: cold.WallMilli, WarmMilli: warmRes.WallMilli,
+			}
+			for _, q := range warmRes.Outcomes {
+				if q.Status == core.Exhausted {
+					row.Replayed++
+					continue
+				}
+				if q.Iterations > row.MaxWarmIters {
+					row.MaxWarmIters = q.Iterations
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderWarmTable renders the cold-vs-warm sweep.
+func RenderWarmTable(rows []WarmRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Warm start: Figure 12 workload, cold (empty store) vs warm (populated store).\n")
+	fmt.Fprintf(&b, "%-9s %-13s | %7s | %8s %8s %8s | %9s %8s\n",
+		"", "client", "queries", "cold", "warm", "speedup", "max iters", "replayed")
+	var coldTot, warmTot float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %-13s | %7d | %8s %8s %7.1fx | %9d %8d\n",
+			r.Name, r.Client, r.Queries, fmtMs(r.ColdMilli), fmtMs(r.WarmMilli),
+			r.Speedup(), r.MaxWarmIters, r.Replayed)
+		coldTot += r.ColdMilli
+		warmTot += r.WarmMilli
+	}
+	if warmTot > 0 {
+		fmt.Fprintf(&b, "whole workload: cold %s, warm %s (%.1fx)\n",
+			fmtMs(coldTot), fmtMs(warmTot), coldTot/warmTot)
+	}
+	return b.String()
+}
+
+// EditChainRow is one step of the incremental re-solving experiment.
+type EditChainRow struct {
+	Step      int
+	Kind      string  // edit kind applied to reach this step ("" for step 0)
+	ColdMilli float64 // solving the step with no store at all
+	WarmMilli float64 // solving it warm-started from the previous steps
+}
+
+// EditChainTable replays a deterministic chain of single-statement edits on
+// one benchmark, solving every step both cold and warm (both clients, walls
+// summed). The warm store persists across steps, so step i is seeded by
+// whatever survived the diff against step i-1's snapshot.
+func EditChainTable(cfg Config, steps int, opts RunOptions, warmDir string) ([]EditChainRow, error) {
+	chain, edits := EditChain(cfg, steps)
+	var rows []EditChainRow
+	for i, src := range chain {
+		stepCfg := cfg
+		stepCfg.Name = fmt.Sprintf("%s+e%d", cfg.Name, i)
+		b, err := LoadSource(stepCfg, src)
+		if err != nil {
+			return nil, err
+		}
+		row := EditChainRow{Step: i}
+		if i > 0 {
+			row.Kind = edits[i-1].Kind
+		}
+		for _, cl := range []Client{Typestate, Escape} {
+			o := opts
+			o.Fresh = true
+			o.WarmDir = ""
+			cold, err := Run(b, cl, o)
+			if err != nil {
+				return nil, err
+			}
+			row.ColdMilli += cold.WallMilli
+			o.WarmDir = warmDir
+			warmRes, err := Run(b, cl, o)
+			if err != nil {
+				return nil, err
+			}
+			row.WarmMilli += warmRes.WallMilli
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderEditChainTable renders the edit-chain experiment.
+func RenderEditChainTable(name string, rows []EditChainRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Edit chain (%s): per-step wall, cold vs warm-started from the previous step.\n", name)
+	fmt.Fprintf(&b, "%-5s %-7s | %8s %8s %8s\n", "step", "edit", "cold", "warm", "speedup")
+	var coldTot, warmTot float64
+	for _, r := range rows {
+		sp := 0.0
+		if r.WarmMilli > 0 {
+			sp = r.ColdMilli / r.WarmMilli
+		}
+		kind := r.Kind
+		if kind == "" {
+			kind = "-"
+		}
+		fmt.Fprintf(&b, "%-5d %-7s | %8s %8s %7.1fx\n", r.Step, kind, fmtMs(r.ColdMilli), fmtMs(r.WarmMilli), sp)
+		if r.Step > 0 { // step 0 populates the store; both runs are cold
+			coldTot += r.ColdMilli
+			warmTot += r.WarmMilli
+		}
+	}
+	if warmTot > 0 {
+		fmt.Fprintf(&b, "edited steps total: cold %s, warm %s (%.1fx)\n",
+			fmtMs(coldTot), fmtMs(warmTot), coldTot/warmTot)
+	}
+	return b.String()
+}

@@ -239,12 +239,42 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 			rec.Count(obs.CoreBudgetTrip, 1)
 		}
 	}
-	root := &group{solver: minsat.New(bp.NumParams())}
-	for q := 0; q < n; q++ {
-		root.queries = append(root.queries, q)
+	// Initial grouping. Cold batches start with one root group holding every
+	// query (empty clause set). With warm-start seeds, each seeded query gets
+	// its own solver pre-loaded with its surviving blocking clauses, and the
+	// usual signature keying merges queries whose seeded clause sets coincide
+	// — including back into the cold root when every seed deduplicates away.
+	groups := map[string]*group{}
+	addTo := func(s *minsat.Solver, q int) {
+		sig := s.Signature()
+		g := groups[sig]
+		if g == nil {
+			g = &group{solver: s}
+			groups[sig] = g
+			res.Stats.TotalGroups++
+		}
+		g.queries = append(g.queries, q)
 	}
-	groups := map[string]*group{root.solver.Signature(): root}
-	res.Stats.TotalGroups = 1
+	root := minsat.New(bp.NumParams())
+	for q := 0; q < n; q++ {
+		var seed []ParamCube
+		if opts.SeedBatch != nil {
+			seed = opts.SeedBatch(q)
+		}
+		if len(seed) == 0 {
+			addTo(root, q)
+			continue
+		}
+		s := minsat.New(bp.NumParams())
+		added := seedSolver(s, seed)
+		res.Results[q].Clauses = s.NumClauses()
+		if recording && added > 0 {
+			rec.Record(obs.Event{Kind: obs.WarmSeed, Query: strconv.Itoa(q),
+				Clauses: added})
+			rec.Count(obs.CoreWarmSeededClauses, int64(added))
+		}
+		addTo(s, q)
+	}
 	cache := newFwdCache(opts.fwdCacheSize())
 	ordinal := 0 // global group-iteration counter
 
@@ -631,6 +661,12 @@ func runUnit(bp BatchProblem, opts Options, res *BatchResult, u unit, recording 
 		out.kind = uFailed
 		out.err = fmt.Errorf("query %d: %w", q, noProgressError(pl.p, cubes, rejected))
 		return out
+	}
+	if opts.OnLearn != nil && !bud.Tripped() {
+		// Only untripped passes are recorded: a truncated backward walk may
+		// return a partial cube set, and warm-start observers must never
+		// persist a pass the merge is about to discard.
+		opts.OnLearn(q, pl.p, trace, acceptedCubes(cubes))
 	}
 	out.kind = uMoved
 	out.next = next

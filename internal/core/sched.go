@@ -60,24 +60,33 @@ func parallelFor(workers, n int, f func(i int)) {
 // fwdEntry is one memoized forward run. lastSteps remembers the run's step
 // count as of the last round that used it: forward runs are lazy (typestate
 // work happens inside Check), so a memoized run can keep accruing steps
-// across rounds, and each round charges only the delta to TotalSteps.
+// across rounds, and each round charges only the delta to TotalSteps. key,
+// prev, and next embed the entry in the cache's recency list, making every
+// LRU operation O(1) (the previous order slice cost an O(cap) scan per hit,
+// which showed up once cache sizes grew past the original 16).
 type fwdEntry struct {
-	run       BatchRun
-	lastSteps int
+	run        BatchRun
+	lastSteps  int
+	key        string
+	prev, next *fwdEntry
 }
 
-// fwdCache is a small LRU memo of forward runs keyed by the canonical
-// abstraction key. It is only touched from the scheduler's sequential merge
-// phases, so it needs no locking; determinism follows from those phases
-// processing groups in sorted-signature order.
+// fwdCache is an LRU memo of forward runs keyed by the canonical abstraction
+// key. Recency is an intrusive circular doubly-linked list through the
+// entries (root.next = least recent, root.prev = most recent). It is only
+// touched from the scheduler's sequential merge phases, so it needs no
+// locking; determinism follows from those phases processing groups in
+// sorted-signature order.
 type fwdCache struct {
 	cap     int
 	entries map[string]*fwdEntry
-	order   []string // least recently used first
+	root    fwdEntry // list sentinel; carries no run
 }
 
 func newFwdCache(cap int) *fwdCache {
-	return &fwdCache{cap: cap, entries: map[string]*fwdEntry{}}
+	c := &fwdCache{cap: cap, entries: map[string]*fwdEntry{}}
+	c.root.prev, c.root.next = &c.root, &c.root
+	return c
 }
 
 // get returns the entry for key (refreshing its recency) or nil.
@@ -87,7 +96,8 @@ func (c *fwdCache) get(key string) *fwdEntry {
 	}
 	e := c.entries[key]
 	if e != nil {
-		c.touch(key)
+		c.unlink(e)
+		c.pushMRU(e)
 	}
 	return e
 }
@@ -97,25 +107,29 @@ func (c *fwdCache) put(key string, e *fwdEntry) {
 	if c.cap <= 0 {
 		return
 	}
-	if _, ok := c.entries[key]; ok {
-		c.entries[key] = e
-		c.touch(key)
-		return
+	if old, ok := c.entries[key]; ok {
+		c.unlink(old)
 	}
+	e.key = key
 	c.entries[key] = e
-	c.order = append(c.order, key)
-	if len(c.order) > c.cap {
-		delete(c.entries, c.order[0])
-		c.order = append(c.order[:0], c.order[1:]...)
+	c.pushMRU(e)
+	if len(c.entries) > c.cap {
+		lru := c.root.next
+		c.unlink(lru)
+		delete(c.entries, lru.key)
 	}
 }
 
-func (c *fwdCache) touch(key string) {
-	for i, k := range c.order {
-		if k == key {
-			copy(c.order[i:], c.order[i+1:])
-			c.order[len(c.order)-1] = key
-			return
-		}
-	}
+func (c *fwdCache) unlink(e *fwdEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (c *fwdCache) pushMRU(e *fwdEntry) {
+	last := c.root.prev
+	last.next = e
+	e.prev = last
+	e.next = &c.root
+	c.root.prev = e
 }

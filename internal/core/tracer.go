@@ -187,11 +187,34 @@ type Options struct {
 	Workers int
 	// FwdCacheSize bounds SolveBatch's LRU memo of forward runs keyed by
 	// the abstraction: groups converging on the same minimum abstraction
-	// reuse one whole-program solve. 0 means the default (16); negative
-	// disables cross-round memoization (runs are still shared by groups
-	// picking the same abstraction within a scheduling round). Ignored by
-	// the single-query Solve.
+	// reuse one whole-program solve. 0 means the default (64, picked by a
+	// {16,64,256} paperbench sweep: 64 nearly doubles the 16-entry hit
+	// rate at indistinguishable wall time, while 256 keeps gaining hits
+	// but costs wall); negative disables cross-round memoization (runs
+	// are still shared by groups picking the same abstraction within a
+	// scheduling round). Ignored by the single-query Solve.
 	FwdCacheSize int
+	// Seed, when non-empty, blocks the given cubes before iteration 1 of a
+	// single-query Solve — the warm-start path. Seeding is sound only if
+	// every seeded cube still describes exclusively failing abstractions
+	// for this query; internal/warm establishes that via IR-delta
+	// invalidation before handing cubes here. Ignored by SolveBatch (use
+	// SeedBatch).
+	Seed []ParamCube
+	// SeedBatch, when non-nil, supplies warm-start cubes per batch query
+	// index; it is consulted once per query before the first round, and the
+	// initial query groups are formed from the seeded clause sets instead
+	// of one shared root group. nil (or all-empty) keeps the cold batch
+	// path unchanged. Ignored by the single-query Solve.
+	SeedBatch func(q int) []ParamCube
+	// OnLearn, when non-nil, observes every successful backward pass: the
+	// abstraction p that was eliminated, its counterexample trace, and the
+	// accepted (non-contradictory) cubes that were blocked. q is the batch
+	// query index (0 for the single-query Solve). The warm-start layer
+	// records these to disk. Calls are only made for passes that satisfied
+	// the progress guarantee under an untripped budget, so the cube set is
+	// never partial. Must be safe for concurrent calls when Workers > 1.
+	OnLearn func(q int, p uset.Set, t lang.Trace, cubes []ParamCube)
 }
 
 func (o Options) maxIters() int {
@@ -211,7 +234,7 @@ func (o Options) workers() int {
 func (o Options) fwdCacheSize() int {
 	switch {
 	case o.FwdCacheSize == 0:
-		return 16
+		return 64
 	case o.FwdCacheSize < 0:
 		return 0
 	}
@@ -275,6 +298,32 @@ func learnCubes(s *minsat.Solver, p uset.Set, cubes []ParamCube, rec obs.Recorde
 	return covered, rejected
 }
 
+// seedSolver blocks warm-start cubes in s, returning how many clauses were
+// genuinely added (broken cubes are skipped defensively — a corrupted store
+// must not abort the solve).
+func seedSolver(s *minsat.Solver, seed []ParamCube) int {
+	cs := make([]minsat.Clause, 0, len(seed))
+	for _, c := range seed {
+		if c.Broken() {
+			continue
+		}
+		cs = append(cs, minsat.BlockingClause(c.Pos, c.Neg))
+	}
+	return s.SeedClauses(cs)
+}
+
+// acceptedCubes filters out contradictory cubes, mirroring what learnCubes
+// actually blocked; the result is what OnLearn observers may persist.
+func acceptedCubes(cubes []ParamCube) []ParamCube {
+	out := make([]ParamCube, 0, len(cubes))
+	for _, c := range cubes {
+		if !c.Broken() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
 // noProgressError builds the diagnostic for a backward pass that violated
 // the progress guarantee, naming the offending cubes so the unsound
 // transfer function can be found from the error alone.
@@ -324,6 +373,14 @@ func Solve(pr Problem, opts Options) (res Result, err error) {
 	solver := minsat.New(pr.NumParams())
 	if recording {
 		solver.Instrument(rec)
+	}
+	if len(opts.Seed) > 0 {
+		added := seedSolver(solver, opts.Seed)
+		res.Clauses = solver.NumClauses()
+		if recording && added > 0 {
+			rec.Record(obs.Event{Kind: obs.WarmSeed, Clauses: added})
+			rec.Count(obs.CoreWarmSeededClauses, int64(added))
+		}
 	}
 	resolved := func(s Status) Result {
 		res.Status = s
@@ -418,6 +475,9 @@ func Solve(pr Problem, opts Options) (res Result, err error) {
 			err := noProgressError(p, cubes, rejected)
 			res.Failure = err.Error()
 			return resolved(Failed), err
+		}
+		if opts.OnLearn != nil {
+			opts.OnLearn(0, p, out.Trace, acceptedCubes(cubes))
 		}
 	}
 	return resolved(Exhausted), nil

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"tracer/internal/budget"
+	"tracer/internal/lang"
+	"tracer/internal/uset"
+)
+
+// TestSolveWarmSeed: seeding the cubes a cold solve learned makes the warm
+// re-solve find the same minimum in one iteration (the single forward run
+// that proves it).
+func TestSolveWarmSeed(t *testing.T) {
+	need := uset.New(1, 3)
+	var learned []ParamCube
+	cold := &mockProblem{n: 6, need: need, provable: true}
+	coldRes, err := Solve(cold, Options{
+		OnLearn: func(q int, p uset.Set, tr lang.Trace, cubes []ParamCube) {
+			if q != 0 {
+				t.Errorf("single-solve OnLearn q = %d", q)
+			}
+			if len(tr) == 0 {
+				t.Error("OnLearn without trace")
+			}
+			learned = append(learned, cubes...)
+		},
+	})
+	if err != nil || coldRes.Status != Proved {
+		t.Fatalf("cold: %v %v", coldRes.Status, err)
+	}
+	if len(learned) == 0 {
+		t.Fatal("OnLearn observed no cubes")
+	}
+
+	warm := &mockProblem{n: 6, need: need, provable: true}
+	warmRes, err := Solve(warm, Options{Seed: learned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRes.Status != Proved || !warmRes.Abstraction.Equal(coldRes.Abstraction) {
+		t.Fatalf("warm diverged: %+v vs %+v", warmRes, coldRes)
+	}
+	if warmRes.Iterations != 1 {
+		t.Fatalf("warm iterations = %d, want 1", warmRes.Iterations)
+	}
+	if warmRes.Clauses != coldRes.Clauses {
+		t.Fatalf("warm clauses = %d, want %d", warmRes.Clauses, coldRes.Clauses)
+	}
+}
+
+// TestSolveWarmSeedImpossible: seeding the full blocking set of an
+// impossible query confirms Impossible with zero forward runs.
+func TestSolveWarmSeedImpossible(t *testing.T) {
+	var learned []ParamCube
+	cold := &mockProblem{n: 4, provable: false}
+	if res, err := Solve(cold, Options{
+		OnLearn: func(_ int, _ uset.Set, _ lang.Trace, cubes []ParamCube) {
+			learned = append(learned, cubes...)
+		},
+	}); err != nil || res.Status != Impossible {
+		t.Fatalf("cold: %v %v", res.Status, err)
+	}
+	warm := &mockProblem{n: 4, provable: false}
+	res, err := Solve(warm, Options{Seed: learned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Impossible {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Iterations != 0 {
+		t.Fatalf("iterations = %d, want 0 (UNSAT before any forward run)", res.Iterations)
+	}
+	if len(warm.runs) != 0 {
+		t.Fatalf("warm ran forward %d times", len(warm.runs))
+	}
+}
+
+// TestSolveSeedIgnoresBroken: corrupted (contradictory) seed cubes are
+// dropped, not trusted.
+func TestSolveSeedIgnoresBroken(t *testing.T) {
+	need := uset.New(2)
+	m := &mockProblem{n: 4, need: need, provable: true}
+	res, err := Solve(m, Options{Seed: []ParamCube{{Pos: uset.New(0), Neg: uset.New(0)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Proved || !res.Abstraction.Equal(need) {
+		t.Fatalf("result with broken seed: %+v", res)
+	}
+}
+
+// batchNeeds is a BatchProblem where query q needs exactly needs[q].
+type batchNeeds struct {
+	n     int
+	needs []uset.Set
+}
+
+func (b *batchNeeds) NumParams() int  { return b.n }
+func (b *batchNeeds) NumQueries() int { return len(b.needs) }
+
+type batchNeedsRun struct {
+	b *batchNeeds
+	p uset.Set
+}
+
+func (r batchNeedsRun) Check(q int) (bool, lang.Trace) {
+	if r.b.needs[q].SubsetOf(r.p) {
+		return true, nil
+	}
+	return false, lang.Trace{lang.MoveNull{V: "x"}}
+}
+func (r batchNeedsRun) Steps() int { return 1 }
+
+func (b *batchNeeds) RunForward(_ *budget.Budget, p uset.Set) BatchRun {
+	return batchNeedsRun{b: b, p: p}
+}
+
+func (b *batchNeeds) Backward(_ *budget.Budget, q int, p uset.Set, _ lang.Trace) []ParamCube {
+	for _, v := range b.needs[q].Elems() {
+		if !p.Has(v) {
+			return []ParamCube{{Neg: uset.New(v)}}
+		}
+	}
+	return nil
+}
+
+// TestSolveBatchWarmSeed: per-query seeds captured by OnLearn let the warm
+// batch resolve every query in one round (one forward-run iteration each).
+func TestSolveBatchWarmSeed(t *testing.T) {
+	needs := []uset.Set{uset.New(0), uset.New(1, 2), uset.New(3), {}}
+	bp := &batchNeeds{n: 5, needs: needs}
+	seeds := make([][]ParamCube, len(needs))
+	cold, err := SolveBatch(bp, Options{
+		OnLearn: func(q int, _ uset.Set, _ lang.Trace, cubes []ParamCube) {
+			seeds[q] = append(seeds[q], cubes...)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmBP := &batchNeeds{n: 5, needs: needs}
+	warm, err := SolveBatch(warmBP, Options{
+		SeedBatch: func(q int) []ParamCube { return seeds[q] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range needs {
+		c, w := cold.Results[q], warm.Results[q]
+		if w.Status != c.Status || !w.Abstraction.Equal(c.Abstraction) {
+			t.Fatalf("q%d diverged: %+v vs %+v", q, w, c)
+		}
+		if w.Iterations > 1 {
+			t.Fatalf("q%d warm iterations = %d", q, w.Iterations)
+		}
+	}
+	if warm.Stats.Rounds != 1 {
+		t.Fatalf("warm rounds = %d, want 1", warm.Stats.Rounds)
+	}
+}
+
+// TestSolveBatchWarmSeedParallelDeterminism: seeded batches stay
+// worker-count deterministic.
+func TestSolveBatchWarmSeedParallelDeterminism(t *testing.T) {
+	needs := []uset.Set{uset.New(0), uset.New(1, 2), uset.New(0), uset.New(4), {}}
+	seeds := make([][]ParamCube, len(needs))
+	if _, err := SolveBatch(&batchNeeds{n: 5, needs: needs}, Options{
+		OnLearn: func(q int, _ uset.Set, _ lang.Trace, cubes []ParamCube) {
+			seeds[q] = append(seeds[q], cubes...)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var base *BatchResult
+	for _, workers := range []int{1, 4} {
+		got, err := SolveBatch(&batchNeeds{n: 5, needs: needs}, Options{
+			Workers:   workers,
+			SeedBatch: func(q int) []ParamCube { return seeds[q] },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = got
+			continue
+		}
+		for q := range needs {
+			b, g := base.Results[q], got.Results[q]
+			if g.Status != b.Status || !g.Abstraction.Equal(b.Abstraction) ||
+				g.Iterations != b.Iterations || g.Clauses != b.Clauses {
+				t.Fatalf("workers=%d q%d diverged: %+v vs %+v", workers, q, g, b)
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ package driver
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 
@@ -39,6 +40,11 @@ type Program struct {
 
 	escapeAnalysis *escape.Analysis
 	stressMethods  []string
+
+	// stmtKeysMemo and siteOwnerMemo back StmtKey/SiteOwner; both are
+	// built on first use (not thread-safe, like escapeAnalysis).
+	stmtKeysMemo  map[ir.Stmt]string
+	siteOwnerMemo map[string]string
 }
 
 // Load parses src and prepares all analyses.
@@ -84,6 +90,82 @@ func Prepare(prog *ir.Program) (*Program, error) {
 	}
 	sort.Strings(p.stressMethods)
 	return p, nil
+}
+
+// StressMethods lists the application method names driving the generated
+// stress type-state property, sorted. The warm-start layer includes them in
+// its per-client configuration hash: the property automaton is built from
+// this whole-program list, so an edit that introduces a new called method
+// name changes the meaning of every stored type-state entry.
+func (p *Program) StressMethods() []string { return p.stressMethods }
+
+// StmtKey returns a stable, position-independent identity for a source
+// statement ("Class.method#<ordinal>#<rendering>"); queries keyed by it keep
+// their identity across reformatting and across edits to other methods. The
+// table is built on first use.
+func (p *Program) StmtKey(s ir.Stmt) string {
+	if p.stmtKeysMemo == nil {
+		p.stmtKeysMemo = ir.StmtKeys(p.IR)
+	}
+	return p.stmtKeysMemo[s]
+}
+
+// SiteOwner returns the QualName of the method whose body allocates at site
+// h, or "" when h is unknown. The warm-start layer treats the owner as a
+// supporting method of any counterexample trace mentioning h.
+func (p *Program) SiteOwner(h string) string {
+	if p.siteOwnerMemo == nil {
+		p.siteOwnerMemo = map[string]string{}
+		for _, m := range p.IR.Methods() {
+			qual := m.QualName()
+			ir.WalkStmts(m.Body, func(s ir.Stmt) {
+				if n, ok := s.(*ir.NewStmt); ok {
+					if _, dup := p.siteOwnerMemo[n.Site]; !dup {
+						p.siteOwnerMemo[n.Site] = qual
+					}
+				}
+			})
+		}
+	}
+	return p.siteOwnerMemo[h]
+}
+
+// EnvHash digests the points-to environment restricted to the given methods
+// (QualNames): every qualified variable of a listed method together with its
+// sorted may-point-to site labels. A stored blocking clause justified by a
+// counterexample trace through those methods remains valid only while this
+// hash is unchanged — the trace's call branches were selected by exactly
+// these points-to sets. Labels (not interned IDs) are hashed so the result
+// is comparable across separately-loaded programs.
+func (p *Program) EnvHash(methods []string) uint64 {
+	want := make(map[string]bool, len(methods))
+	for _, m := range methods {
+		want[m] = true
+	}
+	var qvs []string
+	for qv := range p.varPts {
+		if i := strings.Index(qv, "::"); i >= 0 && want[qv[:i]] {
+			qvs = append(qvs, qv)
+		}
+	}
+	sort.Strings(qvs)
+	h := fnv.New64a()
+	var labels []string
+	for _, qv := range qvs {
+		h.Write([]byte(qv))
+		h.Write([]byte{0})
+		labels = labels[:0]
+		for _, id := range p.varPts[qv].Elems() {
+			labels = append(labels, p.PT.Sites.Value(id))
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			h.Write([]byte(l))
+			h.Write([]byte{1})
+		}
+		h.Write([]byte{2})
+	}
+	return h.Sum64()
 }
 
 // IsApp reports whether a method belongs to application code.
@@ -133,7 +215,11 @@ func (p *Program) MayPoint(h string) func(qv string) bool {
 // every object allocated at Site that the receiver may denote still in the
 // automaton's initial state?
 type TSQuery struct {
-	ID    string
+	ID string
+	// Key is the position-independent identity used by the warm-start
+	// store: unlike ID (which embeds line:col), it survives reformatting
+	// and edits to other methods.
+	Key   string
 	Site  string
 	Stmt  *ir.CallStmt
 	Nodes []int
@@ -174,6 +260,7 @@ func (p *Program) TypestateQueries() []TSQuery {
 		sort.Ints(ns)
 		out = append(out, TSQuery{
 			ID:    fmt.Sprintf("ts:%s:%s:%s", meta[k].Method.QualName(), k.stmt.Position(), k.site),
+			Key:   "ts:" + p.StmtKey(k.stmt) + ":" + k.site,
 			Site:  k.site,
 			Stmt:  k.stmt,
 			Nodes: ns,
@@ -199,7 +286,10 @@ func (p *Program) TypestateJob(q TSQuery, k int) *typestate.Job {
 // EscQuery is a generated thread-escape query: at source field access Stmt,
 // is the base pointer thread-local?
 type EscQuery struct {
-	ID    string
+	ID string
+	// Key is the position-independent identity used by the warm-start
+	// store (see TSQuery.Key).
+	Key   string
 	Var   string // qualified base variable
 	Stmt  ir.Stmt
 	Nodes []int
@@ -227,6 +317,7 @@ func (p *Program) EscapeQueries() []EscQuery {
 		sort.Ints(ns)
 		out = append(out, EscQuery{
 			ID:    fmt.Sprintf("esc:%s:%s:%s", meta[k].Method.QualName(), k.stmt.Position(), k.base),
+			Key:   "esc:" + p.StmtKey(k.stmt) + ":" + k.base,
 			Var:   k.base,
 			Stmt:  k.stmt,
 			Nodes: ns,

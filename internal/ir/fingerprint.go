@@ -1,0 +1,284 @@
+package ir
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file computes canonical, position-independent fingerprints of IR
+// programs. The warm-start store (internal/warm) keys persisted solver state
+// by these fingerprints and uses Diff to decide which stored clauses survive
+// an edit, so two properties are load-bearing:
+//
+//   - Renderings ignore source positions entirely. Reformatting a program,
+//     inserting blank lines, or reordering nothing must leave every
+//     fingerprint unchanged.
+//   - A method's fingerprint covers exactly its own body. Editing one method
+//     changes that method's fingerprint and no other's, which is what makes
+//     per-clause invalidation by "supporting methods" precise.
+//
+// The shape fingerprint covers everything that affects lowering besides
+// method bodies: the globals list, the class hierarchy, field declarations,
+// and method signatures (including native-ness). If the shape changes, call
+// targets and parameter universes may shift in ways per-method diffs cannot
+// see, so warm consumers treat a shape change as "start cold".
+
+// ProgramFP is the fingerprint of a whole program.
+type ProgramFP struct {
+	// Whole covers the entire program: shape plus every method body.
+	Whole uint64
+	// Shape covers declarations only (globals, hierarchy, fields,
+	// signatures) — no method bodies.
+	Shape uint64
+	// Methods maps each method's QualName to the fingerprint of its
+	// signature + body.
+	Methods map[string]uint64
+}
+
+// Fingerprint computes the canonical fingerprint of p.
+func Fingerprint(p *Program) ProgramFP {
+	fp := ProgramFP{Methods: make(map[string]uint64)}
+
+	shape := fnv.New64a()
+	writeShape(shape, p)
+	fp.Shape = shape.Sum64()
+
+	for _, m := range p.Methods() {
+		h := fnv.New64a()
+		writeMethod(h, m)
+		fp.Methods[m.QualName()] = h.Sum64()
+	}
+
+	whole := fnv.New64a()
+	writeU64(whole, fp.Shape)
+	names := make([]string, 0, len(fp.Methods))
+	for name := range fp.Methods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		whole.Write([]byte(name))
+		whole.Write([]byte{0})
+		writeU64(whole, fp.Methods[name])
+	}
+	fp.Whole = whole.Sum64()
+	return fp
+}
+
+// Diff describes how a new program differs from an old one, at the
+// granularity the warm store invalidates at.
+type DiffResult struct {
+	// Same reports Whole fingerprints equal (nothing changed).
+	Same bool
+	// ShapeChanged reports a declaration-level change; warm consumers
+	// must treat the programs as unrelated.
+	ShapeChanged bool
+	// Touched lists the QualNames of methods whose fingerprint changed,
+	// was added, or was removed, sorted.
+	Touched []string
+}
+
+// Diff compares two fingerprints.
+func Diff(old, new ProgramFP) DiffResult {
+	d := DiffResult{Same: old.Whole == new.Whole}
+	if d.Same {
+		return d
+	}
+	d.ShapeChanged = old.Shape != new.Shape
+	seen := map[string]bool{}
+	for name, fp := range new.Methods {
+		seen[name] = true
+		if ofp, ok := old.Methods[name]; !ok || ofp != fp {
+			d.Touched = append(d.Touched, name)
+		}
+	}
+	for name := range old.Methods {
+		if !seen[name] {
+			d.Touched = append(d.Touched, name)
+		}
+	}
+	sort.Strings(d.Touched)
+	return d
+}
+
+type hashWriter interface {
+	Write(p []byte) (int, error)
+}
+
+func writeU64(w hashWriter, v uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	w.Write(buf[:])
+}
+
+func writeShape(w hashWriter, p *Program) {
+	w.Write([]byte("globals"))
+	for _, g := range p.Globals {
+		w.Write([]byte{0})
+		w.Write([]byte(g))
+	}
+	for _, c := range p.Classes {
+		w.Write([]byte{1})
+		w.Write([]byte(c.Name))
+		w.Write([]byte{0})
+		w.Write([]byte(c.Super))
+		for _, f := range c.Fields {
+			w.Write([]byte{2})
+			w.Write([]byte(f))
+		}
+		for _, m := range c.Methods {
+			w.Write([]byte{3})
+			writeSignature(w, m)
+		}
+	}
+}
+
+func writeSignature(w hashWriter, m *Method) {
+	w.Write([]byte(m.Name))
+	for _, p := range m.Params {
+		w.Write([]byte{0})
+		w.Write([]byte(p))
+	}
+	if m.Native {
+		w.Write([]byte{1})
+	}
+}
+
+// writeMethod hashes a method's signature, locals, and body. Locals are part
+// of the body fingerprint (not shape): adding a local cannot affect any other
+// method's lowering.
+func writeMethod(w hashWriter, m *Method) {
+	writeSignature(w, m)
+	for _, l := range m.Locals {
+		w.Write([]byte{2})
+		w.Write([]byte(l))
+	}
+	w.Write([]byte{3})
+	writeBlock(w, m.Body)
+}
+
+func writeBlock(w hashWriter, body []Stmt) {
+	for _, s := range body {
+		w.Write([]byte{0xfe})
+		w.Write([]byte(RenderStmt(s)))
+		switch s := s.(type) {
+		case *IfStmt:
+			w.Write([]byte{0x10})
+			writeBlock(w, s.Then)
+			w.Write([]byte{0x11})
+			writeBlock(w, s.Else)
+		case *LoopStmt:
+			w.Write([]byte{0x12})
+			writeBlock(w, s.Body)
+		}
+	}
+}
+
+// RenderStmt renders a statement in a canonical, position-free textual form.
+// Compound statements render as their header only (their blocks are hashed
+// recursively by the fingerprint, and walked explicitly by WalkStmts). The
+// rendering doubles as the stable statement identity used in query keys, so
+// it must be injective per statement kind modulo positions.
+func RenderStmt(s Stmt) string {
+	switch s := s.(type) {
+	case *NewStmt:
+		return s.Dst + " = new " + s.Class + " @ " + s.Site
+	case *MoveStmt:
+		return s.Dst + " = " + s.Src
+	case *NullStmt:
+		return s.Dst + " = null"
+	case *GlobalGet:
+		return s.Dst + " = global " + s.Global
+	case *GlobalPut:
+		return "global " + s.Global + " = " + s.Src
+	case *LoadStmt:
+		return s.Dst + " = " + s.Src + "." + s.Field
+	case *StoreStmt:
+		return s.Dst + "." + s.Field + " = " + s.Src
+	case *CallStmt:
+		var b strings.Builder
+		if s.Dst != "" {
+			b.WriteString(s.Dst)
+			b.WriteString(" = ")
+		}
+		b.WriteString(s.Recv)
+		b.WriteString(".")
+		b.WriteString(s.Method)
+		b.WriteString("(")
+		for i, a := range s.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a)
+		}
+		b.WriteString(")")
+		return b.String()
+	case *IfStmt:
+		return "if"
+	case *LoopStmt:
+		return "loop"
+	case *ReturnStmt:
+		if s.Src == "" {
+			return "return"
+		}
+		return "return " + s.Src
+	case *QueryStmt:
+		var b strings.Builder
+		b.WriteString("query ")
+		b.WriteString(s.Name)
+		if s.Kind == QueryLocal {
+			b.WriteString(" local(")
+			b.WriteString(s.Var)
+			b.WriteString(")")
+		} else {
+			b.WriteString(" state(")
+			b.WriteString(s.Var)
+			for _, st := range s.States {
+				b.WriteString(" ")
+				b.WriteString(st)
+			}
+			b.WriteString(")")
+		}
+		return b.String()
+	}
+	return "?"
+}
+
+// WalkStmts visits every statement of body in source order, recursing into
+// if/loop blocks (parents before children). It is the single definition of
+// statement order shared by fingerprinting and stable query keys.
+func WalkStmts(body []Stmt, f func(Stmt)) {
+	for _, s := range body {
+		f(s)
+		switch s := s.(type) {
+		case *IfStmt:
+			WalkStmts(s.Then, f)
+			WalkStmts(s.Else, f)
+		case *LoopStmt:
+			WalkStmts(s.Body, f)
+		}
+	}
+}
+
+// StmtKeys returns a stable, position-independent key for every statement of
+// every method: "Class.method#<ordinal>#<rendering>", where ordinal counts
+// earlier statements in the same method with the same rendering. Keys are
+// invariant under reformatting and under edits to other methods; within an
+// edited method, statements before the edit keep their keys.
+func StmtKeys(p *Program) map[Stmt]string {
+	keys := make(map[Stmt]string)
+	for _, m := range p.Methods() {
+		qual := m.QualName()
+		count := make(map[string]int)
+		WalkStmts(m.Body, func(s Stmt) {
+			r := RenderStmt(s)
+			keys[s] = qual + "#" + strconv.Itoa(count[r]) + "#" + r
+			count[r]++
+		})
+	}
+	return keys
+}

@@ -1,0 +1,200 @@
+package ir
+
+import "testing"
+
+const fpBase = `
+global g
+
+class Main {
+  method main(this) {
+    var a
+    a = new Main @ h1
+    a.run(a)
+  }
+  method run(this, x) {
+    var t
+    t = x
+    if * {
+      g = t
+    }
+    query q1 local(t)
+  }
+}
+`
+
+// Reformatted: extra blank lines and different statement positions, same
+// program.
+const fpReformatted = `
+
+global g
+
+
+class Main {
+
+  method main(this) {
+    var a
+
+    a = new Main @ h1
+
+    a.run(a)
+  }
+
+  method run(this, x) {
+    var t
+    t = x
+
+    if * {
+
+      g = t
+    }
+
+    query q1 local(t)
+  }
+}
+`
+
+// One body edit in run: the global write is gone.
+const fpEdited = `
+global g
+
+class Main {
+  method main(this) {
+    var a
+    a = new Main @ h1
+    a.run(a)
+  }
+  method run(this, x) {
+    var t
+    t = x
+    query q1 local(t)
+  }
+}
+`
+
+// Shape edit: an extra field on Main.
+const fpShape = `
+global g
+
+class Main {
+  field f
+  method main(this) {
+    var a
+    a = new Main @ h1
+    a.run(a)
+  }
+  method run(this, x) {
+    var t
+    t = x
+    if * {
+      g = t
+    }
+    query q1 local(t)
+  }
+}
+`
+
+func fpOf(t *testing.T, src string) ProgramFP {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Check(p); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return Fingerprint(p)
+}
+
+func TestFingerprintPositionIndependent(t *testing.T) {
+	a, b := fpOf(t, fpBase), fpOf(t, fpReformatted)
+	if a.Whole != b.Whole || a.Shape != b.Shape {
+		t.Fatalf("reformatting changed fingerprint: %+v vs %+v", a, b)
+	}
+	for name, fp := range a.Methods {
+		if b.Methods[name] != fp {
+			t.Fatalf("reformatting changed method fp of %s", name)
+		}
+	}
+	d := Diff(a, b)
+	if !d.Same {
+		t.Fatalf("Diff of identical programs: %+v", d)
+	}
+}
+
+func TestFingerprintBodyEdit(t *testing.T) {
+	a, b := fpOf(t, fpBase), fpOf(t, fpEdited)
+	if a.Whole == b.Whole {
+		t.Fatal("body edit left Whole unchanged")
+	}
+	if a.Shape != b.Shape {
+		t.Fatal("body edit changed Shape")
+	}
+	if a.Methods["Main.main"] != b.Methods["Main.main"] {
+		t.Fatal("edit to run changed fp of main")
+	}
+	if a.Methods["Main.run"] == b.Methods["Main.run"] {
+		t.Fatal("edit to run left its fp unchanged")
+	}
+	d := Diff(a, b)
+	if d.Same || d.ShapeChanged {
+		t.Fatalf("unexpected diff flags: %+v", d)
+	}
+	if len(d.Touched) != 1 || d.Touched[0] != "Main.run" {
+		t.Fatalf("touched = %v, want [Main.run]", d.Touched)
+	}
+}
+
+func TestFingerprintShapeEdit(t *testing.T) {
+	a, b := fpOf(t, fpBase), fpOf(t, fpShape)
+	if a.Shape == b.Shape {
+		t.Fatal("field addition left Shape unchanged")
+	}
+	d := Diff(a, b)
+	if !d.ShapeChanged {
+		t.Fatalf("diff missed shape change: %+v", d)
+	}
+}
+
+func TestStmtKeysStable(t *testing.T) {
+	pa := MustParse(fpBase)
+	pb := MustParse(fpReformatted)
+	ka := map[string]bool{}
+	for _, k := range StmtKeys(pa) {
+		ka[k] = true
+	}
+	kb := map[string]bool{}
+	for _, k := range StmtKeys(pb) {
+		kb[k] = true
+	}
+	if len(ka) != len(kb) {
+		t.Fatalf("key counts differ: %d vs %d", len(ka), len(kb))
+	}
+	for k := range ka {
+		if !kb[k] {
+			t.Fatalf("key %q missing after reformat", k)
+		}
+	}
+}
+
+func TestStmtKeysDistinguishDuplicates(t *testing.T) {
+	p := MustParse(`
+class Main {
+  method main(this) {
+    var a
+    a = null
+    a = null
+  }
+}
+`)
+	keys := StmtKeys(p)
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate key %q", k)
+		}
+		seen[k] = true
+	}
+	if len(keys) != 2 {
+		t.Fatalf("want 2 keys, got %d", len(keys))
+	}
+}

@@ -62,6 +62,16 @@ type Client[D comparable] struct {
 // per-atom level is a plain slice indexed by the dense interned literal ID —
 // the per-literal lookups on the backward walk's hot path are a bounds check,
 // not a hash.
+//
+// WPCache rows are deliberately NOT persisted by the warm-start store
+// (internal/warm), even though they are immutable within a run: type-state
+// WP consults the analysis instance's points-to results and site
+// identities, and the interned literal IDs the rows are keyed by are
+// assigned per-session, so a stored row would need its whole intern table
+// and environment re-validated to be trusted. The store persists blocking
+// clauses instead — a warm solve re-proves its verdict in at most one
+// forward run and near-zero backward passes, leaving almost nothing for a
+// persisted WP row to save.
 type WPCache struct {
 	mu sync.RWMutex
 	m  map[lang.Atom]*atomWP

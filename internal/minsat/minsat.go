@@ -153,6 +153,12 @@ func (s *Solver) Add(c Clause) {
 // pos on and all of neg off", i.e. the clause ⋁{¬x | x ∈ pos} ∨ ⋁{x | x ∈ neg}.
 // An empty cube blocks every abstraction (adds the empty clause).
 func (s *Solver) Block(pos, neg uset.Set) {
+	s.Add(BlockingClause(pos, neg))
+}
+
+// BlockingClause builds the blocking clause of a cube without adding it —
+// the warm-start layer uses it to turn stored cubes back into clauses.
+func BlockingClause(pos, neg uset.Set) Clause {
 	c := make(Clause, 0, pos.Len()+neg.Len())
 	for _, v := range pos.Elems() {
 		c = append(c, Lit{Var: v, Neg: true})
@@ -160,7 +166,20 @@ func (s *Solver) Block(pos, neg uset.Set) {
 	for _, v := range neg.Elems() {
 		c = append(c, Lit{Var: v})
 	}
-	s.Add(c)
+	return c
+}
+
+// SeedClauses bulk-loads clauses carried over from a previous solve (the
+// warm-start entry point). Semantically it is just Add in a loop; it reports
+// how many clauses were genuinely added after canonicalization and
+// deduplication, so callers can account seeded clauses separately from
+// learned ones.
+func (s *Solver) SeedClauses(cs []Clause) int {
+	before := len(s.clauses)
+	for _, c := range cs {
+		s.Add(c)
+	}
+	return len(s.clauses) - before
 }
 
 // canonicalize sorts, dedups, and detects tautologies (returns nil for a

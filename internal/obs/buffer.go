@@ -72,6 +72,26 @@ const (
 	MetaWPFormulaMemoMisses = "meta.wp_formula_memo_misses"
 )
 
+// Counter names for warm-start solving. CoreWarmSeededClauses is recorded by
+// core.Solve/SolveBatch (clauses genuinely added from Options.Seed/SeedBatch,
+// mirroring the warm_seed events); the warm.* names are recorded by the store
+// layer (internal/warm) against the Recorder handed to warm.Open. QueryHit
+// counts queries that found a usable stored entry; ClausesLoaded/Invalidated
+// count per-clause survival of the IR delta check; ReplayExhausted counts
+// stored Exhausted verdicts returned without re-solving (exact
+// fingerprint+budget match only); EntriesCorrupt counts snapshot files or
+// entries dropped as unreadable (the cold-fallback path).
+const (
+	CoreWarmSeededClauses  = "core.warm_seeded_clauses"
+	WarmQueryHit           = "warm.query_hit"
+	WarmQueryMiss          = "warm.query_miss"
+	WarmClausesLoaded      = "warm.clauses_loaded"
+	WarmClausesInvalidated = "warm.clauses_invalidated"
+	WarmReplayExhausted    = "warm.replay_exhausted"
+	WarmEntriesCorrupt     = "warm.entries_corrupt"
+	WarmSnapshots          = "warm.snapshots"
+)
+
 // opKind discriminates the buffered record types.
 type opKind uint8
 

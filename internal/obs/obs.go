@@ -72,6 +72,11 @@ const (
 	// budget.Cause string: canceled|deadline|steps|injected). Emitted once,
 	// just before the tripped queries resolve as exhausted.
 	BudgetTrip EventKind = "budget_trip"
+	// WarmSeed records blocking clauses seeded into a solve before
+	// iteration 1 from a warm-start store (Clauses = clauses genuinely
+	// added after dedup; Query set in batch mode). Emitted at most once per
+	// query, and only when at least one seed clause was offered.
+	WarmSeed EventKind = "warm_seed"
 
 	// CounterKind, GaugeKind, and TimingKind are how Count/Gauge/Timing
 	// records appear when serialized into an NDJSON event stream.

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 
@@ -113,6 +114,7 @@ func CheckTSCase(c TSCase, meta bool) []string {
 	}
 
 	v = append(v, checkTSBatch(c)...)
+	v = append(v, checkWarmSeed(func() core.Problem { return c.Job() })...)
 	return v
 }
 
@@ -140,6 +142,60 @@ func CheckEscCase(c EscCase, meta bool) []string {
 	}
 
 	v = append(v, checkEscBatch(c)...)
+	v = append(v, checkWarmSeed(func() core.Problem { return c.Job() })...)
+	return v
+}
+
+// checkWarmSeed replays the warm-start contract (internal/warm) at the core
+// level: a cold solve records its accepted blocking cubes via OnLearn, the
+// cubes round-trip through JSON exactly like the disk store's clause shape,
+// and a second solve seeded with them must reproduce the verdict and
+// abstraction — in at most one CEGAR iteration, since the seeds already
+// block every refuted candidate the cold run saw.
+func checkWarmSeed(mk func() core.Problem) []string {
+	var cubes []core.ParamCube
+	cold, err := core.Solve(mk(), core.Options{
+		OnLearn: func(_ int, _ uset.Set, _ lang.Trace, cs []core.ParamCube) {
+			cubes = append(cubes, cs...)
+		},
+	})
+	if err != nil {
+		return []string{fmt.Sprintf("warm seed: cold solve failed: %v", err)}
+	}
+	if cold.Status != core.Proved && cold.Status != core.Impossible {
+		return nil // no verdict to warm-start toward
+	}
+	type wire struct {
+		Pos, Neg []int
+	}
+	ws := make([]wire, len(cubes))
+	for i, c := range cubes {
+		ws[i] = wire{Pos: c.Pos.Elems(), Neg: c.Neg.Elems()}
+	}
+	data, err := json.Marshal(ws)
+	if err != nil {
+		return []string{fmt.Sprintf("warm seed: marshal: %v", err)}
+	}
+	var back []wire
+	if err := json.Unmarshal(data, &back); err != nil {
+		return []string{fmt.Sprintf("warm seed: unmarshal: %v", err)}
+	}
+	seed := make([]core.ParamCube, len(back))
+	for i, w := range back {
+		seed[i] = core.ParamCube{Pos: uset.New(w.Pos...), Neg: uset.New(w.Neg...)}
+	}
+	warm, err := core.Solve(mk(), core.Options{Seed: seed})
+	if err != nil {
+		return []string{fmt.Sprintf("warm seed: warm solve failed: %v", err)}
+	}
+	var v []string
+	if warm.Status != cold.Status || !warm.Abstraction.Equal(cold.Abstraction) {
+		v = append(v, fmt.Sprintf("warm seed changed the resolution: cold %s/%s, warm %s/%s",
+			cold.Status, cold.Abstraction, warm.Status, warm.Abstraction))
+	}
+	if warm.Iterations > 1 {
+		v = append(v, fmt.Sprintf("warm solve took %d iterations (want ≤1 with every cold clause seeded)", warm.Iterations))
+	}
 	return v
 }
 

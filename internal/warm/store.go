@@ -1,0 +1,247 @@
+// Package warm implements a persistent, content-addressed warm-start store
+// for the TRACER solver. A store directory holds one snapshot file per
+// (program fingerprint, client, configuration): the learned blocking clauses
+// and final verdict of every query solved against that program. A later
+// process re-solving the same — or a slightly edited — program opens a
+// Session, which finds the nearest snapshot by IR fingerprint, invalidates
+// exactly the clauses the edit could have broken, and seeds the survivors
+// into the solver before iteration 1.
+//
+// # Soundness
+//
+// A stored clause blocks a cube of abstractions that a previous backward
+// meta-analysis proved failing, justified by one counterexample trace t.
+// Seeding it into a solve over program P' is sound iff the cube still
+// contains only failing abstractions there, which holds when t remains a
+// feasible trace of P' with the same weakest-precondition chain:
+//
+//  1. the declaration shape (globals, hierarchy, fields, signatures,
+//     native-ness) is unchanged — otherwise lowering may resolve calls
+//     differently everywhere (snapshot-level check);
+//  2. every method supporting t (the methods owning t's atoms and the
+//     allocation sites t mentions) has an identical body fingerprint
+//     (per-clause check against the IR diff);
+//  3. the points-to environment of the supporting methods is unchanged
+//     (per-clause hash) — t's call branches were chosen by those sets, and
+//     the type-state MayPoint oracle reads them;
+//  4. the client configuration (k, and for type-state the stress property's
+//     method list) is unchanged (snapshot-level check);
+//  5. every parameter name in the cube still exists in the new parameter
+//     universe (clauses are stored by name and remapped to indices at
+//     load; a vanished name kills the clause).
+//
+// By induction along t each atom's edge still exists in the lowered P', so
+// the trace replays and the meta-analysis would re-derive the same cubes.
+//
+// Verdicts are never trusted across an edit. On a byte-exact fingerprint
+// match, Proved/Impossible verdicts are still re-established by the solver
+// (the seeded clause set makes that 1 and 0 forward runs respectively);
+// only Exhausted verdicts are replayed without solving, and only when the
+// stored iteration cap and timeout equal the current ones — re-burning a
+// full timeout per already-known-hopeless query would erase the warm win.
+//
+// Everything read from disk is untrusted: unparseable files, version
+// mismatches, unknown statuses, and unknown parameter names degrade to a
+// cold solve (counted on warm.entries_corrupt / warm.clauses_invalidated),
+// never to an error.
+package warm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tracer/internal/obs"
+)
+
+// Version is the snapshot schema version; files with any other version are
+// ignored (cold fallback), never migrated.
+const Version = 1
+
+// Store is a handle on a warm-start directory. The zero value (and any Open
+// failure) is a disabled store whose Sessions are all-cold no-ops.
+type Store struct {
+	dir string
+	rec obs.Recorder
+}
+
+// Open returns a store rooted at dir, creating it if needed. Open never
+// fails hard: on error the returned store is disabled and every session
+// behaves cold. rec (nil ok) receives the warm.* counters.
+func Open(dir string, rec obs.Recorder) *Store {
+	st := &Store{rec: rec}
+	if dir == "" {
+		return st
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return st
+	}
+	st.dir = dir
+	return st
+}
+
+// Enabled reports whether the store has a usable directory.
+func (st *Store) Enabled() bool { return st != nil && st.dir != "" }
+
+func (st *Store) count(name string, n int64) {
+	if st != nil && st.rec != nil && n != 0 {
+		st.rec.Count(name, n)
+	}
+}
+
+// snapshotFile is the on-disk schema: one solved program × client × config.
+type snapshotFile struct {
+	Version int    `json:"version"`
+	Whole   string `json:"whole"` // hex ir.ProgramFP.Whole
+	Shape   string `json:"shape"` // hex ir.ProgramFP.Shape
+	// Methods maps QualName → hex body fingerprint, for delta matching.
+	Methods map[string]string `json:"methods"`
+	Client  string            `json:"client"`
+	Conf    string            `json:"conf"` // client config signature
+	// Queries maps the position-independent query key → entry.
+	Queries map[string]*queryEntry `json:"queries"`
+}
+
+// queryEntry is one query's persisted outcome.
+type queryEntry struct {
+	// Status is "proved", "impossible", or "exhausted" (failed queries are
+	// never persisted).
+	Status     string `json:"status"`
+	Iterations int    `json:"iters"`
+	// MaxIters/TimeoutMS record the budget the entry was solved under;
+	// Exhausted entries are only replayed under the identical budget.
+	MaxIters  int   `json:"maxIters"`
+	TimeoutMS int64 `json:"timeoutMS"`
+	// Abs is the proving abstraction by parameter name (diagnostic only —
+	// warm solves re-derive it from the seeded clauses).
+	Abs     []string       `json:"abs,omitempty"`
+	Clauses []storedClause `json:"clauses,omitempty"`
+}
+
+// storedClause is one blocking cube by parameter name, with its validity
+// guard: the methods supporting the justifying trace and the hex points-to
+// environment hash of those methods at learn time.
+type storedClause struct {
+	Pos     []string `json:"pos,omitempty"`
+	Neg     []string `json:"neg,omitempty"`
+	Support []string `json:"support"`
+	Env     string   `json:"env"`
+}
+
+// cubeKey canonically renders a stored clause for deduplication.
+func (c storedClause) cubeKey() string {
+	return strings.Join(c.Pos, ",") + "|" + strings.Join(c.Neg, ",")
+}
+
+func hex64(v uint64) string { return fmt.Sprintf("%016x", v) }
+
+// snapshotPath names the file for one (program, client, conf) snapshot.
+func (st *Store) snapshotPath(whole uint64, client, conf string) string {
+	h := fnvString(conf)
+	return filepath.Join(st.dir, fmt.Sprintf("%s-%s-%08x.json", hex64(whole), client, h))
+}
+
+func fnvString(s string) uint32 {
+	const offset, prime = 2166136261, 16777619
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// readSnapshots parses every snapshot file of the directory, silently
+// skipping (and counting) anything unreadable or mismatched in version.
+func (st *Store) readSnapshots() []*snapshotFile {
+	if !st.Enabled() {
+		return nil
+	}
+	names, err := filepath.Glob(filepath.Join(st.dir, "*.json"))
+	if err != nil {
+		return nil
+	}
+	sort.Strings(names)
+	var out []*snapshotFile
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			st.count(obs.WarmEntriesCorrupt, 1)
+			continue
+		}
+		var sf snapshotFile
+		if err := json.Unmarshal(data, &sf); err != nil || sf.Version != Version {
+			st.count(obs.WarmEntriesCorrupt, 1)
+			continue
+		}
+		out = append(out, &sf)
+	}
+	return out
+}
+
+// writeSnapshot atomically persists sf and prunes stale snapshots of the
+// same client+conf beyond a small budget (oldest fingerprints first by
+// modification time), so edit chains do not grow the directory unboundedly.
+func (st *Store) writeSnapshot(sf *snapshotFile) error {
+	if !st.Enabled() {
+		return nil
+	}
+	data, err := json.MarshalIndent(sf, "", " ")
+	if err != nil {
+		return err
+	}
+	path := st.snapshotPath(mustHex(sf.Whole), sf.Client, sf.Conf)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	st.prune(sf.Client, sf.Conf, path)
+	return nil
+}
+
+// maxSnapshots bounds how many snapshots one client+conf keeps on disk.
+const maxSnapshots = 16
+
+func (st *Store) prune(client, conf string, keep string) {
+	pattern := filepath.Join(st.dir, fmt.Sprintf("*-%s-%08x.json", client, fnvString(conf)))
+	names, err := filepath.Glob(pattern)
+	if err != nil || len(names) <= maxSnapshots {
+		return
+	}
+	type aged struct {
+		name string
+		mod  int64
+	}
+	var files []aged
+	for _, name := range names {
+		if name == keep {
+			continue
+		}
+		fi, err := os.Stat(name)
+		if err != nil {
+			continue
+		}
+		files = append(files, aged{name, fi.ModTime().UnixNano()})
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].mod != files[j].mod {
+			return files[i].mod < files[j].mod
+		}
+		return files[i].name < files[j].name
+	})
+	for i := 0; i+maxSnapshots <= len(files); i++ {
+		os.Remove(files[i].name)
+	}
+}
+
+func mustHex(s string) uint64 {
+	var v uint64
+	fmt.Sscanf(s, "%x", &v)
+	return v
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Perf gate: regenerate the paperbench measurement with the committed budget
+# and fail if any gated experiment wall (fig12, fig13, batch) regressed more
+# than 25% against the committed BENCH_paperbench.json baseline.
+#
+# Usage: scripts/bench_delta.sh [max-regress-percent]
+set -e
+cd "$(dirname "$0")/.."
+
+max=${1:-25}
+fresh=$(mktemp /tmp/bench_delta.XXXXXX.json)
+trap 'rm -f "$fresh"' EXIT
+
+# Same budget as `make bench-json`, so fresh and committed are comparable.
+go run ./cmd/paperbench -iters 100 -timeout 1s -bench-json "$fresh" > /dev/null
+
+go run ./cmd/benchdelta -old BENCH_paperbench.json -new "$fresh" -max-regress "$max"
+echo "bench_delta: OK (within +$max% of committed baseline)"
