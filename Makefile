@@ -1,5 +1,6 @@
 # Tier-1 gate: everything a PR must keep green (see ROADMAP.md).
-.PHONY: check fmt vet build test bench bench-micro bench-json bench-delta chaos fuzz
+.PHONY: check fmt vet build test bench bench-micro bench-json bench-delta chaos fuzz \
+	smoke-server chaos-server
 
 check: fmt vet build test
 
@@ -34,7 +35,21 @@ FUZZ_SEED ?= 1
 FUZZ_N    ?= 5000
 fuzz:
 	go test -race -count=1 ./internal/oracle/... -v
+	DECODER_FUZZ_N=$(FUZZ_N) go test -race -count=1 \
+		-run 'TestDecoderSeededFuzz|FuzzDecodeRequest' ./internal/server/ -v
 	go run ./cmd/tracer -fuzz-seed $(FUZZ_SEED) -fuzz-n $(FUZZ_N) -fuzz-meta
+
+# Daemon smoke: boot tracerd on an ephemeral port, replay a small corpus via
+# traceload with verdict verification (100% success required), SIGTERM, and
+# require a clean graceful drain.
+smoke-server:
+	scripts/server_smoke.sh
+
+# Daemon chaos soak: traceload at high concurrency against tracerd under
+# seeded fault injection — zero process deaths, zero wrong verdicts, only
+# failed/exhausted/429/503 degradation, clean drain.
+chaos-server:
+	scripts/chaos_server.sh
 
 # Scaled-down run of every table/figure benchmark plus micro-benchmarks.
 bench:

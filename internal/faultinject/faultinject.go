@@ -43,6 +43,21 @@ const (
 	// SiteBackward fires just before a backward analysis.
 	// Keys: "i<iter>" (core.Solve), "r<round>.q<query>" (SolveBatch).
 	SiteBackward Site = "backward"
+
+	// SiteServerRequest fires in the solver daemon's admission path, after a
+	// request decodes cleanly and before it is enqueued. Keys: the
+	// server-assigned request id ("r<seq>"). A panic here degrades only that
+	// request (it resolves Failed); a trip resolves it Exhausted.
+	SiteServerRequest Site = "server.request"
+	// SiteServerBatch fires just before the daemon executes one coalesced
+	// batch round. Keys: the batch id ("b<seq>"). A panic fails every
+	// request of the round; a trip shrinks the round's budget to nothing so
+	// its requests resolve Exhausted.
+	SiteServerBatch Site = "server.batch"
+	// SiteServerDrain fires once at the start of graceful drain. Key:
+	// "drain". A panic here is recovered and drain proceeds — shutdown must
+	// survive its own chaos.
+	SiteServerDrain Site = "server.drain"
 )
 
 // Fault is the value thrown by an injected panic, so recover sites (and

@@ -92,6 +92,30 @@ const (
 	WarmSnapshots          = "warm.snapshots"
 )
 
+// Counter/gauge/timer names recorded by the solver daemon (internal/server).
+// ServerAccepted counts admitted requests (mirroring the request_accepted
+// events); the ServerRejected* counters partition turned-away requests by
+// reason (mirroring request_rejected). ServerBatches counts executed
+// coalescing rounds; ServerCoalesced counts requests that shared a round with
+// at least one other request; ServerExpired counts requests whose per-request
+// deadline passed while still queued (resolved Exhausted without solving).
+// ServerQueueDepth is a gauge of the accept queue's high-water mark.
+// ServerBatchWait times enqueue→round-start per request; ServerBatchSolve
+// times one round's SolveBatch wall.
+const (
+	ServerAccepted       = "server.accepted"
+	ServerRejectedBadReq = "server.rejected_bad_request"
+	ServerRejectedQueue  = "server.rejected_queue_full"
+	ServerRejectedQuota  = "server.rejected_quota"
+	ServerRejectedDrain  = "server.rejected_draining"
+	ServerBatches        = "server.batches"
+	ServerCoalesced      = "server.coalesced"
+	ServerExpired        = "server.expired_in_queue"
+	ServerQueueDepth     = "server.queue_depth"
+	ServerBatchWait      = "server.batch_wait"
+	ServerBatchSolve     = "server.batch_solve"
+)
+
 // opKind discriminates the buffered record types.
 type opKind uint8
 

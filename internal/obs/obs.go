@@ -77,6 +77,17 @@ const (
 	// added after dedup; Query set in batch mode). Emitted at most once per
 	// query, and only when at least one seed clause was offered.
 	WarmSeed EventKind = "warm_seed"
+	// RequestAccepted opens one solver-daemon request's access-log stream
+	// (Query = the server-assigned request id, Name = the coalescing
+	// compatibility key). The stream continues with the solver's per-query
+	// events, re-tagged from batch indices to request ids, and terminates
+	// with exactly one QueryResolved whose totals match the HTTP response.
+	RequestAccepted EventKind = "request_accepted"
+	// RequestRejected records a request turned away at admission (Query =
+	// request id, Name = reason: bad_request|queue_full|quota|draining,
+	// Status = the HTTP status sent). A rejected request has no further
+	// events.
+	RequestRejected EventKind = "request_rejected"
 
 	// CounterKind, GaugeKind, and TimingKind are how Count/Gauge/Timing
 	// records appear when serialized into an NDJSON event stream.

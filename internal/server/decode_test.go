@@ -1,0 +1,207 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newDecodeServer builds a Server without an HTTP front end, for driving
+// decode directly.
+func newDecodeServer(t testing.TB) *Server {
+	s := New(Config{})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+func validBody(t testing.TB) []byte {
+	body, err := json.Marshal(SolveRequest{
+		Program: fixtureSrc, Client: "escape", Query: "#0", K: 3,
+		MaxIters: 50, TimeoutMS: 1000, Tenant: "t",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestDecodeRejects: every class of malformed payload is a structured
+// badRequestError, never a panic and never an admitted request.
+func TestDecodeRejects(t *testing.T) {
+	s := newDecodeServer(t)
+	mut := func(f func(*SolveRequest)) []byte {
+		sr := SolveRequest{Program: fixtureSrc, Client: "escape", Query: "#0"}
+		f(&sr)
+		b, _ := json.Marshal(sr)
+		return b
+	}
+	cases := []struct {
+		name string
+		body []byte
+		want string // substring of the error
+	}{
+		{"empty", nil, "malformed JSON"},
+		{"not json", []byte("hello"), "malformed JSON"},
+		{"truncated", validBody(t)[:20], "malformed JSON"},
+		{"json array", []byte(`[1,2,3]`), "malformed JSON"},
+		{"wrong field type", []byte(`{"program": 7}`), "malformed JSON"},
+		{"missing program", mut(func(r *SolveRequest) { r.Program = "" }), "missing program"},
+		{"unknown client", mut(func(r *SolveRequest) { r.Client = "alias" }), "unknown client"},
+		{"k too large", mut(func(r *SolveRequest) { r.K = kMax + 1 }), "out of range"},
+		{"k negative", mut(func(r *SolveRequest) { r.K = -1 }), "out of range"},
+		{"max_iters negative", mut(func(r *SolveRequest) { r.MaxIters = -4 }), "out of range"},
+		{"max_iters huge", mut(func(r *SolveRequest) { r.MaxIters = 1 << 30 }), "out of range"},
+		{"negative timeout", mut(func(r *SolveRequest) { r.TimeoutMS = -1 }), "negative timeout"},
+		{"missing query", mut(func(r *SolveRequest) { r.Query = "" }), "missing query"},
+		{"unknown query", mut(func(r *SolveRequest) { r.Query = "nope" }), "no escape query"},
+		{"query index out of range", mut(func(r *SolveRequest) { r.Query = "#999" }), "out of range"},
+		{"query index garbage", mut(func(r *SolveRequest) { r.Query = "#x" }), "out of range"},
+		{"unparseable program", mut(func(r *SolveRequest) { r.Program = "class {" }), "does not load"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := s.decode(tc.body)
+			if err == nil {
+				t.Fatalf("decode accepted %q as request %+v", tc.body, req)
+			}
+			if _, ok := err.(*badRequestError); !ok {
+				t.Fatalf("error %v is %T, not *badRequestError", err, err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeDefaults: omitted knobs take the server's defaults and caps.
+func TestDecodeDefaults(t *testing.T) {
+	s := newDecodeServer(t)
+	b, _ := json.Marshal(SolveRequest{Program: fixtureSrc, Client: "typestate", Query: "#0"})
+	req, err := s.decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.k != 5 || req.maxIter != s.cfg.MaxIters || req.timeout != s.cfg.DefaultTimeout {
+		t.Errorf("defaults = k%d i%d t%v", req.k, req.maxIter, req.timeout)
+	}
+	b, _ = json.Marshal(SolveRequest{Program: fixtureSrc, Client: "typestate",
+		Query: "#0", TimeoutMS: int64(10 * time.Hour / time.Millisecond)})
+	req, err = s.decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.timeout != s.cfg.MaxTimeout {
+		t.Errorf("oversized timeout not capped: %v", req.timeout)
+	}
+}
+
+// TestOversizedBodyIs400: a body over -max-request-bytes is a structured
+// 400 at the HTTP layer, before the decoder ever runs.
+func TestOversizedBodyIs400(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxRequestBytes: 512})
+	st, data := postJSON(t, hs.URL, validBody(t)) // fixture program > 512 bytes
+	if st != http.StatusBadRequest {
+		t.Fatalf("oversized body = %d (%s), want 400", st, data)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(data, &er); err != nil || er.Error == "" {
+		t.Fatalf("400 body %s is not a structured error", data)
+	}
+}
+
+// TestDecoderSeededFuzz is the deterministic fuzz pass run by make fuzz:
+// byte-level mutations of a valid request must never panic the decoder, and
+// whatever it accepts must satisfy the validated invariants. Scale with
+// DECODER_FUZZ_N.
+func TestDecoderSeededFuzz(t *testing.T) {
+	n := 500
+	if v := os.Getenv("DECODER_FUZZ_N"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+			n = parsed
+		}
+	}
+	s := newDecodeServer(t)
+	rng := rand.New(rand.NewSource(1))
+	seed := validBody(t)
+	for i := 0; i < n; i++ {
+		body := append([]byte(nil), seed...)
+		for m := rng.Intn(8); m >= 0; m-- {
+			switch rng.Intn(4) {
+			case 0: // flip a byte
+				body[rng.Intn(len(body))] = byte(rng.Intn(256))
+			case 1: // truncate
+				body = body[:rng.Intn(len(body)+1)]
+			case 2: // duplicate a chunk
+				at := rng.Intn(len(body) + 1)
+				chunk := body[:rng.Intn(len(body)+1)]
+				body = append(body[:at:at], append(append([]byte(nil), chunk...), body[at:]...)...)
+			case 3: // splice random JSON-ish noise
+				noise := []string{`{"k":`, `}`, `"program":"x"`, "\x00", `[[[`, `1e309`}
+				body = append(body, noise[rng.Intn(len(noise))]...)
+			}
+			if len(body) == 0 {
+				body = []byte{byte(rng.Intn(256))}
+			}
+		}
+		checkDecodeInvariants(t, s, body)
+	}
+}
+
+// FuzzDecodeRequest is the native fuzz target over the same invariants
+// (go test -fuzz=FuzzDecodeRequest ./internal/server).
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"program":"class {","client":"escape","query":"#0"}`))
+	f.Add([]byte(`{"program":"x","client":"typestate","query":"#0","k":-1}`))
+	f.Add(validBody(f))
+	s := newDecodeServer(f)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		checkDecodeInvariants(t, s, body)
+	})
+}
+
+// checkDecodeInvariants: decode must return either a structured error or a
+// request within validated bounds — and must not panic (a panic inside
+// decode is recovered into an error; a panic escaping it fails the test).
+func checkDecodeInvariants(t *testing.T, s *Server, body []byte) {
+	t.Helper()
+	req, err := s.decode(body)
+	if err != nil {
+		if _, ok := err.(*badRequestError); !ok {
+			t.Fatalf("decode(%q) error %v is %T, not *badRequestError", body, err, err)
+		}
+		return
+	}
+	if req.k < 1 || req.k > kMax {
+		t.Fatalf("accepted k %d out of bounds", req.k)
+	}
+	if req.maxIter < 1 || req.maxIter > s.cfg.MaxIters {
+		t.Fatalf("accepted max_iters %d out of bounds", req.maxIter)
+	}
+	if req.timeout <= 0 || req.timeout > s.cfg.MaxTimeout {
+		t.Fatalf("accepted timeout %v out of bounds", req.timeout)
+	}
+	if req.lp == nil {
+		t.Fatal("accepted request with no loaded program")
+	}
+	n := len(req.lp.esc)
+	if req.client == clientTypestate {
+		n = len(req.lp.ts)
+	}
+	if req.queryIx < 0 || req.queryIx >= n {
+		t.Fatalf("accepted query index %d out of range [0,%d)", req.queryIx, n)
+	}
+	_ = fmt.Sprintf("%s %s", req.queryID(), req.queryKey())
+}

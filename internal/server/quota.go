@@ -1,0 +1,84 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// quotas is a per-tenant token-bucket admission limiter: each tenant refills
+// at rate tokens/second up to burst, and a request is admitted iff its
+// tenant has a whole token to spend. A zero rate disables quotas entirely.
+//
+// The tenant map is bounded: tenant names arrive from the wire, and an
+// unbounded map keyed by attacker-chosen strings is a memory leak. When full,
+// admitting a new tenant evicts the stalest bucket — a tenant idle long
+// enough to be evicted re-enters with a full burst, which only ever errs in
+// the client's favor.
+type quotas struct {
+	rate  float64
+	burst float64
+
+	mu sync.Mutex
+	m  map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxTenants bounds the bucket map.
+const maxTenants = 4096
+
+func newQuotas(rate float64, burst int) *quotas {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &quotas{rate: rate, burst: float64(burst), m: map[string]*bucket{}}
+}
+
+// allow reports whether tenant may spend one token at now. A nil receiver
+// (quotas disabled) admits everything.
+func (q *quotas) allow(tenant string, now time.Time) bool {
+	if q == nil {
+		return true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.m[tenant]
+	if b == nil {
+		if len(q.m) >= maxTenants {
+			q.evictStalestLocked()
+		}
+		b = &bucket{tokens: q.burst, last: now}
+		q.m[tenant] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+func (q *quotas) evictStalestLocked() {
+	var stalest string
+	var when time.Time
+	first := true
+	for k, b := range q.m {
+		if first || b.last.Before(when) {
+			stalest, when, first = k, b.last, false
+		}
+	}
+	delete(q.m, stalest)
+}
