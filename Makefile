@@ -1,6 +1,6 @@
 # Tier-1 gate: everything a PR must keep green (see ROADMAP.md).
-.PHONY: check fmt vet build test bench bench-micro bench-json bench-delta chaos fuzz \
-	smoke-server chaos-server
+.PHONY: check fmt vet build test bench bench-micro bench-json bench-delta \
+	bench-history chaos fuzz smoke-server chaos-server
 
 check: fmt vet build test
 
@@ -68,7 +68,14 @@ bench-json:
 	go run ./cmd/paperbench -iters 100 -timeout 1s -bench-json BENCH_paperbench.json
 
 # Perf gate (also a CI job): re-measure with the bench-json budget and fail
-# when a gated experiment wall (fig12, fig13, batch) regressed beyond 25% of
-# the committed baseline.
+# when a gated experiment wall regressed beyond its per-experiment threshold
+# (see scripts/bench_delta.sh for the thresholds).
 bench-delta:
 	scripts/bench_delta.sh
+
+# Append the current BENCH_paperbench.json to the committed perf-trajectory
+# ledger (BENCH_HISTORY.json) and rewrite the trend table in EXPERIMENTS.md.
+# Idempotent per commit; CI verifies the ledger stays in sync via
+# `benchhistory -verify`.
+bench-history:
+	go run ./cmd/benchhistory

@@ -1,0 +1,309 @@
+// Command benchhistory maintains the committed perf-trajectory ledger:
+// BENCH_HISTORY.json, an append-only series of per-commit paperbench
+// measurements, and the trend table it renders into EXPERIMENTS.md.
+//
+// Modes:
+//
+//	benchhistory                      # append: record BENCH_paperbench.json
+//	                                  # under the current commit and rewrite
+//	                                  # the trend table (make bench-history)
+//	benchhistory -verify              # CI gate: the ledger parses, stays
+//	                                  # append-only consistent, its last entry
+//	                                  # matches the committed measurement, and
+//	                                  # the rendered table is current
+//	benchhistory -backfill            # rebuild the ledger from every commit
+//	                                  # that touched the measurement file
+//
+// Append mode is idempotent per commit: re-measuring on the same commit
+// replaces that commit's entry instead of growing the ledger; entries for
+// earlier commits are never rewritten. The tracked series are the gated
+// experiment walls — the long-lived numbers worth trending; per-run obs
+// counters stay in BENCH_paperbench.json only.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// defaultKeys are the trended series: every experiment wall the perf gate
+// or the docs quote.
+const defaultKeys = "paperbench/fig12/wall,paperbench/fig13/wall,paperbench/batch/wall,paperbench/fig12warm/wall,paperbench/editchain/wall"
+
+const (
+	markBegin = "<!-- bench-history:begin -->"
+	markEnd   = "<!-- bench-history:end -->"
+)
+
+type benchEntry struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// histEntry is one commit's measurement of the tracked series.
+type histEntry struct {
+	Commit string             `json:"commit"`
+	Date   string             `json:"date"`
+	Series map[string]float64 `json:"series"`
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchhistory: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func loadBench(data []byte, keys []string) (map[string]float64, error) {
+	var es []benchEntry
+	if err := json.Unmarshal(data, &es); err != nil {
+		return nil, err
+	}
+	byName := make(map[string]float64, len(es))
+	for _, e := range es {
+		byName[e.Name] = e.Value
+	}
+	out := map[string]float64{}
+	for _, k := range keys {
+		if v, ok := byName[k]; ok {
+			out[k] = v
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no tracked series present")
+	}
+	return out, nil
+}
+
+func loadHistory(path string) ([]histEntry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var h []histEntry
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return h, nil
+}
+
+func writeHistory(path string, h []histEntry) error {
+	data, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func git(args ...string) (string, error) {
+	out, err := exec.Command("git", args...).Output()
+	if err != nil {
+		return "", fmt.Errorf("git %s: %w", strings.Join(args, " "), err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// shortName projects "paperbench/fig12/wall" to "fig12" for table headers.
+func shortName(key string) string {
+	parts := strings.Split(key, "/")
+	if len(parts) >= 2 {
+		return parts[len(parts)-2]
+	}
+	return key
+}
+
+// renderTable renders the ledger as the markdown trend table, newest last
+// so the table reads as a trajectory.
+func renderTable(h []histEntry, keys []string) string {
+	var b strings.Builder
+	b.WriteString("| Commit | Date |")
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s |", shortName(k))
+	}
+	b.WriteString("\n|---|---|")
+	for range keys {
+		b.WriteString("---:|")
+	}
+	b.WriteString("\n")
+	for _, e := range h {
+		fmt.Fprintf(&b, "| %s | %s |", e.Commit, e.Date)
+		for _, k := range keys {
+			if v, ok := e.Series[k]; ok {
+				fmt.Fprintf(&b, " %.0f ms |", v)
+			} else {
+				b.WriteString(" — |")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// spliceDoc replaces the region between the trend markers.
+func spliceDoc(doc, table string) (string, error) {
+	begin := strings.Index(doc, markBegin)
+	end := strings.Index(doc, markEnd)
+	if begin < 0 || end < 0 || end < begin {
+		return "", fmt.Errorf("trend markers %q/%q not found", markBegin, markEnd)
+	}
+	return doc[:begin+len(markBegin)] + "\n" + table + doc[end:], nil
+}
+
+// checkLedger validates the append-only invariants: unique commits and
+// non-decreasing dates (ISO dates compare lexically).
+func checkLedger(h []histEntry) error {
+	seen := map[string]bool{}
+	for i, e := range h {
+		if e.Commit == "" || e.Date == "" {
+			return fmt.Errorf("entry %d: missing commit or date", i)
+		}
+		if seen[e.Commit] {
+			return fmt.Errorf("entry %d: duplicate commit %s", i, e.Commit)
+		}
+		seen[e.Commit] = true
+		if i > 0 && e.Date < h[i-1].Date {
+			return fmt.Errorf("entry %d: date %s precedes %s", i, e.Date, h[i-1].Date)
+		}
+	}
+	return nil
+}
+
+func main() {
+	benchPath := flag.String("bench", "BENCH_paperbench.json", "measurement JSON (cmd/paperbench -bench-json)")
+	histPath := flag.String("history", "BENCH_HISTORY.json", "append-only ledger")
+	docPath := flag.String("doc", "EXPERIMENTS.md", "doc holding the trend table markers")
+	keysFlag := flag.String("keys", defaultKeys, "comma-separated tracked series")
+	verify := flag.Bool("verify", false, "validate ledger + table instead of appending")
+	backfill := flag.Bool("backfill", false, "rebuild the ledger from the measurement file's git history")
+	commit := flag.String("commit", "", "commit id to record (default: git rev-parse --short HEAD)")
+	date := flag.String("date", "", "commit date to record (default: git show -s --format=%cs)")
+	flag.Parse()
+
+	var keys []string
+	for _, k := range strings.Split(*keysFlag, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			keys = append(keys, k)
+		}
+	}
+
+	hist, err := loadHistory(*histPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	switch {
+	case *verify:
+		if len(hist) == 0 {
+			fatalf("%s is missing or empty", *histPath)
+		}
+		if err := checkLedger(hist); err != nil {
+			fatalf("ledger: %v", err)
+		}
+		data, err := os.ReadFile(*benchPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		series, err := loadBench(data, keys)
+		if err != nil {
+			fatalf("%s: %v", *benchPath, err)
+		}
+		last := hist[len(hist)-1]
+		for k, v := range series {
+			if got, ok := last.Series[k]; !ok || got != v {
+				fatalf("ledger is stale: last entry (%s) has %s = %v, committed measurement has %v — run `make bench-history`",
+					last.Commit, k, got, v)
+			}
+		}
+		doc, err := os.ReadFile(*docPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		want, err := spliceDoc(string(doc), renderTable(hist, keys))
+		if err != nil {
+			fatalf("%s: %v", *docPath, err)
+		}
+		if string(doc) != want {
+			fatalf("%s trend table is stale — run `make bench-history`", *docPath)
+		}
+		fmt.Printf("benchhistory: OK (%d entries, last %s %s)\n", len(hist), last.Commit, last.Date)
+		return
+
+	case *backfill:
+		commits, err := git("log", "--reverse", "--format=%h %cs", "--", *benchPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		hist = nil
+		for _, line := range strings.Split(commits, "\n") {
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				continue
+			}
+			blob, err := git("show", fields[0]+":"+*benchPath)
+			if err != nil {
+				continue // commit deleted or predates the file
+			}
+			series, err := loadBench([]byte(blob), keys)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchhistory: skipping %s: %v\n", fields[0], err)
+				continue
+			}
+			hist = append(hist, histEntry{Commit: fields[0], Date: fields[1], Series: series})
+		}
+		if err := checkLedger(hist); err != nil {
+			fatalf("backfilled ledger: %v", err)
+		}
+
+	default:
+		data, err := os.ReadFile(*benchPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		series, err := loadBench(data, keys)
+		if err != nil {
+			fatalf("%s: %v", *benchPath, err)
+		}
+		c, d := *commit, *date
+		if c == "" {
+			if c, err = git("rev-parse", "--short", "HEAD"); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		if d == "" {
+			if d, err = git("show", "-s", "--format=%cs", "HEAD"); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		e := histEntry{Commit: c, Date: d, Series: series}
+		if n := len(hist); n > 0 && hist[n-1].Commit == c {
+			hist[n-1] = e // idempotent re-measure of the same commit
+		} else {
+			hist = append(hist, e)
+		}
+		if err := checkLedger(hist); err != nil {
+			fatalf("ledger: %v", err)
+		}
+	}
+
+	if err := writeHistory(*histPath, hist); err != nil {
+		fatalf("%v", err)
+	}
+	doc, err := os.ReadFile(*docPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	out, err := spliceDoc(string(doc), renderTable(hist, keys))
+	if err != nil {
+		fatalf("%s: %v", *docPath, err)
+	}
+	if err := os.WriteFile(*docPath, []byte(out), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("benchhistory: recorded %d entries; trend table updated\n", len(hist))
+}

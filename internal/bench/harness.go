@@ -8,8 +8,12 @@ import (
 
 	"tracer/internal/core"
 	"tracer/internal/driver"
+	"tracer/internal/escape"
+	"tracer/internal/formula"
 	"tracer/internal/lang"
+	"tracer/internal/meta"
 	"tracer/internal/obs"
+	"tracer/internal/typestate"
 	"tracer/internal/uset"
 	"tracer/internal/warm"
 )
@@ -51,6 +55,11 @@ type RunOptions struct {
 	// use when Workers > 1. Note the run cache: cached results replay no
 	// events — set Fresh to re-record a previously computed run.
 	Recorder obs.Recorder
+	// NoDelta disables the delta-incremental forward engine: per-query jobs
+	// solve cold every CEGAR iteration and the batch scheduler never resumes
+	// a cached run across an abstraction flip. The differential suite uses
+	// it to obtain the reference (cold) executor.
+	NoDelta bool
 	// WarmDir, when non-empty, names a warm-start store directory
 	// (internal/warm): Run and RunBatch seed each query with its surviving
 	// stored clauses before iteration 1 and persist what this run learned
@@ -105,7 +114,7 @@ func (r *ClientResult) count(s core.Status) int {
 // through TRACER, mirroring the paper's per-query resolution. Results are
 // cached per (benchmark, client, k, query cap).
 func Run(b *Benchmark, client Client, opts RunOptions) (*ClientResult, error) {
-	key := fmt.Sprintf("%s/%s/k=%d/max=%d/cap=%d/to=%s/warm=%s", b.Config.Name, client, opts.K, opts.MaxIters, opts.MaxQueries, opts.Timeout, opts.WarmDir)
+	key := fmt.Sprintf("%s/%s/k=%d/max=%d/cap=%d/to=%s/warm=%s/nodelta=%t", b.Config.Name, client, opts.K, opts.MaxIters, opts.MaxQueries, opts.Timeout, opts.WarmDir, opts.NoDelta)
 	if !opts.Fresh {
 		runMu.Lock()
 		if r, ok := runCache[key]; ok {
@@ -155,6 +164,7 @@ func coreOpts(opts RunOptions) core.Options {
 		MaxIters: opts.MaxIters, Timeout: opts.Timeout, Context: opts.Context,
 		Recorder: opts.Recorder,
 		Workers:  opts.BatchWorkers, FwdCacheSize: opts.FwdCacheSize,
+		NoDelta: opts.NoDelta,
 	}
 }
 
@@ -191,8 +201,24 @@ func runTypestate(b *Benchmark, opts RunOptions, res *ClientResult, sess *warm.S
 	if opts.MaxQueries > 0 && len(queries) > opts.MaxQueries {
 		queries = queries[:opts.MaxQueries]
 	}
+	// Share the literal universe run-wide and the WP cache per tracked
+	// site, exactly as the batch driver does (the type-state WP depends on
+	// the analysis's site and may-point set, so only same-site jobs compute
+	// identical preconditions; both structures are concurrency-safe). The
+	// per-query loop otherwise re-derives every interned literal and WP DNF
+	// from scratch for each query on the same program.
+	uni := formula.NewUniverse(typestate.Theory{})
+	siteWPC := map[string]*meta.WPCache{}
+	for _, q := range queries {
+		if siteWPC[q.Site] == nil {
+			siteWPC[q.Site] = meta.NewWPCache()
+		}
+	}
 	return runAll(len(queries), opts, res, sess, func(i int) (string, string, core.Problem) {
-		return queries[i].ID, queries[i].Key, b.Prog.TypestateJob(queries[i], opts.K)
+		job := b.Prog.TypestateJob(queries[i], opts.K)
+		job.Uni, job.WPC = uni, siteWPC[queries[i].Site]
+		job.NoDelta = opts.NoDelta
+		return queries[i].ID, queries[i].Key, job
 	})
 }
 
@@ -201,8 +227,16 @@ func runEscape(b *Benchmark, opts RunOptions, res *ClientResult, sess *warm.Sess
 	if opts.MaxQueries > 0 && len(queries) > opts.MaxQueries {
 		queries = queries[:opts.MaxQueries]
 	}
+	// Share one literal universe and one WP cache across all queries of the
+	// run, as the batch driver does: the escape WP depends only on the atom
+	// and primitive, never on the query or the abstraction.
+	uni := formula.NewUniverse(escape.Theory{})
+	wpc := meta.NewWPCache()
 	return runAll(len(queries), opts, res, sess, func(i int) (string, string, core.Problem) {
-		return queries[i].ID, queries[i].Key, b.Prog.EscapeJob(queries[i], opts.K)
+		job := b.Prog.EscapeJob(queries[i], opts.K)
+		job.Uni, job.WPC = uni, wpc
+		job.NoDelta = opts.NoDelta
+		return queries[i].ID, queries[i].Key, job
 	})
 }
 

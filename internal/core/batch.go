@@ -53,6 +53,27 @@ type BatchRun interface {
 	Steps() int
 }
 
+// DeltaBatchProblem is a BatchProblem whose forward runs retain resumable
+// state (see dataflow.Chain): RunForwardFrom seeds a fresh solve under p with
+// a donor run previously produced under donorP, so the solver revalidates the
+// donor's retained execution against the parameter flip instead of starting
+// cold. The donor is CONSUMED — resuming invalidates the donor's result, so
+// the scheduler removes the donor from the forward-run memo before donating
+// and never lets it serve another Check. The returned run must be
+// byte-equivalent to RunForward(b, p): same check verdicts, same traces, same
+// step counts.
+type DeltaBatchProblem interface {
+	BatchProblem
+	RunForwardFrom(b *budget.Budget, p uset.Set, donor BatchRun, donorP uset.Set) BatchRun
+}
+
+// DeltaRun is implemented by runs that account path-edge reuse. The counts
+// are cumulative over the run's lifetime (lazy runs keep accruing inside
+// Check), mirroring Steps; the scheduler charges per-round deltas.
+type DeltaRun interface {
+	DeltaStats() (resumes, reused, invalidated int)
+}
+
 // BatchStats aggregates runner-level statistics.
 type BatchStats struct {
 	// ForwardRuns counts forward-run phases: one per distinct abstraction
@@ -72,6 +93,18 @@ type BatchStats struct {
 	// required a fresh whole-program solve.
 	FwdCacheHits   int
 	FwdCacheMisses int
+	// DeltaResumes / PEReused / PEInvalidated aggregate the delta-incremental
+	// forward engine's accounting across the batch's runs (DeltaBatchProblem
+	// only; zero otherwise). DeltaResumes counts solves served by resuming a
+	// retained execution; PEReused counts path edges that survived
+	// revalidation or were served from the expansion memo without a transfer
+	// call; PEInvalidated counts path edges rolled back by a parameter flip.
+	// The totals reconcile with the forward_done events: PEReused equals the
+	// sum of their Reused fields, and with the rhs.* counters recorded per
+	// forward-run phase.
+	DeltaResumes  int
+	PEReused      int
+	PEInvalidated int
 }
 
 // BatchResult is the outcome of SolveBatch.
@@ -112,6 +145,7 @@ type fwdTask struct {
 	key   string
 	run   BatchRun
 	entry *fwdEntry // non-nil when served by the cross-round memo
+	donor *fwdEntry // non-nil when a fresh run resumes a consumed memo entry
 	fresh bool      // true when this phase executes RunForward
 	// panicked is set when the RunForward phase panicked; every query in
 	// every group sharing the task resolves Failed, and the task is neither
@@ -277,6 +311,17 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 	}
 	cache := newFwdCache(opts.fwdCacheSize())
 	ordinal := 0 // global group-iteration counter
+	// Donor-seeded resumption: on a memo miss, a DeltaBatchProblem's fresh
+	// run may resume a consumed memo entry whose abstraction is within
+	// maxFlip flipped parameters. The cap is tight: a near flip usually
+	// leaves the retained run valid (or mostly valid), while a far flip
+	// invalidates so much that a cold solve is cheaper — and consuming the
+	// entry turns its future exact hits into misses for nothing.
+	dbp, _ := bp.(DeltaBatchProblem)
+	if opts.NoDelta {
+		dbp = nil
+	}
+	const maxFlip = 2
 
 	for len(groups) > 0 {
 		res.Stats.Rounds++
@@ -353,6 +398,17 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 		roundTask := map[string]*fwdTask{}
 		var fresh []*fwdTask
 		var units []unit
+		// Abstractions wanted as-is this round are never donated: consuming
+		// one would turn a later group's exact memo hit into a miss.
+		var wanted map[string]bool
+		if dbp != nil {
+			wanted = make(map[string]bool, len(plans))
+			for i := range plans {
+				if plans[i].panicked == nil && plans[i].sat {
+					wanted[plans[i].p.Key()] = true
+				}
+			}
+		}
 		for i := range plans {
 			pl := &plans[i]
 			if recording && pl.minBuf != nil {
@@ -388,6 +444,9 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 				} else {
 					hit = false
 					t = &fwdTask{p: pl.p, key: key, fresh: true, ordinal: pl.ordinal}
+					if dbp != nil {
+						t.donor = cache.takeDonor(pl.p, wanted, maxFlip)
+					}
 					fresh = append(fresh, t)
 				}
 				roundTask[key] = t
@@ -426,7 +485,11 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 				s = time.Now()
 			}
 			inj.At(bud, faultinject.SiteForward, fmt.Sprintf("r%d.%s", round, t.key))
-			t.run = bp.RunForward(bud, t.p)
+			if t.donor != nil {
+				t.run = dbp.RunForwardFrom(bud, t.p, t.donor.run, t.donor.p)
+			} else {
+				t.run = bp.RunForward(bud, t.p)
+			}
 			if recording {
 				t.execNS = int64(time.Since(s))
 			}
@@ -472,10 +535,35 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 			t.stepDelta = steps - prev
 			res.Stats.TotalSteps += t.stepDelta
 			res.Stats.ForwardRuns++
+			// Delta accounting mirrors the lazy step accounting: runs report
+			// cumulative counts, the phase charges the delta since the memo
+			// entry's last round.
+			var delta [3]int
+			var dr, du, di int
+			if dl, ok := t.run.(DeltaRun); ok {
+				delta[0], delta[1], delta[2] = dl.DeltaStats()
+				var prevD [3]int
+				if t.entry != nil {
+					prevD = t.entry.lastDelta
+				}
+				dr, du, di = delta[0]-prevD[0], delta[1]-prevD[1], delta[2]-prevD[2]
+				res.Stats.DeltaResumes += dr
+				res.Stats.PEReused += du
+				res.Stats.PEInvalidated += di
+			}
 			if recording {
 				rec.Record(obs.Event{Kind: obs.ForwardDone, Iter: t.ordinal,
 					AbsSize: t.p.Len(), Steps: t.stepDelta, Queries: t.queries,
-					WallNS: t.execNS + t.checkNS})
+					Reused: du, WallNS: t.execNS + t.checkNS})
+				if dr > 0 {
+					rec.Count(obs.RhsDeltaResumes, int64(dr))
+				}
+				if du > 0 {
+					rec.Count(obs.RhsPEReused, int64(du))
+				}
+				if di > 0 {
+					rec.Count(obs.RhsPEInvalidated, int64(di))
+				}
 			}
 			// A partial (tripped) run must not poison later rounds or a
 			// future batch round via the memo.
@@ -484,8 +572,9 @@ func SolveBatch(bp BatchProblem, opts Options) (*BatchResult, error) {
 			}
 			if t.entry != nil {
 				t.entry.lastSteps = steps
+				t.entry.lastDelta = delta
 			} else {
-				cache.put(t.key, &fwdEntry{run: t.run, lastSteps: steps})
+				cache.put(t.key, &fwdEntry{run: t.run, p: t.p, lastSteps: steps, lastDelta: delta})
 			}
 		}
 		for i := range plans {

@@ -5,6 +5,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"tracer/internal/uset"
 )
 
 // panicInfo captures a recovered panic at the point of recovery: the
@@ -65,8 +67,13 @@ func parallelFor(workers, n int, f func(i int)) {
 // LRU operation O(1) (the previous order slice cost an O(cap) scan per hit,
 // which showed up once cache sizes grew past the original 16).
 type fwdEntry struct {
-	run        BatchRun
-	lastSteps  int
+	run       BatchRun
+	p         uset.Set // abstraction the run was produced under
+	lastSteps int
+	// lastDelta snapshots the run's cumulative DeltaStats as of the last
+	// round that used it, so each round charges only the delta (lazy runs
+	// keep accruing reuse inside Check, like steps).
+	lastDelta  [3]int
 	key        string
 	prev, next *fwdEntry
 }
@@ -118,6 +125,54 @@ func (c *fwdCache) put(key string, e *fwdEntry) {
 		c.unlink(lru)
 		delete(c.entries, lru.key)
 	}
+}
+
+// takeDonor removes and returns the memoized run best suited to seed a fresh
+// solve under p: the entry with the smallest parameter flip distance to p,
+// ties broken toward the more recently used, skipping entries whose exact
+// abstraction is still wanted this round and entries farther than maxFlip
+// flips away. Consumption is mandatory — resuming a retained run invalidates
+// the donor's result, so it must never serve another Check. Called only from
+// the scheduler's sequential pass, so the choice is deterministic.
+func (c *fwdCache) takeDonor(p uset.Set, wanted map[string]bool, maxFlip int) *fwdEntry {
+	if c.cap <= 0 {
+		return nil
+	}
+	var best *fwdEntry
+	bestFlip := maxFlip + 1
+	for e := c.root.prev; e != &c.root; e = e.prev {
+		if wanted[e.key] {
+			continue
+		}
+		if f := flipDist(e.p, p); f < bestFlip {
+			best, bestFlip = e, f
+		}
+	}
+	if best != nil {
+		c.unlink(best)
+		delete(c.entries, best.key)
+	}
+	return best
+}
+
+// flipDist is the size of the symmetric difference of two abstractions — the
+// number of parameters a donor run's revalidation has to consider flipped.
+func flipDist(a, b uset.Set) int {
+	i, j, d := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+			d++
+		default:
+			j++
+			d++
+		}
+	}
+	return d + (len(a) - i) + (len(b) - j)
 }
 
 func (c *fwdCache) unlink(e *fwdEntry) {

@@ -61,6 +61,10 @@ type Outcome struct {
 	Trace lang.Trace
 	// Steps is a machine-independent cost measure of the run.
 	Steps int
+	// Reused counts path edges served by the delta-incremental forward
+	// path (validated survivors of a retained run plus memo-served
+	// expansions); zero for a cold run. Carried into the ForwardDone event.
+	Reused int
 }
 
 // Problem is a single query posed to a parametric analysis.
@@ -207,6 +211,12 @@ type Options struct {
 	// of one shared root group. nil (or all-empty) keeps the cold batch
 	// path unchanged. Ignored by the single-query Solve.
 	SeedBatch func(q int) []ParamCube
+	// NoDelta disables SolveBatch's delta-resume path: evicted or near-miss
+	// forward runs are never resumed across an abstraction flip, so every
+	// cache miss is a cold whole-program solve. Per-problem delta behavior
+	// (the single-query jobs' retained chains) is controlled on the problem
+	// itself; this knob only governs the batch scheduler's donor selection.
+	NoDelta bool
 	// OnLearn, when non-nil, observes every successful backward pass: the
 	// abstraction p that was eliminated, its counterexample trace, and the
 	// accepted (non-contradictory) cubes that were blocked. q is the batch
@@ -444,7 +454,8 @@ func Solve(pr Problem, opts Options) (res Result, err error) {
 		res.ForwardSteps += out.Steps
 		if recording {
 			rec.Record(obs.Event{Kind: obs.ForwardDone, Iter: res.Iterations,
-				AbsSize: p.Len(), Steps: out.Steps, WallNS: int64(time.Since(phase))})
+				AbsSize: p.Len(), Steps: out.Steps, Reused: out.Reused,
+				WallNS: int64(time.Since(phase))})
 		}
 		// A partial forward fixpoint can fail to reach the failing state and
 		// look "proved"; discard the outcome of a tripped run.

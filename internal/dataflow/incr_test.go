@@ -1,0 +1,160 @@
+package dataflow_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tracer/internal/dataflow"
+	"tracer/internal/escape"
+	"tracer/internal/lang"
+	"tracer/internal/oracle/gen"
+	"tracer/internal/typestate"
+	"tracer/internal/uset"
+)
+
+// The flip-chain differential suite drives one Chain through a seeded
+// random walk over the abstraction lattice — the access pattern the CEGAR
+// loop produces — and pins the Chain's advertised contract against a cold
+// solve at every step: same discoveries in the same order, same Steps, same
+// witness traces. The external test package avoids the dataflow ⇄ client
+// import cycle.
+
+var (
+	chainLocals = []string{"u", "v", "w"}
+	chainFields = []string{"f", "g"}
+	chainSites  = []string{"h1", "h2", "h3"}
+	chainVars   = []string{"w", "x", "y", "z"}
+)
+
+// randAbs draws a random abstraction over n parameters.
+func randAbs(rng *rand.Rand, n int) uset.Set {
+	var ks []int
+	for k := 0; k < n; k++ {
+		if rng.Intn(2) == 0 {
+			ks = append(ks, k)
+		}
+	}
+	return uset.New(ks...)
+}
+
+// checkEquiv compares a Chain solve against a cold reference solve of the
+// same abstraction on the same analysis instance: every node's discovery
+// sequence, the step count, and (for every reached fact) a replayable
+// witness identical to the cold one.
+func checkEquiv[D comparable](t *testing.T, g *lang.CFG, got, want *dataflow.Result[D], init D, tr dataflow.Transfer[D]) {
+	t.Helper()
+	if got.Steps != want.Steps {
+		t.Fatalf("Steps = %d, cold %d", got.Steps, want.Steps)
+	}
+	for n := 0; n < g.Nodes; n++ {
+		gs, ws := got.States(n), want.States(n)
+		if !reflect.DeepEqual(gs, ws) {
+			t.Fatalf("node %d states = %v, cold %v", n, gs, ws)
+		}
+		for _, d := range ws {
+			gw, ww := got.Witness(n, d), want.Witness(n, d)
+			if !reflect.DeepEqual(gw, ww) {
+				t.Fatalf("node %d fact %v witness %v, cold %v", n, d, gw, ww)
+			}
+			if replay := dataflow.EvalTrace(gw, init, tr); replay != d {
+				t.Fatalf("node %d witness replays to %v, want %v", n, replay, d)
+			}
+		}
+	}
+}
+
+func TestChainFlipChainEscape(t *testing.T) {
+	pool := gen.Pool(gen.Universe{
+		Vars: chainLocals, Sites: chainSites, Fields: chainFields,
+		Globals: []string{"G"}, Methods: []string{"m"},
+	})
+	for seed := int64(0); seed < 6; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g := lang.BuildCFG(gen.Program(rng, pool, gen.DefaultConfig(4+rng.Intn(8))))
+			a := escape.New(chainLocals, chainFields, chainSites)
+			ch := dataflow.NewChain[escape.State](g)
+			for step := 0; step < 12; step++ {
+				p := randAbs(rng, len(chainSites))
+				got := ch.Solve(p, a.Initial(), a.TransferDep(p), nil)
+				want := dataflow.SolveBudget(g, a.Initial(), a.Transfer(p), nil)
+				checkEquiv(t, g, got, want, a.Initial(), a.Transfer(p))
+			}
+		})
+	}
+}
+
+func TestChainFlipChainTypestate(t *testing.T) {
+	pool := gen.Pool(gen.Universe{
+		Vars: chainVars, Sites: []string{"h", "g"}, Fields: []string{"f"},
+		Globals: []string{"G"},
+		Methods: []string{"open", "close", "connect", "send", "next", "hasNext"},
+	})
+	for seed := int64(0); seed < 6; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g := lang.BuildCFG(gen.Program(rng, pool, gen.DefaultConfig(4+rng.Intn(8))))
+			a := typestate.New(typestate.FileProperty(), "h", chainVars)
+			ch := dataflow.NewChain[typestate.State](g)
+			for step := 0; step < 12; step++ {
+				p := randAbs(rng, len(chainVars))
+				got := ch.Solve(p, a.Initial(), a.TransferDep(p), nil)
+				want := dataflow.SolveBudget(g, a.Initial(), a.Transfer(p), nil)
+				checkEquiv(t, g, got, want, a.Initial(), a.Transfer(p))
+			}
+		})
+	}
+}
+
+// TestChainSingleBitWalk flips exactly one parameter per step — the minimal
+// CEGAR move and the sharpest test of the invalidation cone: everything the
+// flipped parameter never touched must be served from the retained run.
+func TestChainSingleBitWalk(t *testing.T) {
+	pool := gen.Pool(gen.Universe{
+		Vars: chainLocals, Sites: chainSites, Fields: chainFields,
+		Globals: []string{"G"}, Methods: []string{"m"},
+	})
+	rng := rand.New(rand.NewSource(42))
+	g := lang.BuildCFG(gen.Program(rng, pool, gen.DefaultConfig(10)))
+	a := escape.New(chainLocals, chainFields, chainSites)
+	ch := dataflow.NewChain[escape.State](g)
+	cur := uset.Set(nil)
+	for step := 0; step < 16; step++ {
+		k := rng.Intn(len(chainSites))
+		if cur.Has(k) {
+			cur = cur.Remove(k)
+		} else {
+			cur = cur.Add(k)
+		}
+		got := ch.Solve(cur, a.Initial(), a.TransferDep(cur), nil)
+		want := dataflow.SolveBudget(g, a.Initial(), a.Transfer(cur), nil)
+		checkEquiv(t, g, got, want, a.Initial(), a.Transfer(cur))
+	}
+}
+
+// TestChainRepeatedAbstraction re-solves the same abstraction back to back:
+// the second solve must take the zero-work fast path and still return the
+// full, correct result.
+func TestChainRepeatedAbstraction(t *testing.T) {
+	pool := gen.Pool(gen.Universe{
+		Vars: chainLocals, Sites: chainSites, Fields: chainFields,
+		Globals: []string{"G"}, Methods: []string{"m"},
+	})
+	rng := rand.New(rand.NewSource(7))
+	g := lang.BuildCFG(gen.Program(rng, pool, gen.DefaultConfig(8)))
+	a := escape.New(chainLocals, chainFields, chainSites)
+	ch := dataflow.NewChain[escape.State](g)
+	p := uset.New(0, 2)
+	first := ch.Solve(p, a.Initial(), a.TransferDep(p), nil)
+	second := ch.Solve(p, a.Initial(), a.TransferDep(p), nil)
+	if resumed, _, invalidated := ch.Stats(); !resumed || invalidated != 0 {
+		t.Fatalf("repeat solve: resumed=%v invalidated=%d, want a clean resume", resumed, invalidated)
+	}
+	if second != first {
+		t.Fatalf("repeat solve did not serve the retained result")
+	}
+	want := dataflow.SolveBudget(g, a.Initial(), a.Transfer(p), nil)
+	checkEquiv(t, g, second, want, a.Initial(), a.Transfer(p))
+}

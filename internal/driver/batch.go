@@ -69,17 +69,57 @@ func (b *EscapeBatch) NumQueries() int { return len(b.Queries) }
 // analysis instance that produced it: checks must resolve interned state
 // IDs against that instance. On a budget trip the run holds a partial
 // fixpoint; the scheduler discards that round's outcomes.
+//
+// Runs solve through a dataflow.Chain so they retain resumable state: the
+// scheduler may later hand the run back as a donor (RunForwardFrom), turning
+// the forward memo into a second-level cache over resumable executions.
 func (b *EscapeBatch) RunForward(bud *budget.Budget, p uset.Set) core.BatchRun {
 	a := b.P.FreshEscapeAnalysis()
-	res := dataflow.SolveBudget(b.P.Low.G, a.Initial(), a.Transfer(p), bud)
-	return &escapeRun{b: b, a: a, res: res}
+	ch := dataflow.NewChain[escape.State](b.P.Low.G)
+	r := &escapeRun{b: b, a: a, ch: ch}
+	r.res = ch.Solve(p, a.Initial(), a.TransferDep(p), bud)
+	r.resumes, r.reused, r.invalid = chainStats(ch)
+	return r
+}
+
+var _ core.DeltaBatchProblem = (*EscapeBatch)(nil)
+
+// RunForwardFrom solves under p by resuming the donor's retained execution
+// against the parameter flip. The donor is consumed: its chain (and analysis
+// instance, whose intern table the chain's memo is bound to) move to the new
+// run, and its result is dead.
+func (b *EscapeBatch) RunForwardFrom(bud *budget.Budget, p uset.Set, donor core.BatchRun, donorP uset.Set) core.BatchRun {
+	d, ok := donor.(*escapeRun)
+	if !ok || d.ch == nil {
+		return b.RunForward(bud, p)
+	}
+	r := &escapeRun{b: b, a: d.a, ch: d.ch}
+	d.ch, d.res = nil, nil
+	r.res = r.ch.Solve(p, r.a.Initial(), r.a.TransferDep(p), bud)
+	r.resumes, r.reused, r.invalid = chainStats(r.ch)
+	return r
+}
+
+// chainStats flattens a chain's last-solve accounting into counters.
+func chainStats[D comparable](ch *dataflow.Chain[D]) (resumes, reused, invalid int) {
+	resumed, ru, inv := ch.Stats()
+	if resumed {
+		resumes = 1
+	}
+	return resumes, ru, inv
 }
 
 type escapeRun struct {
 	b   *EscapeBatch
 	a   *escape.Analysis
+	ch  *dataflow.Chain[escape.State]
 	res *dataflow.Result[escape.State]
+
+	resumes, reused, invalid int
 }
+
+// DeltaStats implements core.DeltaRun; the counts are final at construction.
+func (r *escapeRun) DeltaStats() (int, int, int) { return r.resumes, r.reused, r.invalid }
 
 // Check is safe for concurrent calls: the solved result and its analysis
 // are read-only once RunForward returns.
@@ -167,12 +207,39 @@ func (b *TypestateBatch) RunForward(bud *budget.Budget, p uset.Set) core.BatchRu
 	return &typestateRun{b: b, bud: bud, p: p, perSite: map[string]*siteCell{}}
 }
 
+var _ core.DeltaBatchProblem = (*TypestateBatch)(nil)
+
+// RunForwardFrom returns a run seeded with the donor's per-site chains: each
+// site the new run is asked to solve resumes the donor's retained execution
+// for that site (if any) instead of solving cold. Donor cells the donor
+// itself inherited but never touched ride along, so a chain keeps serving
+// its site across a whole lineage of donations until the site is asked
+// again. The donor is consumed.
+func (b *TypestateBatch) RunForwardFrom(bud *budget.Budget, p uset.Set, donor core.BatchRun, donorP uset.Set) core.BatchRun {
+	d, ok := donor.(*typestateRun)
+	if !ok {
+		return b.RunForward(bud, p)
+	}
+	inherited := d.inherited
+	if inherited == nil {
+		inherited = map[string]*siteCell{}
+	}
+	for site, c := range d.perSite {
+		if c.res != nil {
+			inherited[site] = c // the donor's own cells are the more recent
+		}
+	}
+	d.perSite, d.inherited = nil, nil
+	return &typestateRun{b: b, bud: bud, p: p, inherited: inherited, perSite: map[string]*siteCell{}}
+}
+
 // siteCell holds one site's lazily-computed solve within a run. The cell's
 // once gate lets concurrent checks of same-site queries wait for a single
-// solve; a and res are immutable after the gate opens.
+// solve; a, ch, and res are immutable after the gate opens.
 type siteCell struct {
 	once sync.Once
 	a    *typestate.Analysis
+	ch   *dataflow.Chain[typestate.State]
 	res  *dataflow.Result[typestate.State]
 }
 
@@ -180,10 +247,16 @@ type typestateRun struct {
 	b   *TypestateBatch
 	bud *budget.Budget
 	p   uset.Set
+	// inherited maps sites to donor cells whose chain a solve for that site
+	// resumes. Written only before the run is published to the scheduler;
+	// each site's cell is consumed by exactly one once-gated solve.
+	inherited map[string]*siteCell
 
-	mu      sync.Mutex // guards perSite and steps
+	mu      sync.Mutex // guards perSite, steps, and the delta counters
 	perSite map[string]*siteCell
 	steps   int
+
+	resumes, reused, invalid int
 }
 
 func (r *typestateRun) solve(site string) *siteCell {
@@ -195,15 +268,32 @@ func (r *typestateRun) solve(site string) *siteCell {
 	}
 	r.mu.Unlock()
 	c.once.Do(func() {
-		a := typestate.New(r.b.prop, site, r.b.P.Vars)
-		a.MayPoint = r.b.P.MayPoint(site)
-		c.a = a
-		c.res = dataflow.SolveBudget(r.b.P.Low.G, a.Initial(), a.Transfer(r.p), r.bud)
+		if dc := r.inherited[site]; dc != nil {
+			c.a, c.ch = dc.a, dc.ch
+			dc.ch, dc.res = nil, nil
+		} else {
+			c.a = typestate.New(r.b.prop, site, r.b.P.Vars)
+			c.a.MayPoint = r.b.P.MayPoint(site)
+			c.ch = dataflow.NewChain[typestate.State](r.b.P.Low.G)
+		}
+		c.res = c.ch.Solve(r.p, c.a.Initial(), c.a.TransferDep(r.p), r.bud)
+		resumes, reused, invalid := chainStats(c.ch)
 		r.mu.Lock()
 		r.steps += c.res.Steps
+		r.resumes += resumes
+		r.reused += reused
+		r.invalid += invalid
 		r.mu.Unlock()
 	})
 	return c
+}
+
+// DeltaStats implements core.DeltaRun; lazy per-site solves keep accruing, so
+// the counts are cumulative like Steps.
+func (r *typestateRun) DeltaStats() (int, int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.resumes, r.reused, r.invalid
 }
 
 // Check is safe for concurrent calls with distinct queries; same-site

@@ -3,6 +3,7 @@ package driver
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"tracer/internal/budget"
 	"tracer/internal/core"
@@ -89,33 +90,34 @@ func (p *RHSProgram) mayPoint(h string) func(qv string) bool {
 }
 
 // rhsForward is the shared forward runner: solve the supergraph and scan
-// the query points for a violating fact. A budget trip mid-tabulation
-// yields an unproved partial outcome (a partial tabulation's "no failure
-// found" is not a proof).
+// the query points for a violating fact, picking the first one in
+// tabulation (discovery) order — a pure function of the supergraph and the
+// abstraction, independent of the analysis instance's intern history, so
+// the choice is stable between cold and delta-incremental solves. A budget
+// trip mid-tabulation yields an unproved partial outcome (a partial
+// tabulation's "no failure found" is not a proof).
 func rhsForward[D comparable](
 	g *rhs.Graph, dI D, tr dataflow.Transfer[D],
 	points []rhs.Point,
 	holds func(d D) bool,
-	less func(a, b D) bool,
 	rec obs.Recorder,
 	bud *budget.Budget,
 ) core.Outcome {
-	res := rhs.SolveBudget(g, dI, tr, rec, bud)
+	return rhsScan(rhs.SolveBudget(g, dI, tr, rec, bud), points, holds, bud)
+}
+
+// rhsScan is the query-point scan shared by the cold and delta forward
+// paths: first violating fact in tabulation order, as for rhsForward.
+func rhsScan[D comparable](res *rhs.Result[D], points []rhs.Point, holds func(d D) bool, bud *budget.Budget) core.Outcome {
 	if bud.Tripped() {
 		return core.Outcome{Steps: res.Steps}
 	}
 	for _, pt := range points {
-		var bad []D
 		for _, d := range res.States(pt.Method, pt.Node) {
 			if !holds(d) {
-				bad = append(bad, d)
+				return core.Outcome{Trace: res.Witness(pt.Method, pt.Node, d), Steps: res.Steps}
 			}
 		}
-		if len(bad) == 0 {
-			continue
-		}
-		sort.Slice(bad, func(i, j int) bool { return less(bad[i], bad[j]) })
-		return core.Outcome{Trace: res.Witness(pt.Method, pt.Node, bad[0]), Steps: res.Steps}
 	}
 	return core.Outcome{Proved: true, Steps: 0}
 }
@@ -131,7 +133,11 @@ type RHSEscapeJob struct {
 	// Rec, when set, receives the tabulation solver's per-run counters and
 	// timings (see rhs.SolveObs).
 	Rec obs.Recorder
+	// NoDelta disables the delta-incremental tabulation chain; every forward
+	// solve then runs cold.
+	NoDelta bool
 
+	chain atomic.Pointer[rhs.Chain[escape.State]]
 	inner *escape.Job
 }
 
@@ -149,13 +155,24 @@ func (p *RHSProgram) NewRHSEscapeJob(v string, points []rhs.Point, k int) *RHSEs
 func (j *RHSEscapeJob) NumParams() int         { return j.inner.A.Sites.Len() }
 func (j *RHSEscapeJob) ParamName(i int) string { return j.inner.A.Sites.Value(i) }
 
-// Forward solves the supergraph under abstraction p.
+// Forward solves the supergraph under abstraction p, resuming the job's
+// retained tabulation across CEGAR iterations unless NoDelta is set. The
+// chain is checked out for the duration of the solve (a panic abandons it;
+// the next iteration starts a fresh one).
 func (j *RHSEscapeJob) Forward(b *budget.Budget, p uset.Set) core.Outcome {
 	a := j.inner.A
-	return rhsForward(j.P.SP.G, a.Initial(), a.Transfer(p), j.Points,
-		func(d escape.State) bool { return a.Holds(j.inner.Q, d) },
-		func(x, y escape.State) bool { return x < y },
-		j.Rec, b)
+	holds := func(d escape.State) bool { return a.Holds(j.inner.Q, d) }
+	if j.NoDelta {
+		return rhsForward(j.P.SP.G, a.Initial(), a.Transfer(p), j.Points, holds, j.Rec, b)
+	}
+	ch := j.chain.Swap(nil)
+	if ch == nil {
+		ch = rhs.NewChain[escape.State](j.P.SP.G)
+	}
+	res := ch.Solve(p, a.Initial(), a.TransferDep(p), j.Rec, b)
+	out := rhsScan(res, j.Points, holds, b)
+	j.chain.Store(ch)
+	return out
 }
 
 // Backward delegates to the standard escape job.
@@ -172,7 +189,11 @@ type RHSTypestateJob struct {
 	// Rec, when set, receives the tabulation solver's per-run counters and
 	// timings (see rhs.SolveObs).
 	Rec obs.Recorder
+	// NoDelta disables the delta-incremental tabulation chain; every forward
+	// solve then runs cold.
+	NoDelta bool
 
+	chain atomic.Pointer[rhs.Chain[typestate.State]]
 	inner *typestate.Job
 }
 
@@ -192,21 +213,22 @@ func (p *RHSProgram) NewRHSTypestateJob(prop *typestate.Property, site string, w
 func (j *RHSTypestateJob) NumParams() int         { return j.inner.A.Vars.Len() }
 func (j *RHSTypestateJob) ParamName(i int) string { return j.inner.A.Vars.Value(i) }
 
-// Forward solves the supergraph under abstraction p.
+// Forward solves the supergraph under abstraction p, resuming the job's
+// retained tabulation across CEGAR iterations unless NoDelta is set.
 func (j *RHSTypestateJob) Forward(b *budget.Budget, p uset.Set) core.Outcome {
 	a := j.inner.A
-	return rhsForward(j.P.SP.G, a.Initial(), a.Transfer(p), j.Points,
-		func(d typestate.State) bool { return j.inner.Q.Holds(d) },
-		func(x, y typestate.State) bool {
-			if x.Top != y.Top {
-				return x.Top
-			}
-			if x.TS != y.TS {
-				return x.TS < y.TS
-			}
-			return x.VS < y.VS
-		},
-		j.Rec, b)
+	holds := func(d typestate.State) bool { return j.inner.Q.Holds(d) }
+	if j.NoDelta {
+		return rhsForward(j.P.SP.G, a.Initial(), a.Transfer(p), j.Points, holds, j.Rec, b)
+	}
+	ch := j.chain.Swap(nil)
+	if ch == nil {
+		ch = rhs.NewChain[typestate.State](j.P.SP.G)
+	}
+	res := ch.Solve(p, a.Initial(), a.TransferDep(p), j.Rec, b)
+	out := rhsScan(res, j.Points, holds, b)
+	j.chain.Store(ch)
+	return out
 }
 
 // Backward delegates to the standard type-state job.

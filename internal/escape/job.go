@@ -1,7 +1,6 @@
 package escape
 
 import (
-	"sort"
 	"sync/atomic"
 
 	"tracer/internal/budget"
@@ -23,6 +22,11 @@ type Job struct {
 	Q Query
 	K int
 
+	// NoDelta disables the delta-incremental forward path (dataflow.Chain),
+	// forcing every CEGAR iteration to solve cold from the reusable scratch.
+	// The differential suite uses it as the reference executor.
+	NoDelta bool
+
 	// Uni and WPC, when set, are the interned literal universe and the
 	// weakest-precondition cache shared across every client of the same
 	// analysis instance — across CEGAR iterations and, in the batch driver,
@@ -30,6 +34,15 @@ type Job struct {
 	// concurrency-safe). Client fills them lazily when nil.
 	Uni *formula.Universe
 	WPC *meta.WPCache
+
+	// chain is the resumable forward solver retained across CEGAR
+	// iterations, checked out like fwdScratch. It is stored back only after
+	// a solve returns normally (a trip poisons its retained run internally;
+	// a panic abandons the chain entirely, so the next solve starts cold).
+	chain atomic.Pointer[dataflow.Chain[State]]
+
+	// Delta accounting since the last FlushObs, mirroring the chain's Stats.
+	deltaResumes, deltaReused, deltaInvalid atomic.Int64
 
 	// fwdHint carries the discovery count of the previous Forward solve as
 	// the next solve's map-capacity hint; consecutive CEGAR iterations
@@ -55,15 +68,38 @@ func (j *Job) ParamName(i int) string { return j.A.Sites.Value(i) }
 // query at every node it covers. A budget trip mid-solve yields an unproved
 // partial outcome (a partial fixpoint's "no failure found" is not a proof).
 func (j *Job) Forward(b *budget.Budget, p uset.Set) core.Outcome {
-	sc := j.fwdScratch.Swap(nil)
-	if sc == nil {
-		sc = &dataflow.Scratch[State]{}
+	if j.NoDelta {
+		sc := j.fwdScratch.Swap(nil)
+		if sc == nil {
+			sc = &dataflow.Scratch[State]{}
+		}
+		// The scratch is returned only after the outcome (including any
+		// witness walk over the result) is fully extracted.
+		defer j.fwdScratch.Store(sc)
+		res := dataflow.SolveScratch(j.G, j.A.Initial(), j.A.Transfer(p), b, int(j.fwdHint.Load()), sc)
+		j.fwdHint.Store(int64(res.Steps))
+		return j.outcome(b, res)
 	}
-	// The scratch is returned only after the outcome (including any witness
-	// walk over the result) is fully extracted.
-	defer j.fwdScratch.Store(sc)
-	res := dataflow.SolveScratch(j.G, j.A.Initial(), j.A.Transfer(p), b, int(j.fwdHint.Load()), sc)
-	j.fwdHint.Store(int64(res.Steps))
+	ch := j.chain.Swap(nil)
+	if ch == nil {
+		ch = dataflow.NewChain[State](j.G)
+	}
+	res := ch.Solve(p, j.A.Initial(), j.A.TransferDep(p), b)
+	if resumed, reused, invalid := ch.Stats(); resumed {
+		j.deltaResumes.Add(1)
+		j.deltaReused.Add(int64(reused))
+		j.deltaInvalid.Add(int64(invalid))
+	}
+	out := j.outcome(b, res)
+	if resumed, reused, _ := ch.Stats(); resumed {
+		out.Reused = reused
+	}
+	j.chain.Store(ch)
+	return out
+}
+
+// outcome checks the query against a forward result and extracts a witness.
+func (j *Job) outcome(b *budget.Budget, res *dataflow.Result[State]) core.Outcome {
 	if b.Tripped() {
 		return core.Outcome{Steps: res.Steps}
 	}
@@ -75,21 +111,19 @@ func (j *Job) Forward(b *budget.Budget, p uset.Set) core.Outcome {
 }
 
 // FindFailure scans the query's nodes in a solved result for a violating
-// state, returning a deterministic choice. It is shared with the batch
-// driver, which reuses one forward run across many queries.
+// state, returning the first one in discovery order. Discovery order is a
+// pure function of the CFG, the abstraction, and the initial state —
+// independent of the analysis instance's intern history — so the choice is
+// stable between a fresh cold run and a delta resume on a retained
+// analysis. It is shared with the batch driver, which reuses one forward
+// run across many queries.
 func FindFailure(a *Analysis, res *dataflow.Result[State], q Query) (node int, bad State, ok bool) {
 	for _, n := range q.Nodes {
-		var cands []State
 		for _, d := range res.States(n) {
 			if !a.Holds(q, d) {
-				cands = append(cands, d)
+				return n, d, true
 			}
 		}
-		if len(cands) == 0 {
-			continue
-		}
-		sort.Slice(cands, func(x, y int) bool { return cands[x] < cands[y] })
-		return n, cands[0], true
 	}
 	return 0, State(0), false
 }
@@ -114,10 +148,12 @@ func (j *Job) Client(p uset.Set) *meta.Client[State] {
 }
 
 // FlushObs implements core.ObsFlusher: it reports the formula.* counters of
-// the job's literal universe and the meta.* counters of its WP cache.
+// the job's literal universe, the meta.* counters of its WP cache, and the
+// rhs.* delta counters of the incremental forward chain.
 func (j *Job) FlushObs(rec obs.Recorder) {
 	meta.FlushUniverseObs(rec, j.Uni)
 	meta.FlushWPObs(rec, j.WPC)
+	obs.FlushDelta(rec, &j.deltaResumes, &j.deltaReused, &j.deltaInvalid)
 }
 
 // Backward runs the meta-analysis over the counterexample trace and

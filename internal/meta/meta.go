@@ -92,6 +92,15 @@ type atomWP struct {
 	mu     sync.Mutex // serializes directory growth
 	blocks atomic.Pointer[[]*atomic.Pointer[wpBlock]]
 
+	// idbm summarizes the per-literal entries for the unchanged fast path of
+	// wpDNF, which needs only each literal's identity flag: known marks
+	// literals whose entry has been computed, ident those whose wp is the
+	// identity. One pointer load plus two bit tests replaces the three
+	// dependent atomic loads (and entry copy) of a full get. Published
+	// copy-on-write; fills are once per (atom, literal), so the copies are
+	// rare.
+	idbm atomic.Pointer[idBits]
+
 	// Formula-level memo: wp applied to a whole DNF, keyed by the formula's
 	// fingerprint. The backward walks of successive CEGAR iterations revisit
 	// the same (atom, formula) pairs whenever counterexample traces share
@@ -149,6 +158,45 @@ const (
 	wpBlockBits = 7
 	wpBlockSize = 1 << wpBlockBits
 )
+
+// idBits is an immutable pair of bitmaps over interned literal IDs (see
+// atomWP.idbm).
+type idBits struct{ known, ident []uint64 }
+
+// has reports whether literal lid's entry is known and, if so, whether it is
+// the identity.
+func (b *idBits) has(lid uint32) (known, ident bool) {
+	w := int(lid >> 6)
+	if b == nil || w >= len(b.known) {
+		return false, false
+	}
+	bit := uint64(1) << (lid & 63)
+	return b.known[w]&bit != 0, b.ident[w]&bit != 0
+}
+
+// mark publishes literal lid's identity flag into w.idbm.
+func (w *atomWP) mark(lid uint32, identity bool) {
+	for {
+		old := w.idbm.Load()
+		n := int(lid>>6) + 1
+		if old != nil && len(old.known) > n {
+			n = len(old.known)
+		}
+		nb := &idBits{known: make([]uint64, n), ident: make([]uint64, n)}
+		if old != nil {
+			copy(nb.known, old.known)
+			copy(nb.ident, old.ident)
+		}
+		bit := uint64(1) << (lid & 63)
+		nb.known[lid>>6] |= bit
+		if identity {
+			nb.ident[lid>>6] |= bit
+		}
+		if w.idbm.CompareAndSwap(old, nb) {
+			return
+		}
+	}
+}
 
 type wpBlock [wpBlockSize]atomic.Pointer[wpEntry]
 
@@ -262,6 +310,7 @@ func (c *Client[D]) wpLitDNF(aw *atomWP, a lang.Atom, lid uint32) wpEntry {
 		e.identity = true
 	}
 	aw.put(lid, e)
+	aw.mark(lid, e.identity)
 	return e
 }
 
@@ -307,7 +356,15 @@ supScan:
 	}
 	if bounded {
 		unchanged := true
+		bm := aw.idbm.Load()
 		for _, lid := range sup[:ns] {
+			if known, ident := bm.has(lid); known {
+				if !ident {
+					unchanged = false
+					break
+				}
+				continue
+			}
 			if !c.wpLitDNF(aw, a, lid).identity {
 				unchanged = false
 				break

@@ -1,6 +1,41 @@
 package obs
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counter names for the delta-incremental forward engines (dataflow.Chain
+// and rhs.Chain). RhsDeltaResumes counts forward solves served by the delta
+// path — a retained previous run was validated against the flipped
+// parameters instead of solving cold (whether or not anything had to be
+// recomputed). RhsPEReused counts path edges (discoveries) that survived
+// validation or were served from the expansion memo without re-evaluating a
+// transfer function; RhsPEInvalidated counts path edges rolled back because
+// a transfer application on the retained run had consulted a flipped
+// parameter. The names are rhs.* for both engines: the counters describe
+// path-edge reuse regardless of which tabulation produced the edges.
+const (
+	RhsDeltaResumes  = "rhs.delta_resumes"
+	RhsPEReused      = "rhs.pe_reused"
+	RhsPEInvalidated = "rhs.pe_invalidated"
+)
+
+// FlushDelta drains the delta counters a problem accumulated since its last
+// flush into rec, in the fixed order resumes/reused/invalidated. Problems
+// call it from FlushObs so the counts ride the same deterministic flush
+// point as the formula.* and meta.* counters.
+func FlushDelta(rec Recorder, resumes, reused, invalidated *atomic.Int64) {
+	if n := resumes.Swap(0); n > 0 {
+		rec.Count(RhsDeltaResumes, n)
+	}
+	if n := reused.Swap(0); n > 0 {
+		rec.Count(RhsPEReused, n)
+	}
+	if n := invalidated.Swap(0); n > 0 {
+		rec.Count(RhsPEInvalidated, n)
+	}
+}
 
 // Counter names recorded by core.SolveBatch's forward-run memo (see the
 // "Concurrency model" section of ARCHITECTURE.md). A hit means a group's

@@ -109,6 +109,7 @@ type Event struct {
 	Cubes   int `json:"cubes,omitempty"`    // cubes returned by one backward run
 	Groups  int `json:"groups,omitempty"`   // live query groups (batch mode)
 	Queries int `json:"queries,omitempty"`  // queries sharing a run / born groups
+	Reused  int `json:"reused,omitempty"`   // ForwardDone: path edges served by the delta path
 
 	Status string `json:"status,omitempty"`  // QueryResolved: proved|impossible|exhausted|failed
 	WallNS int64  `json:"wall_ns,omitempty"` // wall time of the phase

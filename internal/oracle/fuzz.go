@@ -6,8 +6,10 @@ import (
 	"math/rand"
 
 	"tracer/internal/core"
+	"tracer/internal/escape"
 	"tracer/internal/lang"
 	"tracer/internal/oracle/gen"
+	"tracer/internal/typestate"
 	"tracer/internal/uset"
 )
 
@@ -113,6 +115,9 @@ func CheckTSCase(c TSCase, meta bool) []string {
 		v = append(v, d)
 	}
 
+	if d := compareDelta(base, func() *typestate.Job { j := c.Job(); j.NoDelta = true; return j }()); d != "" {
+		v = append(v, d)
+	}
 	v = append(v, checkTSBatch(c)...)
 	v = append(v, checkWarmSeed(func() core.Problem { return c.Job() })...)
 	return v
@@ -141,6 +146,9 @@ func CheckEscCase(c EscCase, meta bool) []string {
 		v = append(v, d)
 	}
 
+	if d := compareDelta(base, func() *escape.Job { j := c.Job(); j.NoDelta = true; return j }()); d != "" {
+		v = append(v, d)
+	}
 	v = append(v, checkEscBatch(c)...)
 	v = append(v, checkWarmSeed(func() core.Problem { return c.Job() })...)
 	return v
@@ -223,12 +231,32 @@ func compareSolve(base core.Result, variant core.Problem, what string) string {
 	return ""
 }
 
-// batchVariants is the worker-count × forward-cache grid every batch
-// metamorphic check sweeps. -1 disables the cross-round memo.
+// compareDelta solves the cold-executor variant of a query (NoDelta set on
+// the job) and reports any divergence from the base solve, which ran with
+// the delta-incremental forward engine. The single-query delta path replays
+// step-identically, so the whole resolution — verdict, abstraction,
+// iteration count, learned clauses, and forward steps — must match.
+func compareDelta(base core.Result, cold core.Problem) string {
+	res, _ := core.Solve(cold, core.Options{})
+	if res.Status != base.Status || !res.Abstraction.Equal(base.Abstraction) {
+		return fmt.Sprintf("delta disable changed the resolution: %s/%s vs %s/%s",
+			base.Status, base.Abstraction, res.Status, res.Abstraction)
+	}
+	if res.Iterations != base.Iterations || res.Clauses != base.Clauses || res.ForwardSteps != base.ForwardSteps {
+		return fmt.Sprintf("delta disable changed the trajectory: %d iters / %d clauses / %d steps vs %d / %d / %d",
+			base.Iterations, base.Clauses, base.ForwardSteps, res.Iterations, res.Clauses, res.ForwardSteps)
+	}
+	return ""
+}
+
+// batchVariants is the worker-count × forward-cache × delta-engine grid
+// every batch metamorphic check sweeps. -1 disables the cross-round memo;
+// NoDelta forces every forward run to solve cold.
 var batchVariants = []core.Options{
 	{Workers: 1},
 	{Workers: 4},
 	{Workers: 4, FwdCacheSize: -1},
+	{Workers: 4, NoDelta: true},
 }
 
 // checkTSBatch cross-checks SolveBatch against per-query Solve on three

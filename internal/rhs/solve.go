@@ -73,6 +73,15 @@ type nodeFacts[D comparable] struct {
 	first map[D]peKey[D]
 }
 
+// summarySet holds one context's summary exit facts in discovery order: the
+// tabulation iterates recorded summaries when a new call into the context
+// arrives, and map-order iteration there would leak into discovery order —
+// and through it into witness choice — making runs nondeterministic.
+type summarySet[D comparable] struct {
+	list []D
+	has  map[D]bool
+}
+
 // Result is the tabulation fixpoint with provenance.
 type Result[D comparable] struct {
 	g  *Graph
@@ -80,7 +89,7 @@ type Result[D comparable] struct {
 
 	pe        map[peKey[D]]origin[D]
 	index     map[nodeKey]*nodeFacts[D]
-	summaries map[ctxKey[D]]map[D]bool
+	summaries map[ctxKey[D]]*summarySet[D]
 	incoming  map[ctxKey[D]][]caller[D]
 	// firstIn is the first caller recorded for a context: the canonical,
 	// well-founded witness parent.
@@ -119,7 +128,7 @@ func SolveBudget[D comparable](g *Graph, dI D, tr dataflow.Transfer[D], rec obs.
 		tr:        tr,
 		pe:        map[peKey[D]]origin[D]{},
 		index:     map[nodeKey]*nodeFacts[D]{},
-		summaries: map[ctxKey[D]]map[D]bool{},
+		summaries: map[ctxKey[D]]*summarySet[D]{},
 		incoming:  map[ctxKey[D]][]caller[D]{},
 		firstIn:   map[ctxKey[D]]caller[D]{},
 		rootDIn:   dI,
@@ -191,20 +200,25 @@ func SolveBudget[D comparable](g *Graph, dI D, tr dataflow.Transfer[D], rec obs.
 				r.incoming[ctx] = append(r.incoming[ctx], c)
 				calleeEntry := g.Methods[callee].Entry
 				propagate(peKey[D]{callee, dCall, calleeEntry, dCall}, origin[D]{kind: oRoot})
-				for dExit := range r.summaries[ctx] {
-					dRet := apply(e.Call.Ret, dExit)
-					propagate(peKey[D]{k.m, k.dIn, e.To, dRet},
-						origin[D]{kind: oRet, prev: k, call: e.Call, calleeDIn: dCall, calleeOut: dExit})
+				if s := r.summaries[ctx]; s != nil {
+					for _, dExit := range s.list {
+						dRet := apply(e.Call.Ret, dExit)
+						propagate(peKey[D]{k.m, k.dIn, e.To, dRet},
+							origin[D]{kind: oRet, prev: k, call: e.Call, calleeDIn: dCall, calleeOut: dExit})
+					}
 				}
 			}
 		}
 		if k.n == m.Exit {
 			ctx := ctxKey[D]{k.m, k.dIn}
-			if r.summaries[ctx] == nil {
-				r.summaries[ctx] = map[D]bool{}
+			s := r.summaries[ctx]
+			if s == nil {
+				s = &summarySet[D]{has: map[D]bool{}}
+				r.summaries[ctx] = s
 			}
-			if !r.summaries[ctx][k.d] {
-				r.summaries[ctx][k.d] = true
+			if !s.has[k.d] {
+				s.has[k.d] = true
+				s.list = append(s.list, k.d)
 				for _, c := range r.incoming[ctx] {
 					dRet := apply(c.edge.Call.Ret, k.d)
 					propagate(peKey[D]{c.pe.m, c.pe.dIn, c.edge.To, dRet},

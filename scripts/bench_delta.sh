@@ -1,9 +1,12 @@
 #!/bin/sh
 # Perf gate: regenerate the paperbench measurement with the committed budget
-# and fail if any gated experiment wall (fig12, fig13, batch) regressed more
-# than 25% against the committed BENCH_paperbench.json baseline.
+# and fail if any gated experiment wall regressed beyond its per-experiment
+# threshold against the committed BENCH_paperbench.json baseline. The
+# thresholds live in cmd/benchdelta's default -keys: the primary walls
+# (fig12, fig13, batch) gate at the default percentage, the noisier
+# warm-start walls (fig12warm, editchain) at their own looser bounds.
 #
-# Usage: scripts/bench_delta.sh [max-regress-percent]
+# Usage: scripts/bench_delta.sh [default-max-regress-percent]
 set -e
 cd "$(dirname "$0")/.."
 
@@ -15,4 +18,4 @@ trap 'rm -f "$fresh"' EXIT
 go run ./cmd/paperbench -iters 100 -timeout 1s -bench-json "$fresh" > /dev/null
 
 go run ./cmd/benchdelta -old BENCH_paperbench.json -new "$fresh" -max-regress "$max"
-echo "bench_delta: OK (within +$max% of committed baseline)"
+echo "bench_delta: OK (all gated walls within their thresholds)"
