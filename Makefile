@@ -29,7 +29,7 @@ chaos:
 
 # Differential fuzzing: the oracle package's fixed-seed property and
 # metamorphic suites under -race, then a seeded CLI sweep of the brute-force
-# oracle on both clients ("Ground truth & fuzzing" in ARCHITECTURE.md).
+# oracle on every client ("Ground truth & fuzzing" in ARCHITECTURE.md).
 # Override for longer hunts, e.g.:  make fuzz FUZZ_SEED=900000 FUZZ_N=100000
 FUZZ_SEED ?= 1
 FUZZ_N    ?= 5000

@@ -32,7 +32,8 @@ import (
 
 // defaultKeys gates the primary walls at -max-regress and the warm-start
 // walls at an explicit looser bound.
-const defaultKeys = "paperbench/fig12/wall,paperbench/fig13/wall,paperbench/batch/wall," +
+const defaultKeys = "paperbench/fig12/wall,paperbench/fig13/wall,paperbench/nullness/wall," +
+	"paperbench/batch/wall," +
 	"paperbench/fig12warm/wall=40,paperbench/editchain/wall=40"
 
 type entry struct {

@@ -32,7 +32,7 @@ import (
 
 // defaultKeys are the trended series: every experiment wall the perf gate
 // or the docs quote.
-const defaultKeys = "paperbench/fig12/wall,paperbench/fig13/wall,paperbench/batch/wall,paperbench/fig12warm/wall,paperbench/editchain/wall"
+const defaultKeys = "paperbench/fig12/wall,paperbench/fig13/wall,paperbench/nullness/wall,paperbench/batch/wall,paperbench/fig12warm/wall,paperbench/editchain/wall"
 
 const (
 	markBegin = "<!-- bench-history:begin -->"

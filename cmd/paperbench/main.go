@@ -58,7 +58,7 @@ func run() error {
 	workers := flag.Int("workers", 1, "concurrent query resolutions (0/1 = sequential)")
 	batchWorkers := flag.Int("batch-workers", 1, "worker pool of the grouped batch solver; results are identical for every value")
 	fwdCache := flag.Int("fwd-cache", 0, "forward-run memo size of the batch experiment (0 = core default, negative disables); results are identical for every value")
-	only := flag.String("only", "", "comma-separated subset: table1,fig12,fig13,table2,table3,table4,fig14,batch,fig12warm,editchain")
+	only := flag.String("only", "", "comma-separated subset: table1,fig12,fig13,table2,table3,table4,fig14,nullness,batch,fig12warm,editchain")
 	warmDir := flag.String("warm-dir", "", "warm-start store directory for the table/figure runs (\"\" = cold); fig12warm and editchain always use their own store")
 	editBench := flag.String("editchain-bench", "hedc", "benchmark the editchain experiment edits")
 	editSteps := flag.Int("editchain-steps", 6, "number of single-statement edits in the editchain experiment")
@@ -154,6 +154,16 @@ func run() error {
 				return "", err
 			}
 			return bench.RenderTable1(rows), nil
+		}},
+		// nullness runs before fig12 so its gated wall measures the
+		// null-deref sweep cold; fig12's null-deref rows then reuse the
+		// shared run cache, as tables 2-4 reuse fig12's runs.
+		{"nullness", func() (string, error) {
+			rows, err := bench.NullnessTable(opts)
+			if err != nil {
+				return "", err
+			}
+			return bench.RenderNullnessTable(rows), nil
 		}},
 		{"fig12", func() (string, error) {
 			rows, err := bench.Figure12(opts)

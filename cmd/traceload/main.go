@@ -12,7 +12,7 @@
 //
 //	-addr HOST:PORT        tracerd address (required)
 //	-bench tsp             corpus to replay (a name from the bench suite)
-//	-client typestate      typestate | escape
+//	-client typestate      typestate | escape | nullness
 //	-k 5                   beam width sent with every request
 //	-n 64                  total requests to send
 //	-concurrency 8         in-flight request cap
@@ -51,6 +51,7 @@ import (
 
 	"tracer/internal/bench"
 	"tracer/internal/core"
+	"tracer/internal/driver"
 	"tracer/internal/server"
 )
 
@@ -99,7 +100,7 @@ func run() error {
 	var o options
 	flag.StringVar(&o.addr, "addr", "", "tracerd address (host:port)")
 	flag.StringVar(&o.benchName, "bench", "tsp", "bench corpus to replay")
-	flag.StringVar(&o.client, "client", "typestate", "client: typestate|escape")
+	flag.StringVar(&o.client, "client", "typestate", "client: "+strings.Join(driver.ClientNames(), "|"))
 	flag.IntVar(&o.k, "k", 5, "beam width")
 	flag.IntVar(&o.n, "n", 64, "total requests")
 	flag.IntVar(&o.concurrency, "concurrency", 8, "in-flight request cap")
@@ -119,15 +120,16 @@ func run() error {
 	if o.addr == "" {
 		return fmt.Errorf("-addr is required")
 	}
-	if o.client != "typestate" && o.client != "escape" {
-		return fmt.Errorf("unknown -client %q", o.client)
+	spec := driver.ClientByName(o.client)
+	if spec == nil {
+		return fmt.Errorf("unknown -client %q (want %s)", o.client, strings.Join(driver.ClientNames(), "|"))
 	}
 	cfg, err := findBench(o.benchName)
 	if err != nil {
 		return err
 	}
 	b := bench.MustLoad(cfg)
-	nq := corpusQueries(b, o.client)
+	nq := len(spec.Queries(b.Prog))
 	if nq == 0 {
 		return fmt.Errorf("bench %s has no %s queries", o.benchName, o.client)
 	}
@@ -138,7 +140,7 @@ func run() error {
 	var truths []truth
 	if o.verify {
 		fmt.Fprintf(os.Stderr, "traceload: computing ground truth for %d queries\n", nq)
-		truths = groundTruth(b, o, nq)
+		truths = groundTruth(b, spec, o, nq)
 	}
 
 	fmt.Fprintf(os.Stderr, "traceload: %d requests, %d queries of %s/%s, concurrency %d\n",
@@ -159,24 +161,12 @@ func findBench(name string) (bench.Config, error) {
 		name, strings.Join(names, "|"))
 }
 
-func corpusQueries(b *bench.Benchmark, client string) int {
-	if client == "typestate" {
-		return len(b.Prog.TypestateQueries())
-	}
-	return len(b.Prog.EscapeQueries())
-}
-
 // groundTruth solves each replayed query locally with the same per-query
 // budget the daemon will get.
-func groundTruth(b *bench.Benchmark, o options, nq int) []truth {
+func groundTruth(b *bench.Benchmark, spec *driver.ClientSpec, o options, nq int) []truth {
 	truths := make([]truth, nq)
 	for i := 0; i < nq; i++ {
-		var job core.Problem
-		if o.client == "typestate" {
-			job = b.Prog.TypestateJob(b.Prog.TypestateQueries()[i], o.k)
-		} else {
-			job = b.Prog.EscapeJob(b.Prog.EscapeQueries()[i], o.k)
-		}
+		job := spec.Job(b.Prog, i, o.k)
 		r, err := core.Solve(job, core.Options{Timeout: o.requestTimeout})
 		if err != nil {
 			truths[i] = truth{status: "failed"}

@@ -3,7 +3,8 @@
 // It answers the program's explicit queries ("query name local(v)" and
 // "query name state(v: s1 s2 ...)") and, with -auto, also the pervasively
 // generated queries of the paper's evaluation (§6): a type-state query per
-// call site and a thread-escape query per field access.
+// call site, and a thread-escape and a null-dereference query per field
+// access.
 //
 // Usage:
 //
@@ -53,8 +54,8 @@
 //	tracer -fuzz-n 10000 [-fuzz-seed 1] [-fuzz-meta]
 //
 // runs the brute-force oracle of internal/oracle on that many generated
-// programs per client (type-state and thread-escape) instead of analyzing a
-// program file. Case i derives from seed+i, so every reported discrepancy
+// programs per client (type-state, thread-escape, and nullness) instead of
+// analyzing a program file. Case i derives from seed+i, so every reported discrepancy
 // replays in isolation; -fuzz-meta adds the metamorphic checks (parameter
 // permutation, padding, batch worker/cache invariance). Exit status is
 // nonzero iff a discrepancy survived shrinking.
@@ -209,7 +210,7 @@ func run() error {
 }
 
 // runFuzz cross-checks the CEGAR loop against the brute-force oracle on
-// seeded generated programs for both clients, printing every discrepancy
+// seeded generated programs for every client, printing every discrepancy
 // (already minimized by the deterministic shrinker) with its replay seed.
 func runFuzz(seed int64, n int, meta bool) error {
 	opts := oracle.FuzzOptions{Seed: seed, N: n, Meta: meta}
@@ -220,6 +221,7 @@ func runFuzz(seed int64, n int, meta bool) error {
 	}{
 		{"typestate", oracle.FuzzTypestate},
 		{"escape", oracle.FuzzEscape},
+		{"nullness", oracle.FuzzNullness},
 	} {
 		start := time.Now()
 		ds := client.run(opts)
@@ -292,7 +294,8 @@ func runInline(src string, prop *typestate.Property, k int, opts core.Options, r
 
 	if auto {
 		stats := prog.ComputeStats(src)
-		fmt.Printf("\nGenerated queries (N_ts=%d variables, N_esc=%d sites):\n", stats.TypestateParams, stats.EscapeParams)
+		fmt.Printf("\nGenerated queries (N_ts=%d variables, N_esc=%d sites, N_null=%d cells):\n",
+			stats.TypestateParams, stats.EscapeParams, stats.NullnessParams)
 		// The warm store applies to the generated queries only: explicit
 		// queries have no position-independent key. Sessions are created
 		// lazily per client so a typestate-only program writes no escape
@@ -359,6 +362,18 @@ func runInline(src string, prop *typestate.Property, k int, opts core.Options, r
 				return err
 			}
 		}
+		nullSess := session(warm.Nullness)
+		for _, q := range prog.NullnessQueries() {
+			job := prog.NullnessJob(q, k)
+			if err := solveWarm(q.ID, q.Key, nullSess, job, job.ParamName); err != nil {
+				return err
+			}
+		}
+		if nullSess != nil {
+			if err := nullSess.Save(); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -393,6 +408,15 @@ func runBatch(prog *driver.Program, k int, opts core.Options, rec obs.Recorder, 
 		}
 		job := prog.EscapeJob(escQueries[0], k)
 		cases = append(cases, batchCase{ids, keys, job.ParamName, driver.NewEscapeBatch(prog, escQueries, k), session(warm.Escape)})
+	}
+	if nullQueries := prog.NullnessQueries(); len(nullQueries) > 0 {
+		ids := make([]string, len(nullQueries))
+		keys := make([]string, len(nullQueries))
+		for i, q := range nullQueries {
+			ids[i], keys[i] = q.ID, q.Key
+		}
+		job := prog.NullnessJob(nullQueries[0], k)
+		cases = append(cases, batchCase{ids, keys, job.ParamName, driver.NewNullnessBatch(prog, nullQueries, k), session(warm.Nullness)})
 	}
 	for _, c := range cases {
 		bopts := opts

@@ -12,19 +12,32 @@ import (
 	"tracer/internal/formula"
 	"tracer/internal/lang"
 	"tracer/internal/meta"
+	"tracer/internal/nullness"
 	"tracer/internal/obs"
 	"tracer/internal/typestate"
 	"tracer/internal/uset"
 	"tracer/internal/warm"
 )
 
-// Client names the two client analyses.
+// Client names a client analysis by its bench/table display name (the
+// driver registry's BenchName; the wire name differs — see driver.Clients).
 type Client string
 
 const (
 	Typestate Client = "type-state"
 	Escape    Client = "thread-escape"
+	Nullness  Client = "null-deref"
 )
+
+// Clients returns every registered client in the driver registry's
+// deterministic order, under bench display names.
+func Clients() []Client {
+	var out []Client
+	for _, spec := range driver.Clients() {
+		out = append(out, Client(spec.BenchName))
+	}
+	return out
+}
 
 // RunOptions tunes a client run over one benchmark.
 type RunOptions struct {
@@ -124,19 +137,22 @@ func Run(b *Benchmark, client Client, opts RunOptions) (*ClientResult, error) {
 		runMu.Unlock()
 	}
 
+	var runFn func(*Benchmark, RunOptions, *ClientResult, *warm.Session) error
+	switch client {
+	case Typestate:
+		runFn = runTypestate
+	case Escape:
+		runFn = runEscape
+	case Nullness:
+		runFn = runNullness
+	default:
+		return nil, fmt.Errorf("bench: unknown client %q", client)
+	}
+
 	res := &ClientResult{Benchmark: b.Config.Name, Client: client, K: opts.K}
 	start := time.Now()
 	sess := warmSession(b, client, opts)
-	var err error
-	switch client {
-	case Typestate:
-		err = runTypestate(b, opts, res, sess)
-	case Escape:
-		err = runEscape(b, opts, res, sess)
-	default:
-		err = fmt.Errorf("bench: unknown client %q", client)
-	}
-	if err != nil {
+	if err := runFn(b, opts, res, sess); err != nil {
 		return nil, err
 	}
 	if sess != nil {
@@ -168,12 +184,20 @@ func coreOpts(opts RunOptions) core.Options {
 	}
 }
 
-// warmClient maps the bench client name onto the warm store's.
+// warmClient maps the bench client name onto the warm store's. The mapping
+// is exhaustive: an unknown bench client must not silently alias another
+// client's warm snapshots, so it panics (Run/RunBatch reject unknown
+// clients before any warm session is opened).
 func warmClient(client Client) warm.Client {
-	if client == Typestate {
+	switch client {
+	case Typestate:
 		return warm.Typestate
+	case Escape:
+		return warm.Escape
+	case Nullness:
+		return warm.Nullness
 	}
-	return warm.Escape
+	panic(fmt.Sprintf("bench: no warm client for %q", client))
 }
 
 // warmSession opens the warm-start session for one run, or nil when WarmDir
@@ -234,6 +258,23 @@ func runEscape(b *Benchmark, opts RunOptions, res *ClientResult, sess *warm.Sess
 	wpc := meta.NewWPCache()
 	return runAll(len(queries), opts, res, sess, func(i int) (string, string, core.Problem) {
 		job := b.Prog.EscapeJob(queries[i], opts.K)
+		job.Uni, job.WPC = uni, wpc
+		job.NoDelta = opts.NoDelta
+		return queries[i].ID, queries[i].Key, job
+	})
+}
+
+func runNullness(b *Benchmark, opts RunOptions, res *ClientResult, sess *warm.Session) error {
+	queries := b.Prog.NullnessQueries()
+	if opts.MaxQueries > 0 && len(queries) > opts.MaxQueries {
+		queries = queries[:opts.MaxQueries]
+	}
+	// As for escape: one literal universe and one WP cache run-wide — the
+	// nullness WP depends only on the atom and primitive.
+	uni := formula.NewUniverse(nullness.Theory{})
+	wpc := meta.NewWPCache()
+	return runAll(len(queries), opts, res, sess, func(i int) (string, string, core.Problem) {
+		job := b.Prog.NullnessJob(queries[i], opts.K)
 		job.Uni, job.WPC = uni, wpc
 		job.NoDelta = opts.NoDelta
 		return queries[i].ID, queries[i].Key, job
@@ -329,7 +370,6 @@ func solveOne(id, key string, job core.Problem, opts RunOptions, sess *warm.Sess
 // across queries, so a per-query "exhausted under budget B" claim measured
 // inside a batch would not be comparable to any later run.
 func RunBatch(b *Benchmark, client Client, opts RunOptions) (*core.BatchResult, error) {
-	sess := warmSession(b, client, opts)
 	var bp core.BatchProblem
 	var keys []string
 	switch client {
@@ -351,9 +391,19 @@ func RunBatch(b *Benchmark, client Client, opts RunOptions) (*core.BatchResult, 
 			keys = append(keys, q.Key)
 		}
 		bp = driver.NewEscapeBatch(b.Prog, queries, opts.K)
+	case Nullness:
+		queries := b.Prog.NullnessQueries()
+		if opts.MaxQueries > 0 && len(queries) > opts.MaxQueries {
+			queries = queries[:opts.MaxQueries]
+		}
+		for _, q := range queries {
+			keys = append(keys, q.Key)
+		}
+		bp = driver.NewNullnessBatch(b.Prog, queries, opts.K)
 	default:
 		return nil, fmt.Errorf("bench: unknown client %q", client)
 	}
+	sess := warmSession(b, client, opts)
 	copts := coreOpts(opts)
 	if sess != nil {
 		copts.SeedBatch = func(q int) []core.ParamCube { return sess.SeedFor(keys[q]) }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tracer/internal/core"
+	"tracer/internal/driver"
 )
 
 // This file regenerates every table and figure of §6. Each experiment
@@ -124,12 +125,13 @@ func timesMs(r *ClientResult, st core.Status) []float64 {
 
 // Table1Row mirrors one row of Table 1.
 type Table1Row struct {
-	Name, Desc                string
-	AppClasses, TotalClasses  int
-	AppMethods, TotalMethods  int
-	AppAtoms, TotalAtoms      int
-	Lines                     int
-	Log2Typestate, Log2Escape int
+	Name, Desc               string
+	AppClasses, TotalClasses int
+	AppMethods, TotalMethods int
+	AppAtoms, TotalAtoms     int
+	Lines                    int
+	Log2Typestate, Log2Escape,
+	Log2Nullness int
 }
 
 // Table1 computes benchmark statistics for the whole suite.
@@ -148,6 +150,7 @@ func Table1() ([]Table1Row, error) {
 			AppAtoms: st.AppAtoms, TotalAtoms: st.TotalAtoms,
 			Lines:         st.SourceLines,
 			Log2Typestate: st.TypestateParams, Log2Escape: st.EscapeParams,
+			Log2Nullness: st.NullnessParams,
 		})
 	}
 	return rows, nil
@@ -159,12 +162,12 @@ func RenderTable1(rows []Table1Row) string {
 	fmt.Fprintf(&b, "Table 1. Benchmark statistics (synthetic stand-ins; see DESIGN.md).\n")
 	fmt.Fprintf(&b, "%-9s | %-36s | %11s | %11s | %13s | %5s | %s\n",
 		"", "description", "classes", "methods", "atoms", "lines", "log2(#abstractions)")
-	fmt.Fprintf(&b, "%-9s | %-36s | %5s %5s | %5s %5s | %6s %6s | %5s | %9s %9s\n",
-		"", "", "app", "total", "app", "total", "app", "total", "", "type-state", "thr-esc")
+	fmt.Fprintf(&b, "%-9s | %-36s | %5s %5s | %5s %5s | %6s %6s | %5s | %9s %9s %9s\n",
+		"", "", "app", "total", "app", "total", "app", "total", "", "type-state", "thr-esc", "null-drf")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-9s | %-36s | %5d %5d | %5d %5d | %6d %6d | %5d | %9d %9d\n",
+		fmt.Fprintf(&b, "%-9s | %-36s | %5d %5d | %5d %5d | %6d %6d | %5d | %9d %9d %9d\n",
 			r.Name, r.Desc, r.AppClasses, r.TotalClasses, r.AppMethods, r.TotalMethods,
-			r.AppAtoms, r.TotalAtoms, r.Lines, r.Log2Typestate, r.Log2Escape)
+			r.AppAtoms, r.TotalAtoms, r.Lines, r.Log2Typestate, r.Log2Escape, r.Log2Nullness)
 	}
 	return b.String()
 }
@@ -181,7 +184,8 @@ type Figure12Row struct {
 	Unresolved int
 }
 
-// Figure12 resolves all queries of both clients on the whole suite.
+// Figure12 resolves all queries of every registered client on the whole
+// suite.
 func Figure12(opts RunOptions) ([]Figure12Row, error) {
 	var rows []Figure12Row
 	for _, cfg := range Suite() {
@@ -189,7 +193,7 @@ func Figure12(opts RunOptions) ([]Figure12Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, cl := range []Client{Typestate, Escape} {
+		for _, cl := range Clients() {
 			r, err := Run(b, cl, opts)
 			if err != nil {
 				return nil, err
@@ -506,10 +510,11 @@ type BatchRow struct {
 	WallMilli float64
 }
 
-// BatchTable runs the grouped solver for both clients over the whole
-// suite, honoring opts.BatchWorkers and opts.FwdCacheSize. opts.Timeout is
-// the per-query budget of the individual runs; SolveBatch enforces a
-// whole-batch cap, so the batch gets query-count times that budget.
+// BatchTable runs the grouped solver for every registered client over the
+// whole suite, honoring opts.BatchWorkers and opts.FwdCacheSize.
+// opts.Timeout is the per-query budget of the individual runs; SolveBatch
+// enforces a whole-batch cap, so the batch gets query-count times that
+// budget.
 func BatchTable(opts RunOptions) ([]BatchRow, error) {
 	var rows []BatchRow
 	for _, cfg := range Suite() {
@@ -517,13 +522,11 @@ func BatchTable(opts RunOptions) ([]BatchRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, cl := range []Client{Typestate, Escape} {
+		for _, spec := range driver.Clients() {
+			cl := Client(spec.BenchName)
 			bopts := opts
 			if bopts.Timeout > 0 {
-				n := len(b.Prog.TypestateQueries())
-				if cl == Escape {
-					n = len(b.Prog.EscapeQueries())
-				}
+				n := len(spec.Queries(b.Prog))
 				if bopts.MaxQueries > 0 && n > bopts.MaxQueries {
 					n = bopts.MaxQueries
 				}
@@ -560,6 +563,62 @@ func RenderBatchTable(rows []BatchRow, workers int) string {
 			r.Stats.ForwardRuns, r.Stats.Rounds,
 			r.Stats.FwdCacheHits, r.Stats.FwdCacheMisses,
 			r.Stats.TotalGroups, r.Stats.PeakGroups, fmtMs(r.WallMilli))
+	}
+	return b.String()
+}
+
+// ---------- Nullness: null-dereference precision and cost ----------
+
+// NullnessRow summarizes the null-deref client on one benchmark: precision
+// split plus iteration and per-query time statistics by resolution.
+type NullnessRow struct {
+	Name       string
+	Queries    int
+	Proven     int
+	Impossible int
+	Unresolved int
+
+	ProvenIters, ImpossibleIters summary
+	AbsSize                      summary
+	ProvenMs, ImpossibleMs       msSummary
+}
+
+// NullnessTable runs the null-deref client over the whole suite.
+func NullnessTable(opts RunOptions) ([]NullnessRow, error) {
+	var rows []NullnessRow
+	for _, cfg := range Suite() {
+		b, err := Load(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Run(b, Nullness, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, NullnessRow{
+			Name: cfg.Name, Queries: len(r.Outcomes),
+			Proven: r.Proven(), Impossible: r.Impossible(), Unresolved: r.Unresolved(),
+			ProvenIters:     summarize(iters(r, core.Proved)),
+			ImpossibleIters: summarize(iters(r, core.Impossible)),
+			AbsSize:         summarize(absSizes(r)),
+			ProvenMs:        summarizeMs(timesMs(r, core.Proved)),
+			ImpossibleMs:    summarizeMs(timesMs(r, core.Impossible)),
+		})
+	}
+	return rows, nil
+}
+
+// RenderNullnessTable renders the null-deref experiment.
+func RenderNullnessTable(rows []NullnessRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Null-deref client: precision, iterations, cheapest tracked-cell sets.\n")
+	fmt.Fprintf(&b, "%-9s | %7s %6s %6s %6s | %-14s  %-14s | %-16s | %-19s  %-19s\n",
+		"", "queries", "prov", "imposs", "unres",
+		"proven iters", "imposs iters", "cells min max avg", "proven time", "imposs time")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s | %7d %6d %6d %6d | %-14s  %-14s | %-16s | %-19s  %-19s\n",
+			r.Name, r.Queries, r.Proven, r.Impossible, r.Unresolved,
+			r.ProvenIters, r.ImpossibleIters, r.AbsSize, r.ProvenMs, r.ImpossibleMs)
 	}
 	return b.String()
 }

@@ -26,7 +26,7 @@ func TestTable1Structure(t *testing.T) {
 		if r.AppClasses > r.TotalClasses || r.AppMethods > r.TotalMethods || r.AppAtoms > r.TotalAtoms {
 			t.Errorf("%s: app exceeds total: %+v", r.Name, r)
 		}
-		if r.Log2Typestate <= 0 || r.Log2Escape <= 0 {
+		if r.Log2Typestate <= 0 || r.Log2Escape <= 0 || r.Log2Nullness <= 0 {
 			t.Errorf("%s: empty abstraction family", r.Name)
 		}
 	}
@@ -54,8 +54,8 @@ func TestFigure12Structure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2*len(Suite()) {
-		t.Fatalf("rows = %d, want %d", len(rows), 2*len(Suite()))
+	if len(rows) != len(Clients())*len(Suite()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Clients())*len(Suite()))
 	}
 	for _, r := range rows {
 		if r.Proven+r.Impossible+r.Unresolved != r.Total {
@@ -149,6 +149,36 @@ func TestFigure14Structure(t *testing.T) {
 		}
 	}
 	_ = RenderFigure14(rows)
+}
+
+func TestNullnessTableStructure(t *testing.T) {
+	rows, err := NullnessTable(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Suite()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Suite()))
+	}
+	resolved := 0
+	for _, r := range rows {
+		if r.Queries == 0 {
+			t.Errorf("%s: no nullness queries", r.Name)
+		}
+		if r.Proven+r.Impossible+r.Unresolved != r.Queries {
+			t.Errorf("%s: buckets %d+%d+%d ≠ %d", r.Name, r.Proven, r.Impossible, r.Unresolved, r.Queries)
+		}
+		if r.AbsSize.N != r.Proven {
+			t.Errorf("%s: %d abstraction sizes for %d proven queries", r.Name, r.AbsSize.N, r.Proven)
+		}
+		resolved += r.Proven + r.Impossible
+	}
+	if resolved == 0 {
+		t.Error("no nullness query resolved anywhere in the suite")
+	}
+	out := RenderNullnessTable(rows)
+	if !strings.Contains(out, "tsp") || !strings.Contains(out, "Null-deref") {
+		t.Errorf("render missing content:\n%s", out)
+	}
 }
 
 // TestSummaryHelpers covers the statistics plumbing.

@@ -56,7 +56,7 @@ func WarmTable(opts RunOptions, warmDir string) ([]WarmRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, cl := range []Client{Typestate, Escape} {
+		for _, cl := range Clients() {
 			o := opts
 			o.Fresh = true
 			o.WarmDir = warmDir
@@ -117,8 +117,8 @@ type EditChainRow struct {
 }
 
 // EditChainTable replays a deterministic chain of single-statement edits on
-// one benchmark, solving every step both cold and warm (both clients, walls
-// summed). The warm store persists across steps, so step i is seeded by
+// one benchmark, solving every step both cold and warm (every registered
+// client, walls summed). The warm store persists across steps, so step i is seeded by
 // whatever survived the diff against step i-1's snapshot.
 func EditChainTable(cfg Config, steps int, opts RunOptions, warmDir string) ([]EditChainRow, error) {
 	chain, edits := EditChain(cfg, steps)
@@ -134,7 +134,7 @@ func EditChainTable(cfg Config, steps int, opts RunOptions, warmDir string) ([]E
 		if i > 0 {
 			row.Kind = edits[i-1].Kind
 		}
-		for _, cl := range []Client{Typestate, Escape} {
+		for _, cl := range Clients() {
 			o := opts
 			o.Fresh = true
 			o.WarmDir = ""

@@ -1,0 +1,90 @@
+package dataflow_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tracer/internal/dataflow"
+	"tracer/internal/lang"
+	"tracer/internal/nullness"
+	"tracer/internal/oracle/gen"
+	"tracer/internal/uset"
+)
+
+// The nullness flip suite mirrors the escape/typestate chains above for the
+// third client. Nullness parameters are the cells themselves (locals then
+// fields), so the walks flip over locals+fields rather than sites.
+
+func nullnessChainCells() int { return len(chainLocals) + len(chainFields) }
+
+func TestChainFlipChainNullness(t *testing.T) {
+	pool := gen.Pool(gen.Universe{
+		Vars: chainLocals, Sites: chainSites, Fields: chainFields,
+		Globals: []string{"G"}, Methods: []string{"m"},
+	})
+	for seed := int64(0); seed < 6; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g := lang.BuildCFG(gen.Program(rng, pool, gen.DefaultConfig(4+rng.Intn(8))))
+			a := nullness.New(chainLocals, chainFields)
+			ch := dataflow.NewChain[nullness.State](g)
+			for step := 0; step < 12; step++ {
+				p := randAbs(rng, nullnessChainCells())
+				got := ch.Solve(p, a.Initial(), a.TransferDep(p), nil)
+				want := dataflow.SolveBudget(g, a.Initial(), a.Transfer(p), nil)
+				checkEquiv(t, g, got, want, a.Initial(), a.Transfer(p))
+			}
+		})
+	}
+}
+
+// TestChainSingleBitWalkNullness flips exactly one cell per step (see
+// TestChainSingleBitWalk).
+func TestChainSingleBitWalkNullness(t *testing.T) {
+	pool := gen.Pool(gen.Universe{
+		Vars: chainLocals, Sites: chainSites, Fields: chainFields,
+		Globals: []string{"G"}, Methods: []string{"m"},
+	})
+	rng := rand.New(rand.NewSource(42))
+	g := lang.BuildCFG(gen.Program(rng, pool, gen.DefaultConfig(10)))
+	a := nullness.New(chainLocals, chainFields)
+	ch := dataflow.NewChain[nullness.State](g)
+	cur := uset.Set(nil)
+	for step := 0; step < 16; step++ {
+		k := rng.Intn(nullnessChainCells())
+		if cur.Has(k) {
+			cur = cur.Remove(k)
+		} else {
+			cur = cur.Add(k)
+		}
+		got := ch.Solve(cur, a.Initial(), a.TransferDep(cur), nil)
+		want := dataflow.SolveBudget(g, a.Initial(), a.Transfer(cur), nil)
+		checkEquiv(t, g, got, want, a.Initial(), a.Transfer(cur))
+	}
+}
+
+// TestChainRepeatedAbstractionNullness re-solves the same abstraction back
+// to back: the second solve must take the zero-work fast path and still
+// return the full, correct result.
+func TestChainRepeatedAbstractionNullness(t *testing.T) {
+	pool := gen.Pool(gen.Universe{
+		Vars: chainLocals, Sites: chainSites, Fields: chainFields,
+		Globals: []string{"G"}, Methods: []string{"m"},
+	})
+	rng := rand.New(rand.NewSource(7))
+	g := lang.BuildCFG(gen.Program(rng, pool, gen.DefaultConfig(8)))
+	a := nullness.New(chainLocals, chainFields)
+	ch := dataflow.NewChain[nullness.State](g)
+	p := uset.New(0, 3)
+	first := ch.Solve(p, a.Initial(), a.TransferDep(p), nil)
+	second := ch.Solve(p, a.Initial(), a.TransferDep(p), nil)
+	if resumed, _, invalidated := ch.Stats(); !resumed || invalidated != 0 {
+		t.Fatalf("repeat solve: resumed=%v invalidated=%d, want a clean resume", resumed, invalidated)
+	}
+	if second != first {
+		t.Fatalf("repeat solve did not serve the retained result")
+	}
+	want := dataflow.SolveBudget(g, a.Initial(), a.Transfer(p), nil)
+	checkEquiv(t, g, second, want, a.Initial(), a.Transfer(p))
+}

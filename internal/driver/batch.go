@@ -10,6 +10,7 @@ import (
 	"tracer/internal/formula"
 	"tracer/internal/lang"
 	"tracer/internal/meta"
+	"tracer/internal/nullness"
 	"tracer/internal/obs"
 	"tracer/internal/typestate"
 	"tracer/internal/uset"
@@ -139,6 +140,103 @@ func (r *escapeRun) Steps() int { return r.res.Steps }
 // shared literal universe and WP cache are concurrency-safe by design
 // (read-mostly lock plus copy-on-write snapshots; see formula.Universe).
 func (b *EscapeBatch) Backward(bud *budget.Budget, q int, p uset.Set, t lang.Trace) []core.ParamCube {
+	return b.jobs[q].Backward(bud, p, t)
+}
+
+// NullnessBatch runs all generated null-dereference queries of a program
+// through core.SolveBatch. Like the escape client, the nullness analysis is
+// query-independent, so a group's queries genuinely share one forward run;
+// the same concurrency contract applies (fresh analysis instance per run and
+// per backward job, shared concurrency-safe literal universe and WP cache).
+type NullnessBatch struct {
+	P       *Program
+	Queries []NullQuery
+	K       int
+
+	jobs []*nullness.Job
+	uni  *formula.Universe
+	wpc  *meta.WPCache
+}
+
+var _ core.BatchProblem = (*NullnessBatch)(nil)
+var _ core.ObsFlusher = (*NullnessBatch)(nil)
+
+// NewNullnessBatch builds the batch problem over the given queries.
+func NewNullnessBatch(p *Program, queries []NullQuery, k int) *NullnessBatch {
+	b := &NullnessBatch{P: p, Queries: queries, K: k,
+		uni: formula.NewUniverse(nullness.Theory{}), wpc: meta.NewWPCache()}
+	for _, q := range queries {
+		b.jobs = append(b.jobs, &nullness.Job{
+			A:   p.FreshNullnessAnalysis(),
+			G:   p.Low.G,
+			Q:   nullness.Query{Nodes: q.Nodes, V: q.Var},
+			K:   k,
+			Uni: b.uni,
+			WPC: b.wpc,
+		})
+	}
+	return b
+}
+
+// FlushObs implements core.ObsFlusher for the shared literal universe.
+func (b *NullnessBatch) FlushObs(rec obs.Recorder) { meta.FlushUniverseObs(rec, b.uni) }
+
+func (b *NullnessBatch) NumParams() int  { return len(b.P.Locals) + len(b.P.Fields) }
+func (b *NullnessBatch) NumQueries() int { return len(b.Queries) }
+
+// RunForward solves the whole program once under p (see EscapeBatch).
+func (b *NullnessBatch) RunForward(bud *budget.Budget, p uset.Set) core.BatchRun {
+	a := b.P.FreshNullnessAnalysis()
+	ch := dataflow.NewChain[nullness.State](b.P.Low.G)
+	r := &nullnessRun{b: b, a: a, ch: ch}
+	r.res = ch.Solve(p, a.Initial(), a.TransferDep(p), bud)
+	r.resumes, r.reused, r.invalid = chainStats(ch)
+	return r
+}
+
+var _ core.DeltaBatchProblem = (*NullnessBatch)(nil)
+
+// RunForwardFrom solves under p by resuming the donor's retained execution
+// against the parameter flip. The donor is consumed.
+func (b *NullnessBatch) RunForwardFrom(bud *budget.Budget, p uset.Set, donor core.BatchRun, donorP uset.Set) core.BatchRun {
+	d, ok := donor.(*nullnessRun)
+	if !ok || d.ch == nil {
+		return b.RunForward(bud, p)
+	}
+	r := &nullnessRun{b: b, a: d.a, ch: d.ch}
+	d.ch, d.res = nil, nil
+	r.res = r.ch.Solve(p, r.a.Initial(), r.a.TransferDep(p), bud)
+	r.resumes, r.reused, r.invalid = chainStats(r.ch)
+	return r
+}
+
+type nullnessRun struct {
+	b   *NullnessBatch
+	a   *nullness.Analysis
+	ch  *dataflow.Chain[nullness.State]
+	res *dataflow.Result[nullness.State]
+
+	resumes, reused, invalid int
+}
+
+// DeltaStats implements core.DeltaRun; the counts are final at construction.
+func (r *nullnessRun) DeltaStats() (int, int, int) { return r.resumes, r.reused, r.invalid }
+
+// Check is safe for concurrent calls: the solved result and its analysis
+// are read-only once RunForward returns.
+func (r *nullnessRun) Check(q int) (bool, lang.Trace) {
+	job := r.b.jobs[q]
+	node, bad, found := nullness.FindFailure(r.a, r.res, job.Q)
+	if !found {
+		return true, nil
+	}
+	return false, r.res.Witness(node, bad)
+}
+
+func (r *nullnessRun) Steps() int { return r.res.Steps }
+
+// Backward delegates to the per-query job (see EscapeBatch.Backward).
+func (b *NullnessBatch) Backward(bud *budget.Budget, q int, p uset.Set, t lang.Trace) []core.ParamCube {
 	return b.jobs[q].Backward(bud, p, t)
 }
 

@@ -77,7 +77,7 @@ func checkDeltaPair(t *testing.T, label string, cold, delta core.Problem) {
 	diffStreams(t, label, phaseStream(gotEvs, false), phaseStream(wantEvs, false))
 }
 
-// TestDeltaMatchesColdInlining covers both clients on the inlining
+// TestDeltaMatchesColdInlining covers every registered client on the inlining
 // pipeline: the CEGAR loop's abstraction flips drive dataflow.Chain, and
 // the resolution must match a cold solve of every query exactly.
 func TestDeltaMatchesColdInlining(t *testing.T) {
@@ -92,9 +92,14 @@ func TestDeltaMatchesColdInlining(t *testing.T) {
 		cold.NoDelta = true
 		checkDeltaPair(t, "escape "+q.ID, cold, p.EscapeJob(q, 1))
 	}
+	for _, q := range p.NullnessQueries() {
+		cold := p.NullnessJob(q, 1)
+		cold.NoDelta = true
+		checkDeltaPair(t, "nullness "+q.ID, cold, p.NullnessJob(q, 1))
+	}
 }
 
-// TestDeltaMatchesColdRHS covers both clients on the tabulation pipeline
+// TestDeltaMatchesColdRHS covers every registered client on the tabulation pipeline
 // (rhs.Chain) over the recursive fixture the inliner rejects.
 func TestDeltaMatchesColdRHS(t *testing.T) {
 	p, err := LoadRHS(recursiveSrc)
@@ -110,6 +115,11 @@ func TestDeltaMatchesColdRHS(t *testing.T) {
 		cold := p.EscapeJob(q, 1)
 		cold.NoDelta = true
 		checkDeltaPair(t, "rhs escape "+q.ID, cold, p.EscapeJob(q, 1))
+	}
+	for _, q := range p.NullnessQueries() {
+		cold := p.NullnessJob(q, 1)
+		cold.NoDelta = true
+		checkDeltaPair(t, "rhs nullness "+q.ID, cold, p.NullnessJob(q, 1))
 	}
 }
 
@@ -144,6 +154,9 @@ func TestDeltaMatchesColdBatch(t *testing.T) {
 		},
 		"typestate": func() core.BatchProblem {
 			return NewTypestateBatch(p, p.TypestateQueries(), 1)
+		},
+		"nullness": func() core.BatchProblem {
+			return NewNullnessBatch(p, p.NullnessQueries(), 1)
 		},
 	}
 	for client, build := range mk {

@@ -14,6 +14,7 @@ import (
 
 	"tracer/internal/escape"
 	"tracer/internal/ir"
+	"tracer/internal/nullness"
 	"tracer/internal/pointsto"
 	"tracer/internal/typestate"
 	"tracer/internal/uset"
@@ -327,6 +328,69 @@ func (p *Program) EscapeQueries() []EscQuery {
 	return out
 }
 
+// NullQuery is a generated null-dereference query: at source field access
+// Stmt, is the base pointer definitely non-nil?
+type NullQuery struct {
+	ID string
+	// Key is the position-independent identity used by the warm-start
+	// store (see TSQuery.Key).
+	Key   string
+	Var   string // qualified base variable
+	Stmt  ir.Stmt
+	Nodes []int
+}
+
+// NullnessQueries generates one query per application field access — the
+// same dereference points the escape client guards, asked the null-safety
+// question instead.
+func (p *Program) NullnessQueries() []NullQuery {
+	type key struct {
+		stmt ir.Stmt
+		base string
+	}
+	nodes := map[key][]int{}
+	meta := map[key]ir.FieldAccess{}
+	for _, fa := range p.Low.Accesses {
+		if !p.IsApp(fa.Method) {
+			continue
+		}
+		k := key{fa.Stmt, fa.Base}
+		nodes[k] = append(nodes[k], fa.Node)
+		meta[k] = fa
+	}
+	var out []NullQuery
+	for k, ns := range nodes {
+		sort.Ints(ns)
+		out = append(out, NullQuery{
+			ID:    fmt.Sprintf("null:%s:%s:%s", meta[k].Method.QualName(), k.stmt.Position(), k.base),
+			Key:   "null:" + p.StmtKey(k.stmt) + ":" + k.base,
+			Var:   k.base,
+			Stmt:  k.stmt,
+			Nodes: ns,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FreshNullnessAnalysis builds an independent nullness analysis over the
+// program's cell universes (nullness shares the escape client's locals and
+// fields, which cover every name the CFG's atoms mention).
+func (p *Program) FreshNullnessAnalysis() *nullness.Analysis {
+	return nullness.New(p.Locals, p.Fields)
+}
+
+// NullnessJob builds the core.Problem for a generated nullness query. Each
+// job gets its own analysis instance so jobs can be solved concurrently.
+func (p *Program) NullnessJob(q NullQuery, k int) *nullness.Job {
+	return &nullness.Job{
+		A: p.FreshNullnessAnalysis(),
+		G: p.Low.G,
+		Q: nullness.Query{Nodes: q.Nodes, V: q.Var},
+		K: k,
+	}
+}
+
 // EscapeAnalysis returns a (query-independent) thread-escape analysis for
 // the program, built once. Analyses intern abstract states and are
 // therefore not safe for concurrent use; callers resolving queries in
@@ -419,6 +483,7 @@ type Stats struct {
 	SourceLines              int
 	TypestateParams          int // N for the type-state family 2^N
 	EscapeParams             int // N for the thread-escape family 2^N
+	NullnessParams           int // N for the null-dereference family 2^N
 }
 
 // ComputeStats gathers Table 1 statistics. src may be empty (lines = 0).
@@ -426,6 +491,7 @@ func (p *Program) ComputeStats(src string) Stats {
 	s := Stats{
 		TypestateParams: len(p.Vars),
 		EscapeParams:    len(p.Sites),
+		NullnessParams:  len(p.Locals) + len(p.Fields),
 		SourceLines:     strings.Count(src, "\n") + 1,
 	}
 	if src == "" {

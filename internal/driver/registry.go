@@ -1,0 +1,172 @@
+package driver
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"tracer/internal/core"
+)
+
+// GenQuery is the client-independent view of one generated query: the layers
+// above the driver (server, bench, warm) address queries by ID (positional,
+// human-readable) or Key (position-independent, warm-store identity) and
+// never need the client-specific payload.
+type GenQuery struct {
+	ID  string
+	Key string
+}
+
+// ClientSpec describes one parametric analysis client to every layer above
+// the driver. The registry replaces the hard-coded two-way client switches
+// that had calcified across the stack; adding a client means implementing
+// the client contract (Theory, TransferDep with signed dependency literals,
+// WP atoms, FindFailure) and appending one entry here.
+type ClientSpec struct {
+	// Name is the wire name of the client ("typestate", "escape",
+	// "nullness"); the warm store's Client values coincide with it.
+	Name string
+	// BenchName is the display name the bench tables print ("type-state").
+	BenchName string
+
+	// Queries lists the client's generated queries for a program, in the
+	// same deterministic order as the typed query generators.
+	Queries func(p *Program) []GenQuery
+	// Job builds the core.Problem for query index i (into Queries' order).
+	Job func(p *Program, i, k int) core.Problem
+	// Batch builds the batch problem over the query indices idx.
+	Batch func(p *Program, idx []int, k int) core.BatchProblem
+	// ParamNames lists the client's parameter universe in parameter-index
+	// order; the warm store names stored clauses with it.
+	ParamNames func(p *Program) []string
+	// WarmConfExtra returns the client-specific suffix of the warm store's
+	// config signature ("" when the client has no whole-program knob
+	// beyond k).
+	WarmConfExtra func(p *Program) string
+}
+
+// clientSpecs is the registry, in stable presentation order.
+var clientSpecs = []*ClientSpec{
+	{
+		Name:      "typestate",
+		BenchName: "type-state",
+		Queries: func(p *Program) []GenQuery {
+			qs := p.TypestateQueries()
+			out := make([]GenQuery, len(qs))
+			for i, q := range qs {
+				out[i] = GenQuery{ID: q.ID, Key: q.Key}
+			}
+			return out
+		},
+		Job: func(p *Program, i, k int) core.Problem {
+			return p.TypestateJob(p.TypestateQueries()[i], k)
+		},
+		Batch: func(p *Program, idx []int, k int) core.BatchProblem {
+			all := p.TypestateQueries()
+			qs := make([]TSQuery, 0, len(idx))
+			for _, i := range idx {
+				qs = append(qs, all[i])
+			}
+			return NewTypestateBatch(p, qs, k)
+		},
+		ParamNames: func(p *Program) []string { return p.Vars },
+		// The stress property's method list is whole-program state for the
+		// type-state client: an edit that introduces a new called method name
+		// changes the meaning of every stored entry.
+		WarmConfExtra: func(p *Program) string {
+			return fmt.Sprintf("|stress=%08x", fnv32String(strings.Join(p.StressMethods(), ",")))
+		},
+	},
+	{
+		Name:      "escape",
+		BenchName: "thread-escape",
+		Queries: func(p *Program) []GenQuery {
+			qs := p.EscapeQueries()
+			out := make([]GenQuery, len(qs))
+			for i, q := range qs {
+				out[i] = GenQuery{ID: q.ID, Key: q.Key}
+			}
+			return out
+		},
+		Job: func(p *Program, i, k int) core.Problem {
+			return p.EscapeJob(p.EscapeQueries()[i], k)
+		},
+		Batch: func(p *Program, idx []int, k int) core.BatchProblem {
+			all := p.EscapeQueries()
+			qs := make([]EscQuery, 0, len(idx))
+			for _, i := range idx {
+				qs = append(qs, all[i])
+			}
+			return NewEscapeBatch(p, qs, k)
+		},
+		ParamNames:    func(p *Program) []string { return p.Sites },
+		WarmConfExtra: func(p *Program) string { return "" },
+	},
+	{
+		Name:      "nullness",
+		BenchName: "null-deref",
+		Queries: func(p *Program) []GenQuery {
+			qs := p.NullnessQueries()
+			out := make([]GenQuery, len(qs))
+			for i, q := range qs {
+				out[i] = GenQuery{ID: q.ID, Key: q.Key}
+			}
+			return out
+		},
+		Job: func(p *Program, i, k int) core.Problem {
+			return p.NullnessJob(p.NullnessQueries()[i], k)
+		},
+		Batch: func(p *Program, idx []int, k int) core.BatchProblem {
+			all := p.NullnessQueries()
+			qs := make([]NullQuery, 0, len(idx))
+			for _, i := range idx {
+				qs = append(qs, all[i])
+			}
+			return NewNullnessBatch(p, qs, k)
+		},
+		// Cell order matches nullness.Analysis parameter indices: locals
+		// first (sorted), then field cells with the "." prefix.
+		ParamNames: func(p *Program) []string {
+			out := make([]string, 0, len(p.Locals)+len(p.Fields))
+			out = append(out, p.Locals...)
+			for _, f := range p.Fields {
+				out = append(out, "."+f)
+			}
+			return out
+		},
+		WarmConfExtra: func(p *Program) string { return "" },
+	},
+}
+
+// Clients returns the registered client specs in stable order. The slice is
+// shared; callers must not mutate it.
+func Clients() []*ClientSpec { return clientSpecs }
+
+// ClientByName resolves a wire name, or nil when unknown.
+func ClientByName(name string) *ClientSpec {
+	for _, c := range clientSpecs {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ClientNames lists the registered wire names, sorted — for error messages.
+func ClientNames() []string {
+	out := make([]string, 0, len(clientSpecs))
+	for _, c := range clientSpecs {
+		out = append(out, c.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fnv32String is 32-bit FNV-1a, matching the warm store's hash so config
+// signatures stay byte-identical with snapshots written before the registry.
+func fnv32String(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}

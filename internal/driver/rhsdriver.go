@@ -11,6 +11,7 @@ import (
 	"tracer/internal/escape"
 	"tracer/internal/ir"
 	"tracer/internal/lang"
+	"tracer/internal/nullness"
 	"tracer/internal/obs"
 	"tracer/internal/pointsto"
 	"tracer/internal/rhs"
@@ -180,6 +181,62 @@ func (j *RHSEscapeJob) Backward(b *budget.Budget, p uset.Set, t lang.Trace) []co
 	return j.inner.Backward(b, p, t)
 }
 
+// RHSNullnessJob poses one null-dereference query against the tabulation
+// backend. As for escape, the backward meta-analysis is delegated to the
+// standard job: both backends produce flat traces of the same atoms.
+type RHSNullnessJob struct {
+	P      *RHSProgram
+	Points []rhs.Point
+	V      string
+	K      int
+	// Rec, when set, receives the tabulation solver's per-run counters and
+	// timings (see rhs.SolveObs).
+	Rec obs.Recorder
+	// NoDelta disables the delta-incremental tabulation chain; every forward
+	// solve then runs cold.
+	NoDelta bool
+
+	chain atomic.Pointer[rhs.Chain[nullness.State]]
+	inner *nullness.Job
+}
+
+var _ core.Problem = (*RHSNullnessJob)(nil)
+
+// NewRHSNullnessJob builds a query job for variable v at the given points.
+func (p *RHSProgram) NewRHSNullnessJob(v string, points []rhs.Point, k int) *RHSNullnessJob {
+	a := nullness.New(p.Locals, p.Fields)
+	return &RHSNullnessJob{
+		P: p, Points: points, V: v, K: k,
+		inner: &nullness.Job{A: a, Q: nullness.Query{V: v}, K: k},
+	}
+}
+
+func (j *RHSNullnessJob) NumParams() int         { return j.inner.A.NumParams() }
+func (j *RHSNullnessJob) ParamName(i int) string { return j.inner.A.CellName(i) }
+
+// Forward solves the supergraph under abstraction p, resuming the job's
+// retained tabulation across CEGAR iterations unless NoDelta is set.
+func (j *RHSNullnessJob) Forward(b *budget.Budget, p uset.Set) core.Outcome {
+	a := j.inner.A
+	holds := func(d nullness.State) bool { return a.Holds(j.inner.Q, d) }
+	if j.NoDelta {
+		return rhsForward(j.P.SP.G, a.Initial(), a.Transfer(p), j.Points, holds, j.Rec, b)
+	}
+	ch := j.chain.Swap(nil)
+	if ch == nil {
+		ch = rhs.NewChain[nullness.State](j.P.SP.G)
+	}
+	res := ch.Solve(p, a.Initial(), a.TransferDep(p), j.Rec, b)
+	out := rhsScan(res, j.Points, holds, b)
+	j.chain.Store(ch)
+	return out
+}
+
+// Backward delegates to the standard nullness job.
+func (j *RHSNullnessJob) Backward(b *budget.Budget, p uset.Set, t lang.Trace) []core.ParamCube {
+	return j.inner.Backward(b, p, t)
+}
+
 // RHSTypestateJob poses one type-state query against the tabulation
 // backend.
 type RHSTypestateJob struct {
@@ -327,6 +384,39 @@ func (p *RHSProgram) EscapeQueries() []RHSEscQuery {
 // EscapeJob builds the tabulation job for a generated escape query.
 func (p *RHSProgram) EscapeJob(q RHSEscQuery, k int) *RHSEscapeJob {
 	return p.NewRHSEscapeJob(q.Var, q.Points, k)
+}
+
+// RHSNullQuery is a generated null-dereference query for the tabulation
+// backend.
+type RHSNullQuery struct {
+	ID     string
+	Var    string
+	Stmt   ir.Stmt
+	Points []rhs.Point
+}
+
+// NullnessQueries generates one query per application field access: the
+// dereferenced base must be non-nil at the access point.
+func (p *RHSProgram) NullnessQueries() []RHSNullQuery {
+	var out []RHSNullQuery
+	for _, fa := range p.SP.Accesses {
+		if isLib(fa.Method) {
+			continue
+		}
+		out = append(out, RHSNullQuery{
+			ID:     fmt.Sprintf("null:%s:%s:%s", fa.Method.QualName(), fa.Stmt.Position(), fa.Base),
+			Var:    fa.Base,
+			Stmt:   fa.Stmt,
+			Points: []rhs.Point{fa.At},
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NullnessJob builds the tabulation job for a generated nullness query.
+func (p *RHSProgram) NullnessJob(q RHSNullQuery, k int) *RHSNullnessJob {
+	return p.NewRHSNullnessJob(q.Var, q.Points, k)
 }
 
 // ExplicitJobs builds jobs for the program's explicit query statements:

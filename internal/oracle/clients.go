@@ -9,6 +9,7 @@ import (
 	"tracer/internal/dataflow"
 	"tracer/internal/escape"
 	"tracer/internal/lang"
+	"tracer/internal/nullness"
 	"tracer/internal/oracle/gen"
 	"tracer/internal/typestate"
 	"tracer/internal/uset"
@@ -174,6 +175,54 @@ func RandomEscCase(rng *rand.Rand) EscCase {
 	}
 }
 
+// NullCase is one generated null-dereference problem: a program over the
+// escape client's fixed vocabulary (locals and fields are exactly the
+// nullness cell universe) and the queried local. Pad appends
+// never-referenced locals to the cell universe.
+type NullCase struct {
+	Prog lang.Prog
+	V    string
+	K    int
+	Pad  int
+}
+
+func (c NullCase) String() string {
+	return fmt.Sprintf("nullness v=%s k=%d pad=%d prog: %s", c.V, c.K, c.Pad, c.Prog)
+}
+
+func (c NullCase) locals() []string {
+	vs := escLocals
+	for i := 0; i < c.Pad; i++ {
+		vs = append(vs[:len(vs):len(vs)], fmt.Sprintf("pad%d", i))
+	}
+	return vs
+}
+
+// Job builds a fresh core.Problem for the case (see TSCase.Job).
+func (c NullCase) Job() *nullness.Job {
+	g := lang.BuildCFG(c.Prog)
+	a := nullness.New(c.locals(), escFields)
+	return &nullness.Job{
+		A: a, G: g,
+		Q: nullness.Query{Nodes: []int{g.Exit}, V: c.V},
+		K: c.K,
+	}
+}
+
+// NullPool returns the atom pool the nullness cases draw from — the escape
+// pool: both clients read the same atom structure, so the generator is
+// shared unchanged.
+func NullPool() []lang.Atom { return EscPool() }
+
+// RandomNullCase draws a case from the rng.
+func RandomNullCase(rng *rand.Rand) NullCase {
+	return NullCase{
+		Prog: gen.Program(rng, NullPool(), gen.DefaultConfig(3+rng.Intn(8))),
+		V:    escLocals[rng.Intn(len(escLocals))],
+		K:    kChoices[rng.Intn(len(kChoices))],
+	}
+}
+
 // tsBatch poses several Want variants of one type-state case as a
 // core.BatchProblem: all queries track the same site, so one forward solve
 // per run genuinely serves every query — the same sharing shape as the
@@ -268,6 +317,54 @@ func (r *escBatchRun) Check(q int) (bool, lang.Trace) {
 func (r *escBatchRun) Steps() int { return r.res.Steps }
 
 func (b *escBatch) Backward(bud *budget.Budget, q int, p uset.Set, t lang.Trace) []core.ParamCube {
+	j := b.c.Job()
+	j.Q.V = b.vs[q]
+	return j.Backward(bud, p, t)
+}
+
+// nullBatch poses one nullness query per local of one generated program.
+// Like escape, the nullness analysis is query-independent: one forward
+// solve serves all queries, as in the driver's NullnessBatch.
+type nullBatch struct {
+	c  NullCase
+	g  *lang.CFG
+	vs []string
+}
+
+var _ core.BatchProblem = (*nullBatch)(nil)
+
+// NewNullBatch builds the batch problem; query i asks about local vs[i].
+func NewNullBatch(c NullCase, vs []string) core.BatchProblem {
+	return &nullBatch{c: c, g: lang.BuildCFG(c.Prog), vs: vs}
+}
+
+func (b *nullBatch) NumParams() int  { return len(b.c.locals()) + len(escFields) }
+func (b *nullBatch) NumQueries() int { return len(b.vs) }
+
+func (b *nullBatch) RunForward(bud *budget.Budget, p uset.Set) core.BatchRun {
+	a := nullness.New(b.c.locals(), escFields)
+	res := dataflow.SolveBudget(b.g, a.Initial(), a.Transfer(p), bud)
+	return &nullBatchRun{b: b, a: a, res: res}
+}
+
+type nullBatchRun struct {
+	b   *nullBatch
+	a   *nullness.Analysis
+	res *dataflow.Result[nullness.State]
+}
+
+func (r *nullBatchRun) Check(q int) (bool, lang.Trace) {
+	query := nullness.Query{Nodes: []int{r.b.g.Exit}, V: r.b.vs[q]}
+	node, bad, found := nullness.FindFailure(r.a, r.res, query)
+	if !found {
+		return true, nil
+	}
+	return false, r.res.Witness(node, bad)
+}
+
+func (r *nullBatchRun) Steps() int { return r.res.Steps }
+
+func (b *nullBatch) Backward(bud *budget.Budget, q int, p uset.Set, t lang.Trace) []core.ParamCube {
 	j := b.c.Job()
 	j.Q.V = b.vs[q]
 	return j.Backward(bud, p, t)

@@ -8,6 +8,7 @@ import (
 	"tracer/internal/core"
 	"tracer/internal/escape"
 	"tracer/internal/lang"
+	"tracer/internal/nullness"
 	"tracer/internal/oracle/gen"
 	"tracer/internal/typestate"
 	"tracer/internal/uset"
@@ -88,6 +89,29 @@ func FuzzEscape(o FuzzOptions) []Discrepancy {
 	return out
 }
 
+// FuzzNullness runs o.N seeded null-dereference cases through the oracle,
+// shrinking and reporting every violating program.
+func FuzzNullness(o FuzzOptions) []Discrepancy {
+	var out []Discrepancy
+	for i := 0; i < o.N; i++ {
+		seed := o.Seed + int64(i)
+		c := RandomNullCase(rand.New(rand.NewSource(seed)))
+		if len(CheckNullCase(c, o.Meta)) == 0 {
+			continue
+		}
+		c.Prog = gen.Shrink(c.Prog, func(p lang.Prog) bool {
+			cc := c
+			cc.Prog = p
+			return len(CheckNullCase(cc, o.Meta)) > 0
+		})
+		out = append(out, Discrepancy{
+			Client: "nullness", Seed: seed, Case: c.String(),
+			Violations: CheckNullCase(c, o.Meta),
+		})
+	}
+	return out
+}
+
 // CheckTSCase verifies one type-state case: the three oracle properties,
 // and (with meta) permutation invariance, monotone padding, and batch
 // worker/cache invariance.
@@ -150,6 +174,38 @@ func CheckEscCase(c EscCase, meta bool) []string {
 		v = append(v, d)
 	}
 	v = append(v, checkEscBatch(c)...)
+	v = append(v, checkWarmSeed(func() core.Problem { return c.Job() })...)
+	return v
+}
+
+// CheckNullCase verifies one null-dereference case (see CheckTSCase).
+func CheckNullCase(c NullCase, meta bool) []string {
+	v := CheckSolve(func() core.Problem { return c.Job() }, core.Options{})
+	if !meta {
+		return v
+	}
+	base, _ := core.Solve(c.Job(), core.Options{})
+
+	// Permutation invariance over both name spaces the generator renames:
+	// locals (the tracked cells) and allocation sites (nullness-neutral).
+	vperm, hperm := rotation(escLocals), rotation(escSites)
+	renamed := c
+	renamed.Prog = gen.Rename(c.Prog, vperm, hperm)
+	renamed.V = vperm[c.V]
+	if d := compareSolve(base, renamed.Job(), "local/site permutation"); d != "" {
+		v = append(v, d)
+	}
+
+	padded := c
+	padded.Pad = 2
+	if d := compareSolve(base, padded.Job(), "parameter padding"); d != "" {
+		v = append(v, d)
+	}
+
+	if d := compareDelta(base, func() *nullness.Job { j := c.Job(); j.NoDelta = true; return j }()); d != "" {
+		v = append(v, d)
+	}
+	v = append(v, checkNullBatch(c)...)
 	v = append(v, checkWarmSeed(func() core.Problem { return c.Job() })...)
 	return v
 }
@@ -295,6 +351,27 @@ func checkEscBatch(c EscCase) []string {
 	var v []string
 	for _, opts := range batchVariants {
 		res, err := core.SolveBatch(NewEscBatch(c, escLocals), opts)
+		if err != nil {
+			v = append(v, fmt.Sprintf("batch (workers=%d cache=%d) failed: %v", opts.Workers, opts.FwdCacheSize, err))
+			continue
+		}
+		v = append(v, compareBatch(solo, res, opts)...)
+	}
+	return v
+}
+
+// checkNullBatch cross-checks SolveBatch against per-query Solve with one
+// query per local, across the worker/cache grid.
+func checkNullBatch(c NullCase) []string {
+	solo := make([]core.Result, len(escLocals))
+	for i, local := range escLocals {
+		j := c.Job()
+		j.Q.V = local
+		solo[i], _ = core.Solve(j, core.Options{})
+	}
+	var v []string
+	for _, opts := range batchVariants {
+		res, err := core.SolveBatch(NewNullBatch(c, escLocals), opts)
 		if err != nil {
 			v = append(v, fmt.Sprintf("batch (workers=%d cache=%d) failed: %v", opts.Workers, opts.FwdCacheSize, err))
 			continue

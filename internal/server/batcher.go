@@ -214,6 +214,17 @@ func (s *Server) runBatch(reqs []*request) {
 	}()
 
 	first := live[0]
+	// Dispatch through the client registry. decode admits only registered
+	// clients, so an unresolvable kind here is a defect (a request forged in
+	// tests, or a registry edit racing a deploy) — fail the round before any
+	// query key is resolved or any warm-store session can be opened against
+	// the wrong client's snapshots.
+	spec := driver.ClientByName(string(first.client))
+	wc, wcOK := warmClient(first.client)
+	if spec == nil || !wcOK {
+		failAll(fmt.Sprintf("invalid client %q", first.client))
+		return
+	}
 	opts := core.Options{
 		MaxIters:     first.maxIter,
 		Timeout:      minDeadline.Sub(start),
@@ -238,21 +249,11 @@ func (s *Server) runBatch(reqs []*request) {
 		opts.Recorder = &batchRecorder{rec: s.rec, ids: ids, batch: bid}
 	}
 
-	var bp core.BatchProblem
-	switch first.client {
-	case clientTypestate:
-		qs := make([]driver.TSQuery, len(live))
-		for i, r := range live {
-			qs[i] = r.lp.ts[r.queryIx]
-		}
-		bp = driver.NewTypestateBatch(first.lp.prog, qs, first.k)
-	default:
-		qs := make([]driver.EscQuery, len(live))
-		for i, r := range live {
-			qs[i] = r.lp.esc[r.queryIx]
-		}
-		bp = driver.NewEscapeBatch(first.lp.prog, qs, first.k)
+	idx := make([]int, len(live))
+	for i, r := range live {
+		idx[i] = r.queryIx
 	}
+	bp := spec.Batch(first.lp.prog, idx, first.k)
 
 	// Warm-start: seed each request's surviving stored clauses and persist
 	// what the round learns. Sessions for one program race only on Save
@@ -263,7 +264,7 @@ func (s *Server) runBatch(reqs []*request) {
 	if s.warm.Enabled() && !hookBud.Tripped() {
 		s.warmMu.Lock()
 		sess = s.warm.Session(first.lp.prog, warm.Config{
-			Client:   warmClient(first.client),
+			Client:   wc,
 			K:        first.k,
 			MaxIters: first.maxIter,
 			Timeout:  first.timeout,
@@ -308,12 +309,20 @@ func (s *Server) runBatch(reqs []*request) {
 	}
 }
 
-// warmClient maps the wire client onto the warm store's.
-func warmClient(c clientKind) warm.Client {
-	if c == clientTypestate {
-		return warm.Typestate
+// warmClient maps the wire client onto the warm store's. The mapping is
+// exhaustive: an unknown kind returns false instead of silently landing on
+// some other client's warm store — cross-client clause reuse would poison
+// the cache the moment the mapping fell through.
+func warmClient(c clientKind) (warm.Client, bool) {
+	switch c {
+	case clientTypestate:
+		return warm.Typestate, true
+	case clientEscape:
+		return warm.Escape, true
+	case clientNullness:
+		return warm.Nullness, true
 	}
-	return warm.Escape
+	return "", false
 }
 
 // resultResponse converts one solver Result into the wire response.

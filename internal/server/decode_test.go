@@ -57,7 +57,7 @@ func TestDecodeRejects(t *testing.T) {
 		{"json array", []byte(`[1,2,3]`), "malformed JSON"},
 		{"wrong field type", []byte(`{"program": 7}`), "malformed JSON"},
 		{"missing program", mut(func(r *SolveRequest) { r.Program = "" }), "missing program"},
-		{"unknown client", mut(func(r *SolveRequest) { r.Client = "alias" }), "unknown client"},
+		{"unknown client", mut(func(r *SolveRequest) { r.Client = "alias" }), "invalid client"},
 		{"k too large", mut(func(r *SolveRequest) { r.K = kMax + 1 }), "out of range"},
 		{"k negative", mut(func(r *SolveRequest) { r.K = -1 }), "out of range"},
 		{"max_iters negative", mut(func(r *SolveRequest) { r.MaxIters = -4 }), "out of range"},
@@ -196,10 +196,7 @@ func checkDecodeInvariants(t *testing.T, s *Server, body []byte) {
 	if req.lp == nil {
 		t.Fatal("accepted request with no loaded program")
 	}
-	n := len(req.lp.esc)
-	if req.client == clientTypestate {
-		n = len(req.lp.ts)
-	}
+	n := len(req.lp.byClient[req.client].qs)
 	if req.queryIx < 0 || req.queryIx >= n {
 		t.Fatalf("accepted query index %d out of range [0,%d)", req.queryIx, n)
 	}

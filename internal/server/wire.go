@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"strings"
 	"time"
 
 	"tracer/internal/driver"
@@ -19,7 +20,8 @@ import (
 type SolveRequest struct {
 	// Program is the mini-IR source text to analyze.
 	Program string `json:"program"`
-	// Client selects the parametric analysis: "typestate" or "escape".
+	// Client selects the parametric analysis by its registry wire name:
+	// "typestate", "escape", or "nullness" (see driver.Clients).
 	Client string `json:"client"`
 	// Query names one generated query of the client: an exact query ID
 	// ("esc:Class.m:3:5:v"), an exact position-independent key, or "#<n>"
@@ -93,12 +95,16 @@ type ErrorResponse struct {
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
-// clientKind is a validated SolveRequest.Client.
+// clientKind is a validated SolveRequest.Client: a driver registry wire
+// name (driver.ClientByName(string(kind)) != nil for every admitted
+// request). The named constants exist for tests and readability; dispatch
+// goes through the registry, not through enumerating them.
 type clientKind string
 
 const (
 	clientTypestate clientKind = "typestate"
 	clientEscape    clientKind = "escape"
+	clientNullness  clientKind = "nullness"
 )
 
 // kMax bounds the accepted beam width; larger values are a resource-abuse
@@ -152,8 +158,9 @@ func (s *Server) decode(body []byte) (req *request, err error) {
 		return nil, badReqf("missing program")
 	}
 	client := clientKind(sr.Client)
-	if client != clientTypestate && client != clientEscape {
-		return nil, badReqf("unknown client %q (want typestate|escape)", sr.Client)
+	if driver.ClientByName(sr.Client) == nil {
+		return nil, badReqf("invalid client %q (want %s)", sr.Client,
+			strings.Join(driver.ClientNames(), "|"))
 	}
 	if sr.K == 0 {
 		sr.K = 5
@@ -202,13 +209,11 @@ func (s *Server) decode(body []byte) (req *request, err error) {
 // resolveQuery maps a query selector onto an index into the client's
 // deterministic generated-query order.
 func (lp *loadedProgram) resolveQuery(client clientKind, sel string) (int, error) {
-	var n int
-	var idx map[string]int
-	if client == clientTypestate {
-		n, idx = len(lp.ts), lp.tsIdx
-	} else {
-		n, idx = len(lp.esc), lp.escIdx
+	cq := lp.byClient[client]
+	if cq == nil {
+		return 0, badReqf("invalid client %q", client)
 	}
+	n, idx := len(cq.qs), cq.idx
 	if sel == "" {
 		return 0, badReqf("missing query selector")
 	}
@@ -227,26 +232,17 @@ func (lp *loadedProgram) resolveQuery(client clientKind, sel string) (int, error
 
 // queryID returns the canonical display ID of the request's query.
 func (r *request) queryID() string {
-	if r.client == clientTypestate {
-		return r.lp.ts[r.queryIx].ID
-	}
-	return r.lp.esc[r.queryIx].ID
+	return r.lp.byClient[r.client].qs[r.queryIx].ID
 }
 
 // queryKey returns the position-independent warm-store key of the query.
 func (r *request) queryKey() string {
-	if r.client == clientTypestate {
-		return r.lp.ts[r.queryIx].Key
-	}
-	return r.lp.esc[r.queryIx].Key
+	return r.lp.byClient[r.client].qs[r.queryIx].Key
 }
 
 // paramName renders parameter i of the request's abstraction family.
 func (r *request) paramName(i int) string {
-	if r.client == clientTypestate {
-		return r.lp.prog.Vars[i]
-	}
-	return r.lp.prog.Sites[i]
+	return r.lp.byClient[r.client].params[i]
 }
 
 // hashSource content-addresses a program text for the cache and the
@@ -257,17 +253,23 @@ func hashSource(src string) string {
 	return fmt.Sprintf("%016x-%d", h.Sum64(), len(src))
 }
 
-// loadedProgram is a parsed, analyzed program with its generated query lists
-// and selector indices, built once and shared read-only by every batch that
-// names the same source text.
+// clientQueries is one client's generated-query view of a loaded program:
+// the deterministic query list, the selector index (both the display ID and
+// the position-independent key of each query map to its index), and the
+// parameter universe in parameter-index order.
+type clientQueries struct {
+	qs     []driver.GenQuery
+	idx    map[string]int
+	params []string
+}
+
+// loadedProgram is a parsed, analyzed program with every registered client's
+// generated query lists and selector indices, built once and shared
+// read-only by every batch that names the same source text.
 type loadedProgram struct {
-	key  string
-	prog *driver.Program
-	ts   []driver.TSQuery
-	esc  []driver.EscQuery
-	// tsIdx/escIdx map both the display ID and the position-independent key
-	// of each query to its index.
-	tsIdx, escIdx map[string]int
+	key      string
+	prog     *driver.Program
+	byClient map[clientKind]*clientQueries
 }
 
 // loadProgram parses and prepares src. Lazily-built driver memos (statement
@@ -283,17 +285,15 @@ func loadProgram(key, src string) (lp *loadedProgram, err error) {
 	if err != nil {
 		return nil, err
 	}
-	lp = &loadedProgram{key: key, prog: prog,
-		tsIdx: map[string]int{}, escIdx: map[string]int{}}
-	lp.ts = prog.TypestateQueries()
-	lp.esc = prog.EscapeQueries()
-	for i, q := range lp.ts {
-		lp.tsIdx[q.ID] = i
-		lp.tsIdx[q.Key] = i
-	}
-	for i, q := range lp.esc {
-		lp.escIdx[q.ID] = i
-		lp.escIdx[q.Key] = i
+	lp = &loadedProgram{key: key, prog: prog, byClient: map[clientKind]*clientQueries{}}
+	for _, spec := range driver.Clients() {
+		cq := &clientQueries{qs: spec.Queries(prog), idx: map[string]int{},
+			params: spec.ParamNames(prog)}
+		for i, q := range cq.qs {
+			cq.idx[q.ID] = i
+			cq.idx[q.Key] = i
+		}
+		lp.byClient[clientKind(spec.Name)] = cq
 	}
 	prog.SiteOwner("") // force the site-owner memo (used by warm sessions)
 	return lp, nil

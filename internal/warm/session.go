@@ -21,6 +21,7 @@ type Client string
 const (
 	Typestate Client = "typestate"
 	Escape    Client = "escape"
+	Nullness  Client = "nullness"
 )
 
 // Config identifies the solving configuration of a session. K participates
@@ -57,14 +58,15 @@ type Session struct {
 }
 
 // confSignature builds the snapshot-level config identity (soundness
-// condition 4). The stress property's method list is whole-program state for
-// the type-state client, so it is hashed in; escape has no analogous knob.
+// condition 4). Client-specific whole-program knobs (the type-state stress
+// property's method list) come from the registry's WarmConfExtra, keeping
+// the signature byte-identical with snapshots written before the registry.
 func confSignature(p *driver.Program, conf Config) string {
-	if conf.Client == Typestate {
-		return fmt.Sprintf("%s|k=%d|stress=%08x", conf.Client, conf.K,
-			fnvString(strings.Join(p.StressMethods(), ",")))
+	extra := ""
+	if spec := driver.ClientByName(string(conf.Client)); spec != nil {
+		extra = spec.WarmConfExtra(p)
 	}
-	return fmt.Sprintf("%s|k=%d", conf.Client, conf.K)
+	return fmt.Sprintf("%s|k=%d%s", conf.Client, conf.K, extra)
 }
 
 // Session loads the warm-start state for prog under conf. It never fails:
@@ -79,10 +81,8 @@ func (st *Store) Session(p *driver.Program, conf Config) *Session {
 		entries: map[string]*queryEntry{},
 		seen:    map[string]map[string]bool{},
 	}
-	if conf.Client == Typestate {
-		s.names = p.Vars
-	} else {
-		s.names = p.Sites
+	if spec := driver.ClientByName(string(conf.Client)); spec != nil {
+		s.names = spec.ParamNames(p)
 	}
 	s.nameIdx = make(map[string]int, len(s.names))
 	for i, n := range s.names {

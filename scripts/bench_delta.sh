@@ -3,7 +3,7 @@
 # and fail if any gated experiment wall regressed beyond its per-experiment
 # threshold against the committed BENCH_paperbench.json baseline. The
 # thresholds live in cmd/benchdelta's default -keys: the primary walls
-# (fig12, fig13, batch) gate at the default percentage, the noisier
+# (fig12, fig13, nullness, batch) gate at the default percentage, the noisier
 # warm-start walls (fig12warm, editchain) at their own looser bounds.
 #
 # Usage: scripts/bench_delta.sh [default-max-regress-percent]
